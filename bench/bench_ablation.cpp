@@ -1,0 +1,117 @@
+// E8 (ablation) — the design choices DESIGN.md §5 calls out:
+//   A. list-ranking engine inside the pipeline (contraction vs Wyllie),
+//   B. processor budget P (the n/log n choice vs more/fewer processors),
+//   C. conflict checking (EREW-checked vs unchecked) — wall-clock cost of
+//      the safety net, with identical simulated counts.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace copath;
+using bench::log2z;
+
+void ranking_ablation() {
+  bench::banner("E8a: ablation — ranking engine inside the pipeline",
+                "contraction ranking keeps work/n flat (work-optimal); "
+                "Wyllie's work/n grows ~log n but its small step constant "
+                "wins below ~2^16 (see EXPERIMENTS.md E5 discussion).");
+  util::Table t({"engine", "n", "steps", "steps/log2(n)", "work", "work/n"});
+  for (const auto engine :
+       {par::RankEngine::Contract, par::RankEngine::Wyllie}) {
+    for (const std::size_t logn : {12u, 14u, 16u}) {
+      const std::size_t n = std::size_t{1} << logn;
+      cograph::RandomCotreeOptions opt;
+      opt.seed = logn;
+      const auto inst = cograph::random_cotree(n, opt);
+      auto m = bench::paper_machine(n);
+      core::PipelineOptions popt;
+      popt.rank_engine = engine;
+      (void)core::min_path_cover_pram(m, inst, popt);
+      t.row({util::Table::S(engine == par::RankEngine::Contract
+                                ? "contract"
+                                : "wyllie"),
+             util::Table::I(static_cast<long long>(n)),
+             util::Table::I(static_cast<long long>(m.stats().steps)),
+             util::Table::F(static_cast<double>(m.stats().steps) /
+                            static_cast<double>(logn)),
+             util::Table::I(static_cast<long long>(m.stats().work)),
+             util::Table::F(static_cast<double>(m.stats().work) /
+                            static_cast<double>(n))});
+    }
+  }
+  t.print(std::cout);
+}
+
+void processor_budget_ablation() {
+  bench::banner(
+      "E8b: ablation — processor budget",
+      "Brent's principle in action: steps ~ n/P + log n. The paper's "
+      "P = n/log n is the knee — fewer processors inflate time linearly, "
+      "more processors stop helping (and would break work-optimality).");
+  const std::size_t n = 1 << 16;
+  const std::size_t logn = 16;
+  cograph::RandomCotreeOptions opt;
+  opt.seed = 5;
+  const auto inst = cograph::random_cotree(n, opt);
+  util::Table t({"P", "P as", "steps", "work", "work/n"});
+  struct Budget {
+    const char* label;
+    std::size_t p;
+  };
+  const Budget budgets[] = {
+      {"n/(16 log n)", n / (16 * logn)},
+      {"n/(4 log n)", n / (4 * logn)},
+      {"n/log n (paper)", n / logn},
+      {"4n/log n", 4 * n / logn},
+      {"n", n},
+  };
+  for (const auto& b : budgets) {
+    pram::Machine m(
+        pram::Machine::Config{pram::Policy::Unchecked, 1, b.p});
+    (void)core::min_path_cover_pram(m, inst);
+    t.row({util::Table::I(static_cast<long long>(b.p)),
+           util::Table::S(b.label),
+           util::Table::I(static_cast<long long>(m.stats().steps)),
+           util::Table::I(static_cast<long long>(m.stats().work)),
+           util::Table::F(static_cast<double>(m.stats().work) /
+                          static_cast<double>(n))});
+  }
+  t.print(std::cout);
+}
+
+void checking_ablation() {
+  bench::banner("E8c: ablation — EREW conflict checking",
+                "identical simulated counts; checking costs wall time only "
+                "(per-cell atomic stamps on every access).");
+  const std::size_t n = 1 << 15;
+  cograph::RandomCotreeOptions opt;
+  opt.seed = 6;
+  const auto inst = cograph::random_cotree(n, opt);
+  util::Table t({"mode", "steps", "work", "wall_ms"});
+  for (const bool checked : {false, true}) {
+    pram::Machine m(pram::Machine::Config{
+        checked ? pram::Policy::EREW : pram::Policy::Unchecked, 1,
+        n / log2z(n)});
+    util::WallTimer timer;
+    (void)core::min_path_cover_pram(m, inst);
+    t.row({util::Table::S(checked ? "EREW-checked" : "unchecked"),
+           util::Table::I(static_cast<long long>(m.stats().steps)),
+           util::Table::I(static_cast<long long>(m.stats().work)),
+           util::Table::F(timer.millis())});
+  }
+  t.print(std::cout);
+  std::cout << std::endl;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ranking_ablation();
+  processor_budget_ablation();
+  checking_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

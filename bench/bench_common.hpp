@@ -1,0 +1,34 @@
+// Shared helpers for the benchmark harness.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "copath.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace copath::bench {
+
+inline std::size_t log2z(std::size_t n) {
+  std::size_t l = 0;
+  while ((std::size_t{1} << (l + 1)) <= n) ++l;
+  return l == 0 ? 1 : l;
+}
+
+/// An EREW machine with the paper's processor budget P = n / log2 n.
+/// Conflict checking is disabled for the large sweeps (the test suite runs
+/// the same code fully checked).
+inline pram::Machine paper_machine(std::size_t n,
+                                   bool checked = false) {
+  return pram::Machine(pram::Machine::Config{
+      checked ? pram::Policy::EREW : pram::Policy::Unchecked, 1,
+      std::max<std::size_t>(1, n / log2z(n))});
+}
+
+inline void banner(const char* experiment, const char* claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace copath::bench

@@ -1,0 +1,85 @@
+// E3 — Lemma 2.4: counting the minimum path cover in O(log n) time and
+// O(n) work (n / log n EREW processors) via tree contraction.
+//
+// Expected shape: steps/log2(n) flat; work/n flat.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace copath;
+using bench::log2z;
+
+void count_table() {
+  bench::banner("E3: Lemma 2.4 — p(u) by tree contraction",
+                "paper: O(log n) time, O(n) work on the EREW PRAM with "
+                "n/log n processors. Expect steps/log2(n) and work/n flat.");
+  util::Table t({"family", "n", "p(root)", "steps", "steps/log2(n)", "work",
+                 "work/n"});
+  for (const char* family : {"random", "skewed", "caterpillar"}) {
+    for (const std::size_t logn : {12u, 14u, 16u, 18u}) {
+      const std::size_t n = std::size_t{1} << logn;
+      cograph::Cotree inst;
+      if (std::string(family) == "caterpillar") {
+        inst = cograph::caterpillar(n);
+      } else {
+        cograph::RandomCotreeOptions opt;
+        opt.seed = logn;
+        opt.skew = std::string(family) == "skewed" ? 0.8 : 0.0;
+        inst = cograph::random_cotree(n, opt);
+      }
+      auto bc = cograph::binarize(inst);
+      const auto leaf_count = cograph::make_leftist(bc);
+      auto m = bench::paper_machine(2 * n);
+      const auto p = core::path_counts_pram(m, bc, leaf_count);
+      t.row({util::Table::S(family),
+             util::Table::I(static_cast<long long>(n)),
+             util::Table::I(p[static_cast<std::size_t>(bc.tree.root)]),
+             util::Table::I(static_cast<long long>(m.stats().steps)),
+             util::Table::F(static_cast<double>(m.stats().steps) /
+                            static_cast<double>(logn)),
+             util::Table::I(static_cast<long long>(m.stats().work)),
+             util::Table::F(static_cast<double>(m.stats().work) /
+                            static_cast<double>(n))});
+    }
+  }
+  t.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_count_pram(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cograph::RandomCotreeOptions opt;
+  opt.seed = 11;
+  const auto inst = cograph::random_cotree(n, opt);
+  auto bc = cograph::binarize(inst);
+  const auto leaf_count = cograph::make_leftist(bc);
+  for (auto _ : state) {
+    auto m = bench::paper_machine(2 * n);
+    benchmark::DoNotOptimize(core::path_counts_pram(m, bc, leaf_count));
+  }
+}
+BENCHMARK(BM_count_pram)->Range(1 << 12, 1 << 17);
+
+void BM_count_host(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cograph::RandomCotreeOptions opt;
+  opt.seed = 11;
+  const auto inst = cograph::random_cotree(n, opt);
+  auto bc = cograph::binarize(inst);
+  const auto leaf_count = cograph::make_leftist(bc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::path_counts_host(bc, leaf_count));
+  }
+}
+BENCHMARK(BM_count_host)->Range(1 << 12, 1 << 17);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  count_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

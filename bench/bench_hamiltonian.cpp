@@ -1,0 +1,85 @@
+// E6 — the Hamiltonicity corollary (§1): deciding and constructing
+// Hamiltonian paths/cycles through the path cover machinery.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace copath;
+
+void hamiltonian_table() {
+  bench::banner(
+      "E6: Hamiltonian path / cycle via path cover",
+      "paper: both reduce to the same machinery (p = 1, and the root-split "
+      "condition). Decision steps track O(log n) like E3.");
+  util::Table t({"family", "n", "ham_path", "ham_cycle", "decide_ms",
+                 "construct_ms"});
+  for (const std::size_t logn : {12u, 14u, 16u}) {
+    const std::size_t n = std::size_t{1} << logn;
+    struct Case {
+      const char* name;
+      cograph::Cotree t;
+    };
+    cograph::RandomCotreeOptions opt;
+    opt.seed = logn;
+    opt.join_root_probability = 1.0;
+    const Case cases[] = {
+        {"clique", cograph::clique(n)},
+        {"K(a,a)", cograph::complete_bipartite(n / 2, n / 2)},
+        {"K(2a,a)", cograph::complete_bipartite(2 * n / 3, n / 3)},
+        {"join-random", cograph::random_cotree(n, opt)},
+    };
+    for (const auto& cs : cases) {
+      util::WallTimer decide;
+      const bool hp = core::has_hamiltonian_path(cs.t);
+      const bool hc = core::has_hamiltonian_cycle(cs.t);
+      const double decide_ms = decide.millis();
+      util::WallTimer construct;
+      if (hc) {
+        benchmark::DoNotOptimize(core::hamiltonian_cycle(cs.t));
+      } else if (hp) {
+        benchmark::DoNotOptimize(core::hamiltonian_path(cs.t));
+      }
+      t.row({util::Table::S(cs.name),
+             util::Table::I(static_cast<long long>(cs.t.vertex_count())),
+             util::Table::S(hp ? "yes" : "no"),
+             util::Table::S(hc ? "yes" : "no"),
+             util::Table::F(decide_ms), util::Table::F(construct.millis())});
+    }
+  }
+  t.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_ham_cycle_construct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = cograph::complete_bipartite(n / 2, n / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::hamiltonian_cycle(inst));
+  }
+}
+BENCHMARK(BM_ham_cycle_construct)->Range(1 << 10, 1 << 16);
+
+void BM_ham_decide_pram_steps(benchmark::State& state) {
+  // Decision through the PRAM count; wall time dominated by simulation,
+  // the table above carries the step-count story.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = cograph::clique(n);
+  auto bc = cograph::binarize(inst);
+  const auto leaf_count = cograph::make_leftist(bc);
+  for (auto _ : state) {
+    auto m = copath::bench::paper_machine(n);
+    benchmark::DoNotOptimize(core::path_counts_pram(m, bc, leaf_count));
+  }
+}
+BENCHMARK(BM_ham_decide_pram_steps)->Range(1 << 10, 1 << 14);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hamiltonian_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E1 — Theorem 2.2 (lower bound, Fig 2).
+//
+// The paper reduces OR(n bits) to path cover counting: the reduction is an
+// O(1)-step construction, so counting cannot beat the Ω(log n) CREW bound
+// for OR. This bench exhibits the tightness: construction steps stay
+// constant while counting steps track c · log2(n).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/or_reduction.hpp"
+
+namespace {
+
+using namespace copath;
+using bench::log2z;
+
+void or_table() {
+  bench::banner("E1: Theorem 2.2 — OR reduction",
+                "paper: O(1)-step construction; counting needs Ω(log n) and "
+                "our Lemma 2.4 path meets O(log n). Expect steps/log2(n) "
+                "flat, construction steps constant.");
+  util::Table t({"n", "ones", "cover", "OR", "construct_steps",
+                 "count_steps", "count_steps/log2(n)"});
+  for (const std::size_t logn : {10u, 12u, 14u, 16u, 18u}) {
+    const std::size_t n = std::size_t{1} << logn;
+    for (const double density : {0.0, 1.0 / static_cast<double>(n), 0.5}) {
+      std::vector<std::uint8_t> bits(n, 0);
+      util::Rng rng(n);
+      std::size_t ones = 0;
+      for (auto& b : bits) {
+        b = rng.chance(density) ? 1 : 0;
+        ones += b;
+      }
+      // Theorem 2.2's setting allows unbounded processors: one per element
+      // (processors = 0 → maximal parallelism), so the construction is a
+      // single synchronous step as in the paper.
+      pram::Machine m(
+          pram::Machine::Config{pram::Policy::Unchecked, 1, 0});
+      const auto res = core::or_via_path_cover(m, bits);
+      t.row({util::Table::I(static_cast<long long>(n)),
+             util::Table::I(static_cast<long long>(ones)),
+             util::Table::I(res.path_cover_size),
+             util::Table::S(res.or_value ? "1" : "0"),
+             util::Table::I(static_cast<long long>(res.construction_steps)),
+             util::Table::I(static_cast<long long>(res.count_steps)),
+             util::Table::F(static_cast<double>(res.count_steps) /
+                            static_cast<double>(logn))});
+    }
+  }
+  t.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_or_reduction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> bits(n, 0);
+  bits[n / 2] = 1;
+  for (auto _ : state) {
+    pram::Machine m(
+        pram::Machine::Config{pram::Policy::Unchecked, 1, 0});
+    benchmark::DoNotOptimize(core::or_via_path_cover(m, bits));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_or_reduction)->Range(1 << 10, 1 << 16)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  or_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E7 — the PRAM simulator substrate itself (substitution validity,
+// DESIGN.md §2): overhead of conflict checking, scaling over worker
+// threads, and the cost model's insensitivity to the physical backend.
+//
+// Note: the host may have a single core; simulated steps/work are identical
+// for every worker count by construction — that is the point of the model.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "par/scan.hpp"
+
+namespace {
+
+using namespace copath;
+
+void backend_table() {
+  bench::banner(
+      "E7: PRAM simulator backend",
+      "Simulated steps/work must be identical across workers and checked "
+      "vs unchecked modes; wall time varies. (Host may be single-core; the "
+      "complexity claims rest on the simulated counts, not wall time.)");
+  const std::size_t n = 1 << 18;
+  util::Table t({"mode", "workers", "steps", "work", "wall_ms"});
+  for (const bool checked : {false, true}) {
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      pram::Machine m(pram::Machine::Config{
+          checked ? pram::Policy::EREW : pram::Policy::Unchecked, workers,
+          n / 18});
+      pram::Array<std::int64_t> a(m, n, 1);
+      util::WallTimer timer;
+      par::exclusive_scan(m, a);
+      t.row({util::Table::S(checked ? "EREW-checked" : "unchecked"),
+             util::Table::I(static_cast<long long>(workers)),
+             util::Table::I(static_cast<long long>(m.stats().steps)),
+             util::Table::I(static_cast<long long>(m.stats().work)),
+             util::Table::F(timer.millis())});
+    }
+  }
+  t.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_scan_unchecked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    pram::Machine m(
+        pram::Machine::Config{pram::Policy::Unchecked, 1, n / 16});
+    pram::Array<std::int64_t> a(m, n, 1);
+    par::exclusive_scan(m, a);
+    benchmark::DoNotOptimize(a.host(n - 1));
+  }
+}
+BENCHMARK(BM_scan_unchecked)->Range(1 << 14, 1 << 20);
+
+void BM_scan_checked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    pram::Machine m(pram::Machine::Config{pram::Policy::EREW, 1, n / 16});
+    pram::Array<std::int64_t> a(m, n, 1);
+    par::exclusive_scan(m, a);
+    benchmark::DoNotOptimize(a.host(n - 1));
+  }
+}
+BENCHMARK(BM_scan_checked)->Range(1 << 14, 1 << 18);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  backend_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// E4 — Theorem 5.3 (the main result): reporting all paths of a minimum
+// path cover in O(log n) time and O(n) work on the EREW PRAM.
+//
+// Expected shape: pipeline steps/log2(n) flat; work/n flat; work within a
+// constant factor of the sequential algorithm's time (work-optimality).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace copath;
+using bench::log2z;
+
+void report_table() {
+  bench::banner(
+      "E4: Theorem 5.3 — parallel minimum path cover (the main result)",
+      "paper: O(log n) time, n/log n EREW processors, O(n) work. Expect "
+      "steps/log2(n) flat and work/n flat across families and sizes.");
+  util::Table t({"family", "n", "paths", "steps", "steps/log2(n)", "work",
+                 "work/n", "brackets", "dummies", "repair_rounds"});
+  for (const char* family : {"random", "skewed", "deep"}) {
+    for (const std::size_t logn : {12u, 14u, 16u, 18u}) {
+      const std::size_t n = std::size_t{1} << logn;
+      cograph::Cotree inst;
+      if (std::string(family) == "deep") {
+        inst = cograph::caterpillar(n);
+      } else {
+        cograph::RandomCotreeOptions opt;
+        opt.seed = 100 + logn;
+        opt.skew = std::string(family) == "skewed" ? 0.8 : 0.0;
+        inst = cograph::random_cotree(n, opt);
+      }
+      auto m = bench::paper_machine(n);
+      core::PipelineTrace trace;
+      const auto cover = core::min_path_cover_pram(m, inst, {}, &trace);
+      t.row({util::Table::S(family),
+             util::Table::I(static_cast<long long>(n)),
+             util::Table::I(static_cast<long long>(cover.paths.size())),
+             util::Table::I(static_cast<long long>(m.stats().steps)),
+             util::Table::F(static_cast<double>(m.stats().steps) /
+                            static_cast<double>(logn)),
+             util::Table::I(static_cast<long long>(m.stats().work)),
+             util::Table::F(static_cast<double>(m.stats().work) /
+                            static_cast<double>(n)),
+             util::Table::I(static_cast<long long>(trace.bracket_length)),
+             util::Table::I(static_cast<long long>(trace.dummy_count)),
+             util::Table::I(static_cast<long long>(trace.repair_rounds))});
+    }
+  }
+  t.print(std::cout);
+
+  // Stage breakdown at the largest size: where the log-factor constants
+  // live (informs the EXPERIMENTS.md discussion).
+  {
+    const std::size_t n = 1 << 18;
+    cograph::RandomCotreeOptions opt;
+    opt.seed = 3;
+    const auto inst = cograph::random_cotree(n, opt);
+    auto m = bench::paper_machine(n);
+    core::PipelineTrace trace;
+    (void)core::min_path_cover_pram(m, inst, {}, &trace);
+    std::cout << "\nPer-stage breakdown (random, n = " << n << "):\n";
+    util::Table ts({"stage", "steps", "share_%", "work", "work/n"});
+    const auto total_steps = static_cast<double>(m.stats().steps);
+    for (const auto& [name, steps, work] : trace.stages) {
+      ts.row({util::Table::S(name),
+              util::Table::I(static_cast<long long>(steps)),
+              util::Table::F(100.0 * static_cast<double>(steps) /
+                             total_steps),
+              util::Table::I(static_cast<long long>(work)),
+              util::Table::F(static_cast<double>(work) /
+                             static_cast<double>(n))});
+    }
+    ts.print(std::cout);
+  }
+
+  // Work-optimality: PRAM work vs sequential wall time per vertex.
+  std::cout << "\nWork-optimality check (work/n vs sequential ns/vertex):\n";
+  util::Table t2({"n", "pram work/n", "seq ns/vertex"});
+  for (const std::size_t logn : {14u, 16u, 18u}) {
+    const std::size_t n = std::size_t{1} << logn;
+    cograph::RandomCotreeOptions opt;
+    opt.seed = logn;
+    const auto inst = cograph::random_cotree(n, opt);
+    auto m = bench::paper_machine(n);
+    (void)core::min_path_cover_pram(m, inst);
+    util::WallTimer timer;
+    (void)core::min_path_cover_sequential(inst);
+    t2.row({util::Table::I(static_cast<long long>(n)),
+            util::Table::F(static_cast<double>(m.stats().work) /
+                           static_cast<double>(n)),
+            util::Table::F(timer.nanos() / static_cast<double>(n))});
+  }
+  t2.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_pipeline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cograph::RandomCotreeOptions opt;
+  opt.seed = 77;
+  const auto inst = cograph::random_cotree(n, opt);
+  for (auto _ : state) {
+    auto m = bench::paper_machine(n);
+    benchmark::DoNotOptimize(core::min_path_cover_pram(m, inst));
+  }
+}
+BENCHMARK(BM_pipeline)->Range(1 << 12, 1 << 16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

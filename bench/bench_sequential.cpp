@@ -1,0 +1,66 @@
+// E2 — Lemma 2.3: the sequential algorithm runs in O(n).
+//
+// Expected shape: ns/vertex roughly flat as n grows (linear time), across
+// cotree shapes (random, skewed, clique, caterpillar).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace copath;
+
+cograph::Cotree make_instance(const std::string& family, std::size_t n,
+                              std::uint64_t seed) {
+  if (family == "clique") return cograph::clique(n);
+  if (family == "caterpillar") return cograph::caterpillar(n);
+  cograph::RandomCotreeOptions opt;
+  opt.seed = seed;
+  if (family == "skewed") opt.skew = 0.8;
+  return cograph::random_cotree(n, opt);
+}
+
+void sequential_table() {
+  bench::banner("E2: Lemma 2.3 — sequential O(n) minimum path cover",
+                "paper: linear time. Expect ns/vertex flat in n for every "
+                "family.");
+  util::Table t({"family", "n", "paths", "total_ms", "ns/vertex"});
+  for (const char* family :
+       {"random", "skewed", "clique", "caterpillar"}) {
+    for (const std::size_t logn : {12u, 14u, 16u, 18u, 20u}) {
+      const std::size_t n = std::size_t{1} << logn;
+      const auto inst = make_instance(family, n, logn);
+      util::WallTimer timer;
+      const auto cover = core::min_path_cover_sequential(inst);
+      const double ms = timer.millis();
+      t.row({util::Table::S(family),
+             util::Table::I(static_cast<long long>(n)),
+             util::Table::I(static_cast<long long>(cover.paths.size())),
+             util::Table::F(ms),
+             util::Table::F(ms * 1e6 / static_cast<double>(n))});
+    }
+  }
+  t.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_sequential(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cograph::RandomCotreeOptions opt;
+  opt.seed = 42;
+  const auto inst = cograph::random_cotree(n, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::min_path_cover_sequential(inst));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_sequential)->Range(1 << 12, 1 << 19)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sequential_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// E5 — the separation the paper claims over prior art:
+//   naive level-synchronous parallelization: Θ(height)   (O(n) worst case)
+//   Lin et al. 1994 profile (pointer-jump ranking): O(log² n) time,
+//                                                   O(n log n) work
+//   this paper (contraction ranking):               O(log n), O(n)
+//
+// Expected shape: on deep cotrees the step counts order as
+// optimal << lin94-profile << naive, with the gaps widening in n.
+#include <benchmark/benchmark.h>
+
+#include "baseline/naive_parallel.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace copath;
+using bench::log2z;
+
+void comparison_table() {
+  bench::banner(
+      "E5: optimal pipeline vs naive and Lin94-profile baselines",
+      "paper: naive is Θ(n)-time on deep cotrees, Lin et al. '94 reporting "
+      "is O(log² n) time / O(n log n) work, Theorem 5.3 is O(log n) / "
+      "O(n). Expect: naive/optimal step ratio growing ~linearly (crossover "
+      "near 2^14 on this host), lin94 work/n climbing with log n while "
+      "optimal work/n stays flat. (At these sizes lin94's 2·log² n step "
+      "count is still below the contraction ranker's c·log n — the time "
+      "separation is asymptotic; see EXPERIMENTS.md.)");
+  util::Table t({"family", "n", "naive_steps", "lin94_steps",
+                 "optimal_steps", "naive/optimal", "lin94/optimal"});
+  for (const char* family : {"caterpillar", "random"}) {
+    for (const std::size_t logn : {10u, 12u, 14u, 16u}) {
+      const std::size_t n = std::size_t{1} << logn;
+      cograph::Cotree inst;
+      if (std::string(family) == "caterpillar") {
+        inst = cograph::caterpillar(n);
+      } else {
+        cograph::RandomCotreeOptions opt;
+        opt.seed = logn * 3;
+        inst = cograph::random_cotree(n, opt);
+      }
+      auto m_naive = bench::paper_machine(n);
+      (void)baseline::min_path_cover_naive_parallel(m_naive, inst);
+
+      core::PipelineOptions lin94;
+      lin94.rank_engine = par::RankEngine::Wyllie;
+      auto m_lin = bench::paper_machine(n);
+      (void)core::min_path_cover_pram(m_lin, inst, lin94);
+
+      auto m_opt = bench::paper_machine(n);
+      (void)core::min_path_cover_pram(m_opt, inst);
+
+      const auto ns = static_cast<double>(m_naive.stats().steps);
+      const auto ls = static_cast<double>(m_lin.stats().steps);
+      const auto os = static_cast<double>(m_opt.stats().steps);
+      t.row({util::Table::S(family),
+             util::Table::I(static_cast<long long>(n)),
+             util::Table::I(static_cast<long long>(m_naive.stats().steps)),
+             util::Table::I(static_cast<long long>(m_lin.stats().steps)),
+             util::Table::I(static_cast<long long>(m_opt.stats().steps)),
+             util::Table::F(ns / os), util::Table::F(ls / os)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nWork comparison (lin94 pays Θ(n log n) ranking work):\n";
+  util::Table t2({"n", "lin94_work/n", "optimal_work/n"});
+  for (const std::size_t logn : {12u, 14u, 16u}) {
+    const std::size_t n = std::size_t{1} << logn;
+    cograph::RandomCotreeOptions opt;
+    opt.seed = logn;
+    const auto inst = cograph::random_cotree(n, opt);
+    core::PipelineOptions lin94;
+    lin94.rank_engine = par::RankEngine::Wyllie;
+    auto m_lin = bench::paper_machine(n);
+    (void)core::min_path_cover_pram(m_lin, inst, lin94);
+    auto m_opt = bench::paper_machine(n);
+    (void)core::min_path_cover_pram(m_opt, inst);
+    t2.row({util::Table::I(static_cast<long long>(n)),
+            util::Table::F(static_cast<double>(m_lin.stats().work) /
+                           static_cast<double>(n)),
+            util::Table::F(static_cast<double>(m_opt.stats().work) /
+                           static_cast<double>(n))});
+  }
+  t2.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_naive_deep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = cograph::caterpillar(n);
+  for (auto _ : state) {
+    auto m = bench::paper_machine(n);
+    benchmark::DoNotOptimize(
+        baseline::min_path_cover_naive_parallel(m, inst));
+  }
+}
+BENCHMARK(BM_naive_deep)->Range(1 << 10, 1 << 14);
+
+void BM_optimal_deep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = cograph::caterpillar(n);
+  for (auto _ : state) {
+    auto m = bench::paper_machine(n);
+    benchmark::DoNotOptimize(core::min_path_cover_pram(m, inst));
+  }
+}
+BENCHMARK(BM_optimal_deep)->Range(1 << 10, 1 << 14);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  comparison_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

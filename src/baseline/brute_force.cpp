@@ -1,0 +1,123 @@
+#include "baseline/brute_force.hpp"
+
+#include <algorithm>
+
+namespace copath::baseline {
+
+namespace {
+
+constexpr std::int32_t kInf = 1 << 29;
+
+struct Dp {
+  std::vector<std::int32_t> cost;     // [mask * n + last]
+  std::vector<std::int32_t> from;     // predecessor encoding
+  std::size_t n = 0;
+
+  explicit Dp(const cograph::Graph& g) {
+    n = g.vertex_count();
+    COPATH_CHECK_MSG(n <= 20, "brute force limited to 20 vertices");
+    const std::size_t full = std::size_t{1} << n;
+    cost.assign(full * n, kInf);
+    from.assign(full * n, -1);
+    for (std::size_t v = 0; v < n; ++v) {
+      cost[(std::size_t{1} << v) * n + v] = 1;  // one open path {v}
+    }
+    for (std::size_t mask = 1; mask < full; ++mask) {
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::int32_t c = cost[mask * n + v];
+        if (c >= kInf || (mask >> v & 1) == 0) continue;
+        for (std::size_t u = 0; u < n; ++u) {
+          if (mask >> u & 1) continue;
+          const std::size_t nm = mask | (std::size_t{1} << u);
+          // Either extend the open path along an edge, or start a new one.
+          const bool adj = g.has_edge(static_cast<cograph::VertexId>(v),
+                                      static_cast<cograph::VertexId>(u));
+          const std::int32_t ext = adj ? c : kInf;
+          const std::int32_t fresh = c + 1;
+          const std::int32_t best = std::min(ext, fresh);
+          if (best < cost[nm * n + u]) {
+            cost[nm * n + u] = best;
+            from[nm * n + u] =
+                static_cast<std::int32_t>((v << 1) | (adj && ext <= fresh
+                                                          ? 0
+                                                          : 1));
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::int64_t min_path_cover_size_exact(const cograph::Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return 0;
+  const Dp dp(g);
+  const std::size_t full = (std::size_t{1} << n) - 1;
+  std::int32_t best = kInf;
+  for (std::size_t v = 0; v < n; ++v)
+    best = std::min(best, dp.cost[full * n + v]);
+  return best;
+}
+
+core::PathCover min_path_cover_exact(const cograph::Graph& g) {
+  core::PathCover out;
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return out;
+  const Dp dp(g);
+  const std::size_t full = (std::size_t{1} << n) - 1;
+  std::size_t best_v = 0;
+  for (std::size_t v = 1; v < n; ++v) {
+    if (dp.cost[full * n + v] < dp.cost[full * n + best_v]) best_v = v;
+  }
+  // Reconstruct backwards: each step tells us the previous endpoint and
+  // whether a new path was started at the current vertex.
+  std::vector<std::vector<core::VertexId>> rev_paths;
+  rev_paths.emplace_back();
+  std::size_t mask = full;
+  std::size_t v = best_v;
+  while (true) {
+    rev_paths.back().push_back(static_cast<core::VertexId>(v));
+    const std::int32_t f = dp.from[mask * n + v];
+    mask &= ~(std::size_t{1} << v);
+    if (f < 0) break;  // the very first vertex placed
+    const auto pv = static_cast<std::size_t>(f >> 1);
+    if ((f & 1) != 0) rev_paths.emplace_back();  // v started a new path
+    v = pv;
+  }
+  for (auto& p : rev_paths) {
+    std::reverse(p.begin(), p.end());
+    out.paths.push_back(std::move(p));
+  }
+  std::reverse(out.paths.begin(), out.paths.end());
+  return out;
+}
+
+bool has_hamiltonian_cycle_exact(const cograph::Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n < 3) return false;
+  const std::size_t full = std::size_t{1} << n;
+  // Paths starting at vertex 0.
+  std::vector<std::uint8_t> reach(full * n, 0);
+  reach[(std::size_t{1}) * n + 0] = 1;
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    if ((mask & 1) == 0) continue;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!reach[mask * n + v]) continue;
+      for (const auto u : g.neighbors(static_cast<cograph::VertexId>(v))) {
+        const auto uu = static_cast<std::size_t>(u);
+        if (mask >> uu & 1) continue;
+        reach[(mask | std::size_t{1} << uu) * n + uu] = 1;
+      }
+    }
+  }
+  for (std::size_t v = 1; v < n; ++v) {
+    if (reach[(full - 1) * n + v] &&
+        g.has_edge(static_cast<cograph::VertexId>(v), 0))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace copath::baseline

@@ -1,0 +1,24 @@
+// Exact exponential oracles for small instances (test cross-checks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cograph/graph.hpp"
+#include "core/path_cover.hpp"
+
+namespace copath::baseline {
+
+/// Minimum number of vertex-disjoint paths covering all vertices of an
+/// arbitrary graph, by Held-Karp style bitmask DP over (covered set, last
+/// endpoint). O(2^n * n^2); intended for n <= 16.
+std::int64_t min_path_cover_size_exact(const cograph::Graph& g);
+
+/// An actual minimum path cover (same DP, with parent pointers).
+core::PathCover min_path_cover_exact(const cograph::Graph& g);
+
+/// Exact Hamiltonian cycle test (bitmask DP). O(2^n * n^2), n <= 16.
+bool has_hamiltonian_cycle_exact(const cograph::Graph& g);
+
+}  // namespace copath::baseline

@@ -1,0 +1,67 @@
+#include "baseline/greedy.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace copath::baseline {
+
+core::PathCover min_path_cover_greedy(const cograph::Graph& g) {
+  using cograph::VertexId;
+  const std::size_t n = g.vertex_count();
+  core::PathCover out;
+  std::vector<std::int64_t> deg(n, 0);
+  std::vector<std::uint8_t> covered(n, 0);
+  // Ordered set of (uncovered degree, vertex) for min-degree retrieval.
+  std::set<std::pair<std::int64_t, VertexId>> pool;
+  for (std::size_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<std::int64_t>(
+        g.neighbors(static_cast<VertexId>(v)).size());
+    pool.emplace(deg[v], static_cast<VertexId>(v));
+  }
+  const auto cover = [&](VertexId v) {
+    pool.erase({deg[static_cast<std::size_t>(v)], v});
+    covered[static_cast<std::size_t>(v)] = 1;
+    for (const VertexId u : g.neighbors(v)) {
+      if (covered[static_cast<std::size_t>(u)]) continue;
+      pool.erase({deg[static_cast<std::size_t>(u)], u});
+      --deg[static_cast<std::size_t>(u)];
+      pool.emplace(deg[static_cast<std::size_t>(u)], u);
+    }
+  };
+  const auto best_uncovered_neighbor = [&](VertexId v) -> VertexId {
+    VertexId best = cograph::kNull;
+    std::int64_t best_deg = 0;
+    for (const VertexId u : g.neighbors(v)) {
+      if (covered[static_cast<std::size_t>(u)]) continue;
+      if (best == cograph::kNull || deg[static_cast<std::size_t>(u)] < best_deg) {
+        best = u;
+        best_deg = deg[static_cast<std::size_t>(u)];
+      }
+    }
+    return best;
+  };
+  while (!pool.empty()) {
+    const VertexId start = pool.begin()->second;
+    std::deque<VertexId> path{start};
+    cover(start);
+    // Extend forward then backward.
+    for (const bool forward : {true, false}) {
+      while (true) {
+        const VertexId end = forward ? path.back() : path.front();
+        const VertexId nxt = best_uncovered_neighbor(end);
+        if (nxt == cograph::kNull) break;
+        if (forward) {
+          path.push_back(nxt);
+        } else {
+          path.push_front(nxt);
+        }
+        cover(nxt);
+      }
+    }
+    out.paths.emplace_back(path.begin(), path.end());
+  }
+  return out;
+}
+
+}  // namespace copath::baseline

@@ -1,0 +1,17 @@
+// Greedy path cover heuristic on explicit graphs — a non-optimal
+// comparator used by examples/benches to show how far from the minimum a
+// natural heuristic lands (it has no optimality guarantee even on
+// cographs).
+#pragma once
+
+#include "cograph/graph.hpp"
+#include "core/path_cover.hpp"
+
+namespace copath::baseline {
+
+/// Repeatedly starts a path at an uncovered vertex of minimum uncovered
+/// degree and extends both ends greedily (always to the uncovered
+/// neighbour of minimum uncovered degree). O((n + m) log n).
+core::PathCover min_path_cover_greedy(const cograph::Graph& g);
+
+}  // namespace copath::baseline

@@ -1,0 +1,195 @@
+#include "baseline/naive_parallel.hpp"
+
+#include <algorithm>
+
+#include "cograph/binarize.hpp"
+#include "core/count.hpp"
+#include "pram/array.hpp"
+
+namespace copath::baseline {
+
+namespace {
+using pram::Array;
+using pram::Ctx;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+}  // namespace
+
+core::PathCover min_path_cover_naive_parallel(pram::Machine& m,
+                                              const cograph::Cotree& t) {
+  const std::size_t n = t.vertex_count();
+  COPATH_CHECK(n > 0);
+  auto bc = cograph::binarize(t);
+  const auto leaf_count = cograph::make_leftist(bc);
+  const std::size_t bn = bc.size();
+
+  // Host scheduling metadata: nodes bucketed by depth.
+  std::vector<i32> depth(bn, 0);
+  std::size_t max_depth = 0;
+  {
+    std::vector<i32> stack{bc.tree.root};
+    while (!stack.empty()) {
+      const auto v = static_cast<std::size_t>(stack.back());
+      stack.pop_back();
+      for (const i32 c : {bc.tree.left[v], bc.tree.right[v]}) {
+        if (c == -1) continue;
+        depth[static_cast<std::size_t>(c)] = depth[v] + 1;
+        max_depth = std::max(
+            max_depth, static_cast<std::size_t>(depth[v]) + 1);
+        stack.push_back(c);
+      }
+    }
+  }
+  std::vector<std::vector<i32>> level(max_depth + 1);
+  for (std::size_t v = 0; v < bn; ++v)
+    level[static_cast<std::size_t>(depth[v])].push_back(
+        static_cast<i32>(v));
+
+  // Shared state: vertex links + per-node path list (paths identified by
+  // their head vertex).
+  Array<i32> nxt(m, n, -1);        // successor within a path
+  Array<i32> next_path(m, n, -1);  // head -> head of the next path
+  Array<i32> tail_of(m, n, -1);    // head -> tail of that path
+  Array<i32> first_head(m, bn, -1);
+  Array<i32> last_head(m, bn, -1);
+  Array<i64> count(m, bn, 0);
+  std::vector<i32> kinds(bn, 0);  // 0 leaf, 1 union, 2 join
+  for (std::size_t v = 0; v < bn; ++v) {
+    if (bc.tree.left[v] != -1) kinds[v] = bc.is_join[v] ? 2 : 1;
+  }
+  Array<i32> kind_arr(m, std::move(kinds));
+  Array<i32> lc_arr(m, bc.tree.left);
+  Array<i32> rc_arr(m, bc.tree.right);
+  Array<i32> vert_arr(m, bc.vertex);
+  Array<i64> lw_arr(m, leaf_count);
+
+  // Leaves initialize their singleton covers in one parallel step.
+  m.pfor(bn, [&](Ctx& c, std::size_t v) {
+    if (kind_arr.get(c, v) != 0) return;
+    const i32 x = vert_arr.get(c, v);
+    first_head.put(c, v, x);
+    last_head.put(c, v, x);
+    count.put(c, v, 1);
+    tail_of.put(c, static_cast<std::size_t>(x), x);
+  });
+
+  // Level-synchronous merges, bottom-up.
+  for (std::size_t d = max_depth + 1; d-- > 0;) {
+    const auto& nodes = level[d];
+    if (nodes.empty()) continue;
+    m.blocked_step(nodes.size(), [&](Ctx& c, std::size_t j) -> std::uint64_t {
+      const auto v = static_cast<std::size_t>(nodes[j]);
+      const i32 kind = kind_arr.get(c, v);
+      if (kind == 0) return 1;  // leaf, already done
+      const auto l = static_cast<std::size_t>(lc_arr.get(c, v));
+      const auto r = static_cast<std::size_t>(rc_arr.get(c, v));
+      if (kind == 1) {  // union: concatenate path lists
+        const i32 lf = first_head.get(c, l);
+        const i32 ll = last_head.get(c, l);
+        const i32 rf = first_head.get(c, r);
+        const i32 rl = last_head.get(c, r);
+        next_path.put(c, static_cast<std::size_t>(ll), rf);
+        first_head.put(c, v, lf);
+        last_head.put(c, v, rl);
+        count.put(c, v, count.get(c, l) + count.get(c, r));
+        return 1;
+      }
+      // Join: gather the w vertices (right side) into local memory, then
+      // bridge / insert sequentially; all shared reads see pre-step state.
+      const i64 lw = lw_arr.get(c, r);
+      const i64 pv = count.get(c, l);
+      std::vector<i32> w;
+      w.reserve(static_cast<std::size_t>(lw));
+      for (i32 h = first_head.get(c, r); h != -1;
+           h = next_path.get(c, static_cast<std::size_t>(h))) {
+        for (i32 x = h; x != -1; x = nxt.get(c, static_cast<std::size_t>(x)))
+          w.push_back(x);
+      }
+      std::uint64_t cost = 1 + w.size();
+      if (pv > lw) {
+        // Case 1: bridge lw+1 paths into one.
+        i32 h = first_head.get(c, l);
+        const i32 new_head = h;
+        i32 tail = tail_of.get(c, static_cast<std::size_t>(h));
+        for (i64 k2 = 0; k2 < lw; ++k2) {
+          const i32 s = w[static_cast<std::size_t>(k2)];
+          h = next_path.get(c, static_cast<std::size_t>(h));
+          nxt.put(c, static_cast<std::size_t>(tail), s);
+          nxt.put(c, static_cast<std::size_t>(s), h);
+          tail = tail_of.get(c, static_cast<std::size_t>(h));
+          ++cost;
+        }
+        // The merged path replaces the first lw+1 paths; the rest of the
+        // chain (pre-step state) hangs off new_head.
+        const i32 rest = next_path.get(c, static_cast<std::size_t>(h));
+        tail_of.put(c, static_cast<std::size_t>(new_head), tail);
+        next_path.put(c, static_cast<std::size_t>(new_head), rest);
+        first_head.put(c, v, new_head);
+        last_head.put(c, v, rest == -1 ? new_head : last_head.get(c, l));
+        count.put(c, v, pv - lw);
+        return cost;
+      }
+      // Case 2: single Hamiltonian path of G(v)∪G(w). Collect segment
+      // boundaries locally, then emit all the link writes.
+      std::vector<std::pair<i32, i32>> seg;  // (head, tail)
+      for (i32 h = first_head.get(c, l); h != -1;
+           h = next_path.get(c, static_cast<std::size_t>(h))) {
+        seg.emplace_back(h, tail_of.get(c, static_cast<std::size_t>(h)));
+        ++cost;
+      }
+      std::size_t wi = 0;
+      for (std::size_t s2 = 0; s2 + 1 < seg.size(); ++s2) {
+        const i32 b = w[wi++];
+        nxt.put(c, static_cast<std::size_t>(seg[s2].second), b);
+        nxt.put(c, static_cast<std::size_t>(b), seg[s2 + 1].first);
+      }
+      i32 head = seg.front().first;
+      i32 tail = seg.back().second;
+      // Start slot.
+      if (wi < w.size()) {
+        const i32 tv = w[wi++];
+        nxt.put(c, static_cast<std::size_t>(tv), head);
+        head = tv;
+      }
+      // Interior slots (between same-segment vertices); reads are pre-step,
+      // so chasing nxt within old segments is safe.
+      for (std::size_t s2 = 0; s2 < seg.size() && wi < w.size(); ++s2) {
+        i32 x = seg[s2].first;
+        while (x != seg[s2].second && wi < w.size()) {
+          const i32 y = nxt.get(c, static_cast<std::size_t>(x));
+          const i32 tv = w[wi++];
+          nxt.put(c, static_cast<std::size_t>(x), tv);
+          nxt.put(c, static_cast<std::size_t>(tv), y);
+          x = y;
+          ++cost;
+        }
+      }
+      // End slot.
+      if (wi < w.size()) {
+        const i32 tv = w[wi++];
+        nxt.put(c, static_cast<std::size_t>(tail), tv);
+        nxt.put(c, static_cast<std::size_t>(tv), -1);
+        tail = tv;
+      }
+      first_head.put(c, v, head);
+      last_head.put(c, v, head);
+      next_path.put(c, static_cast<std::size_t>(head), -1);
+      tail_of.put(c, static_cast<std::size_t>(head), tail);
+      count.put(c, v, 1);
+      return cost;
+    });
+  }
+
+  // Host extraction.
+  core::PathCover out;
+  const auto root = static_cast<std::size_t>(bc.tree.root);
+  for (i32 h = first_head.host(root); h != -1;
+       h = next_path.host(static_cast<std::size_t>(h))) {
+    out.paths.emplace_back();
+    for (i32 x = h; x != -1; x = nxt.host(static_cast<std::size_t>(x)))
+      out.paths.back().push_back(x);
+  }
+  return out;
+}
+
+}  // namespace copath::baseline

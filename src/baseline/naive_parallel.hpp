@@ -1,0 +1,22 @@
+// The naive parallelization strawman of the paper's §2/§4: process the
+// leftist binarized cotree level-synchronously, one processor per node,
+// each node performing the sequential bridge/insert merge of Lemma 2.3.
+//
+// Time is Σ_levels max(merge cost at the level) — Θ(height) on deep
+// cotrees, versus the main pipeline's O(log n). This is the baseline the
+// paper dismisses with "in the worst case, the height of Tbl(G) is O(n)";
+// bench E5 reproduces that separation quantitatively.
+#pragma once
+
+#include "cograph/cotree.hpp"
+#include "core/path_cover.hpp"
+#include "pram/machine.hpp"
+
+namespace copath::baseline {
+
+/// Minimum path cover by level-synchronous bottom-up merging on the PRAM
+/// machine (work ~ O(n), time ~ O(height + ...)).
+core::PathCover min_path_cover_naive_parallel(pram::Machine& m,
+                                              const cograph::Cotree& t);
+
+}  // namespace copath::baseline

@@ -1,0 +1,127 @@
+#include "cograph/binarize.hpp"
+
+namespace copath::cograph {
+
+void BinarizedCotree::validate() const {
+  tree.validate();
+  const std::size_t n = tree.size();
+  COPATH_CHECK(is_join.size() == n && vertex.size() == n);
+  std::size_t leaves = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const bool leaf = tree.is_leaf(static_cast<par::NodeId>(v));
+    if (leaf) {
+      ++leaves;
+      COPATH_CHECK(vertex[v] != kNull);
+      COPATH_CHECK(
+          leaf_of_vertex[static_cast<std::size_t>(vertex[v])] ==
+          static_cast<par::NodeId>(v));
+    } else {
+      COPATH_CHECK(vertex[v] == kNull);
+      // Exactly two children (property (4) after binarization).
+      COPATH_CHECK(tree.left[v] != -1 && tree.right[v] != -1);
+    }
+  }
+  COPATH_CHECK(leaves == leaf_of_vertex.size());
+  COPATH_CHECK_MSG(n == 2 * leaves - 1,
+                   "binarized cotree must have 2L-1 nodes");
+}
+
+BinarizedCotree binarize(const Cotree& t) {
+  const std::size_t leaves = t.vertex_count();
+  COPATH_CHECK(leaves > 0);
+  BinarizedCotree out;
+  const std::size_t bn = 2 * leaves - 1;
+  out.tree = par::BinTree::with_size(bn);
+  out.is_join.assign(bn, 0);
+  out.vertex.assign(bn, kNull);
+  out.leaf_of_vertex.assign(leaves, -1);
+
+  std::int32_t next_id = 0;
+  const auto new_node = [&](bool join) {
+    const std::int32_t id = next_id++;
+    out.is_join[static_cast<std::size_t>(id)] = join ? 1 : 0;
+    return id;
+  };
+  const auto link = [&](std::int32_t p, std::int32_t l, std::int32_t r) {
+    out.tree.left[static_cast<std::size_t>(p)] = l;
+    out.tree.right[static_cast<std::size_t>(p)] = r;
+    out.tree.parent[static_cast<std::size_t>(l)] = p;
+    out.tree.parent[static_cast<std::size_t>(r)] = p;
+  };
+
+  // Iterative post-order over the cotree; result[v] = binarized id of v.
+  std::vector<std::int32_t> result(t.size(), -1);
+  std::vector<NodeId> stack{t.root()};
+  std::vector<std::uint8_t> expanded(t.size(), 0);
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    const auto vu = static_cast<std::size_t>(v);
+    if (t.is_leaf(v)) {
+      stack.pop_back();
+      const std::int32_t id = new_node(false);
+      out.vertex[static_cast<std::size_t>(id)] = t.vertex_of(v);
+      out.leaf_of_vertex[static_cast<std::size_t>(t.vertex_of(v))] = id;
+      result[vu] = id;
+      continue;
+    }
+    if (!expanded[vu]) {
+      expanded[vu] = 1;
+      const auto kids = t.children(v);
+      for (std::size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+      continue;
+    }
+    stack.pop_back();
+    const auto kids = t.children(v);
+    const bool join = t.kind(v) == NodeKind::Join;
+    // Left-deep comb (Fig 3).
+    std::int32_t acc = result[static_cast<std::size_t>(kids[0])];
+    for (std::size_t i = 1; i < kids.size(); ++i) {
+      const std::int32_t node = new_node(join);
+      link(node, acc, result[static_cast<std::size_t>(kids[i])]);
+      acc = node;
+    }
+    result[vu] = acc;
+  }
+  out.tree.root = result[static_cast<std::size_t>(t.root())];
+  out.tree.parent[static_cast<std::size_t>(out.tree.root)] = -1;
+  out.validate();
+  return out;
+}
+
+std::vector<std::int64_t> make_leftist(BinarizedCotree& bc) {
+  const std::size_t n = bc.size();
+  std::vector<std::int64_t> leaf_count(n, 0);
+  // Iterative post-order leaf counting...
+  std::vector<std::int32_t> order;
+  order.reserve(n);
+  std::vector<std::int32_t> stack{bc.tree.root};
+  while (!stack.empty()) {
+    const std::int32_t v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    if (bc.tree.left[static_cast<std::size_t>(v)] != -1)
+      stack.push_back(bc.tree.left[static_cast<std::size_t>(v)]);
+    if (bc.tree.right[static_cast<std::size_t>(v)] != -1)
+      stack.push_back(bc.tree.right[static_cast<std::size_t>(v)]);
+  }
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const auto v = static_cast<std::size_t>(order[i]);
+    if (bc.tree.left[v] == -1) {
+      leaf_count[v] = 1;
+    } else {
+      leaf_count[v] = leaf_count[static_cast<std::size_t>(bc.tree.left[v])] +
+                      leaf_count[static_cast<std::size_t>(bc.tree.right[v])];
+    }
+  }
+  // ...then swap wherever the right subtree outweighs the left.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (bc.tree.left[v] == -1) continue;
+    if (leaf_count[static_cast<std::size_t>(bc.tree.left[v])] <
+        leaf_count[static_cast<std::size_t>(bc.tree.right[v])]) {
+      std::swap(bc.tree.left[v], bc.tree.right[v]);
+    }
+  }
+  return leaf_count;
+}
+
+}  // namespace copath::cograph

@@ -1,0 +1,46 @@
+// Cotree binarization (paper Fig 3) and the leftist transform — host
+// reference implementations. (The PRAM versions that the measured pipeline
+// uses live in core/pipeline; these are the independently-testable oracles.)
+//
+// Binarization replaces each internal node u with children v1..vk by a
+// left-deep comb u1..u_{k-1}: u1 = (v1, v2), u_i = (u_{i-1}, v_{i+1}). The
+// result always has exactly L leaves and L-1 internal nodes regardless of
+// the original arity. Property (5) (label alternation) is lost — comb nodes
+// share u's label — but (4) and (6) survive, which is all the algorithm
+// needs.
+//
+// The leftist transform swaps children so that L(left) >= L(right) at every
+// internal node (L = descendant leaf count), the precondition for the
+// bridge/insert analysis of §2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cograph/cotree.hpp"
+#include "par/bintree.hpp"
+
+namespace copath::cograph {
+
+struct BinarizedCotree {
+  par::BinTree tree;
+  /// Per binarized node: 1 iff it carries the Join (1-node) label. Leaves
+  /// hold 0.
+  std::vector<std::uint8_t> is_join;
+  /// Per binarized node: the cograph vertex for leaves, kNull otherwise.
+  std::vector<VertexId> vertex;
+  /// Inverse map: binarized leaf node per vertex id.
+  std::vector<par::NodeId> leaf_of_vertex;
+
+  [[nodiscard]] std::size_t size() const { return tree.size(); }
+  void validate() const;
+};
+
+/// Host binarization (iterative, no recursion depth limits).
+BinarizedCotree binarize(const Cotree& t);
+
+/// Host leftist transform: returns descendant-leaf counts L(u) and swaps
+/// children in place so L(left) >= L(right) everywhere.
+std::vector<std::int64_t> make_leftist(BinarizedCotree& bc);
+
+}  // namespace copath::cograph

@@ -1,0 +1,347 @@
+#include "cograph/cotree.hpp"
+
+#include <functional>
+#include <sstream>
+
+namespace copath::cograph {
+
+const std::string& Cotree::name_of(VertexId v) const {
+  static const std::string kEmpty;
+  const auto u = static_cast<std::size_t>(v);
+  if (u < names_.size() && !names_[u].empty()) return names_[u];
+  return kEmpty;
+}
+
+void Cotree::validate() const {
+  const std::size_t n = size();
+  COPATH_CHECK(parent_.size() == n && vertex_.size() == n);
+  COPATH_CHECK(child_off_.size() == n + 1);
+  if (n == 0) {
+    COPATH_CHECK(root_ == kNull);
+    return;
+  }
+  COPATH_CHECK(root_ >= 0 && static_cast<std::size_t>(root_) < n);
+  COPATH_CHECK(parent(root_) == kNull);
+  std::size_t roots = 0;
+  std::size_t leaves = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto id = static_cast<NodeId>(v);
+    if (parent_[v] == kNull) ++roots;
+    if (kind_[v] == NodeKind::Leaf) {
+      ++leaves;
+      COPATH_CHECK_MSG(children(id).empty(), "leaf " << v << " has children");
+      const VertexId vx = vertex_[v];
+      COPATH_CHECK(vx >= 0 &&
+                   static_cast<std::size_t>(vx) < leaf_of_vertex_.size());
+      COPATH_CHECK_MSG(leaf_of_vertex_[static_cast<std::size_t>(vx)] == id,
+                       "vertex<->leaf mapping broken at vertex " << vx);
+    } else {
+      // Property (4): every internal node has at least two children.
+      COPATH_CHECK_MSG(child_count(id) >= 2,
+                       "internal node " << v << " has "
+                                        << child_count(id) << " child(ren)");
+      for (const NodeId c : children(id)) {
+        COPATH_CHECK(parent(c) == id);
+        // Property (5): labels alternate along every root path.
+        COPATH_CHECK_MSG(kind(c) != kind_[v],
+                         "labels fail to alternate at node " << v);
+      }
+    }
+  }
+  COPATH_CHECK_MSG(roots == 1, "expected exactly one root, got " << roots);
+  COPATH_CHECK(leaves == leaf_of_vertex_.size());
+}
+
+Cotree Cotree::parse(std::string_view text) {
+  CotreeBuilder b;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t' ||
+                               text[i] == '\n' || text[i] == '\r')) {
+      ++i;
+    }
+  };
+  const std::function<NodeId()> parse_expr = [&]() -> NodeId {
+    skip_ws();
+    COPATH_CHECK_MSG(i < text.size(), "unexpected end of cotree expression");
+    if (text[i] == '(') {
+      ++i;
+      skip_ws();
+      COPATH_CHECK_MSG(i < text.size() &&
+                           (text[i] == '+' || text[i] == '*'),
+                       "expected '+' or '*' after '(' at offset " << i);
+      const NodeKind k = text[i] == '+' ? NodeKind::Union : NodeKind::Join;
+      ++i;
+      std::vector<NodeId> kids;
+      skip_ws();
+      while (i < text.size() && text[i] != ')') {
+        kids.push_back(parse_expr());
+        skip_ws();
+      }
+      COPATH_CHECK_MSG(i < text.size(), "missing ')' in cotree expression");
+      ++i;  // consume ')'
+      COPATH_CHECK_MSG(!kids.empty(), "empty '(…)' in cotree expression");
+      if (kids.size() == 1) return kids[0];
+      return b.node(k, kids);
+    }
+    // Leaf identifier.
+    const std::size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t' &&
+           text[i] != '\n' && text[i] != '\r' && text[i] != '(' &&
+           text[i] != ')') {
+      ++i;
+    }
+    COPATH_CHECK_MSG(i > start, "expected leaf name at offset " << i);
+    return b.leaf(std::string(text.substr(start, i - start)));
+  };
+  const NodeId root = parse_expr();
+  skip_ws();
+  COPATH_CHECK_MSG(i == text.size(),
+                   "trailing characters after cotree expression");
+  return std::move(b).build(root);
+}
+
+std::string Cotree::format() const {
+  std::ostringstream os;
+  const std::function<void(NodeId)> rec = [&](NodeId v) {
+    if (is_leaf(v)) {
+      const VertexId vx = vertex_of(v);
+      const std::string& nm = name_of(vx);
+      if (!nm.empty()) {
+        os << nm;
+      } else {
+        os << 'v' << vx;
+      }
+      return;
+    }
+    os << '(' << kind_char(kind(v));
+    for (const NodeId c : children(v)) {
+      os << ' ';
+      rec(c);
+    }
+    os << ')';
+  };
+  if (root_ == kNull) return "()";
+  rec(root_);
+  return os.str();
+}
+
+std::string Cotree::to_ascii() const {
+  std::ostringstream os;
+  const std::function<void(NodeId, const std::string&, bool, bool)> rec =
+      [&](NodeId v, const std::string& prefix, bool last, bool is_root) {
+        if (!is_root) os << prefix << (last ? "`-- " : "|-- ");
+        if (is_leaf(v)) {
+          const VertexId vx = vertex_of(v);
+          const std::string& nm = name_of(vx);
+          os << (nm.empty() ? "v" + std::to_string(vx) : nm) << '\n';
+          return;
+        }
+        os << (kind(v) == NodeKind::Union ? "0 (union)" : "1 (join)") << '\n';
+        const auto kids = children(v);
+        const std::string child_prefix =
+            is_root ? "" : prefix + (last ? "    " : "|   ");
+        for (std::size_t idx = 0; idx < kids.size(); ++idx) {
+          rec(kids[idx], child_prefix, idx + 1 == kids.size(), false);
+        }
+      };
+  if (root_ == kNull) return "(empty)\n";
+  rec(root_, "", true, true);
+  return os.str();
+}
+
+Cotree Cotree::complement() const {
+  Cotree out = *this;
+  for (auto& k : out.kind_) {
+    if (k == NodeKind::Union) {
+      k = NodeKind::Join;
+    } else if (k == NodeKind::Join) {
+      k = NodeKind::Union;
+    }
+  }
+  return out;
+}
+
+Cotree Cotree::from_parts(std::vector<NodeKind> kind,
+                          std::vector<NodeId> parent, NodeId root) {
+  const std::size_t n = kind.size();
+  COPATH_CHECK(parent.size() == n);
+  Cotree out;
+  out.kind_ = std::move(kind);
+  out.parent_ = std::move(parent);
+  out.root_ = root;
+  out.vertex_.assign(n, kNull);
+  // Children CSR via counting sort by parent (children in node-id order).
+  out.child_off_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (out.parent_[v] != kNull)
+      ++out.child_off_[static_cast<std::size_t>(out.parent_[v]) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) out.child_off_[v + 1] += out.child_off_[v];
+  out.child_.resize(n == 0 ? 0 : n - 1);
+  {
+    std::vector<std::size_t> cursor(out.child_off_.begin(),
+                                    out.child_off_.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (out.parent_[v] != kNull) {
+        out.child_[cursor[static_cast<std::size_t>(out.parent_[v])]++] =
+            static_cast<NodeId>(v);
+      }
+    }
+  }
+  // Iterative DFS for vertex numbering (left-to-right leaf order).
+  if (n != 0) {
+    std::vector<NodeId> stack{root};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      if (out.is_leaf(v)) {
+        const auto vx = static_cast<VertexId>(out.leaf_of_vertex_.size());
+        out.vertex_[static_cast<std::size_t>(v)] = vx;
+        out.leaf_of_vertex_.push_back(v);
+        continue;
+      }
+      const auto kids = out.children(v);
+      for (std::size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+    }
+  }
+  out.validate();
+  return out;
+}
+
+NodeId CotreeBuilder::leaf(std::string name) {
+  nodes_.push_back(Proto{NodeKind::Leaf, {}, std::move(name), kNull});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId CotreeBuilder::leaf_with_vertex(VertexId id, std::string name) {
+  COPATH_CHECK(id >= 0);
+  any_explicit_ = true;
+  nodes_.push_back(Proto{NodeKind::Leaf, {}, std::move(name), id});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId CotreeBuilder::node(NodeKind k, const std::vector<NodeId>& children) {
+  COPATH_CHECK(k != NodeKind::Leaf);
+  COPATH_CHECK_MSG(!children.empty(), "internal node needs children");
+  for (const NodeId c : children) {
+    COPATH_CHECK(c >= 0 && static_cast<std::size_t>(c) < nodes_.size());
+  }
+  nodes_.push_back(Proto{k, children, {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Cotree CotreeBuilder::build(NodeId root) && {
+  COPATH_CHECK(root >= 0 && static_cast<std::size_t>(root) < nodes_.size());
+  Cotree out;
+
+  // Normalize recursively: collapse single-child nodes and merge children
+  // that share the parent's kind (keeps property (5) for free).
+  struct Flat {
+    NodeKind kind;
+    std::vector<NodeId> children;  // output ids
+    VertexId vertex = kNull;
+    std::string name;
+    VertexId explicit_vertex = kNull;
+  };
+  std::vector<Flat> flat;
+  // normalize(v) returns the output node id representing builder node v.
+  const std::function<NodeId(NodeId)> normalize = [&](NodeId v) -> NodeId {
+    Proto& p = nodes_[static_cast<std::size_t>(v)];
+    if (p.kind == NodeKind::Leaf) {
+      flat.push_back(
+          Flat{NodeKind::Leaf, {}, 0, std::move(p.name), p.explicit_vertex});
+      return static_cast<NodeId>(flat.size() - 1);
+    }
+    while (p.children.size() == 1) {
+      // Single-child wrapper: skip to the child.
+      const NodeId only = p.children[0];
+      return normalize(only);
+    }
+    std::vector<NodeId> out_children;
+    const std::function<void(NodeId)> absorb = [&](NodeId c) {
+      const Proto& q = nodes_[static_cast<std::size_t>(c)];
+      if (q.kind == p.kind && q.children.size() > 1) {
+        for (const NodeId gc : q.children) absorb(gc);
+      } else if (q.kind != NodeKind::Leaf && q.children.size() == 1) {
+        absorb(q.children[0]);
+      } else {
+        out_children.push_back(normalize(c));
+      }
+    };
+    for (const NodeId c : p.children) absorb(c);
+    flat.push_back(Flat{p.kind, std::move(out_children), kNull, {}, kNull});
+    return static_cast<NodeId>(flat.size() - 1);
+  };
+  const NodeId out_root = normalize(root);
+
+  const std::size_t n = flat.size();
+  out.kind_.resize(n);
+  out.parent_.assign(n, kNull);
+  out.vertex_.assign(n, kNull);
+  out.child_off_.assign(n + 1, 0);
+  out.root_ = out_root;
+
+  for (std::size_t v = 0; v < n; ++v) {
+    out.kind_[v] = flat[v].kind;
+    out.child_off_[v + 1] = flat[v].children.size();
+  }
+  for (std::size_t v = 0; v < n; ++v) out.child_off_[v + 1] += out.child_off_[v];
+  out.child_.resize(out.child_off_[n]);
+  {
+    std::vector<std::size_t> cursor(out.child_off_.begin(),
+                                    out.child_off_.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const NodeId c : flat[v].children) {
+        out.parent_[static_cast<std::size_t>(c)] = static_cast<NodeId>(v);
+        out.child_[cursor[v]++] = c;
+      }
+    }
+  }
+  // Vertex numbering: explicit ids if the caller supplied them (all-or-
+  // nothing), otherwise leaves in left-to-right (DFS) order so that ids are
+  // stable under reconstruction round-trips.
+  std::size_t leaf_total = 0;
+  for (const auto& f : flat)
+    if (f.kind == NodeKind::Leaf) ++leaf_total;
+  out.leaf_of_vertex_.assign(leaf_total, kNull);
+  out.names_.assign(leaf_total, {});
+  VertexId next_vertex = 0;
+  const std::function<void(NodeId)> number = [&](NodeId v) {
+    const auto u = static_cast<std::size_t>(v);
+    if (flat[u].kind == NodeKind::Leaf) {
+      VertexId vx;
+      if (any_explicit_) {
+        vx = flat[u].explicit_vertex;
+        COPATH_CHECK_MSG(vx != kNull,
+                         "mixed explicit/implicit leaf vertex ids");
+        COPATH_CHECK_MSG(
+            static_cast<std::size_t>(vx) < leaf_total &&
+                out.leaf_of_vertex_[static_cast<std::size_t>(vx)] == kNull,
+            "explicit vertex ids must form a bijection onto [0, #leaves)");
+      } else {
+        vx = next_vertex++;
+      }
+      out.vertex_[u] = vx;
+      out.leaf_of_vertex_[static_cast<std::size_t>(vx)] = v;
+      out.names_[static_cast<std::size_t>(vx)] = std::move(flat[u].name);
+      return;
+    }
+    for (const NodeId c : out.children(v)) number(c);
+  };
+  number(out_root);
+  // Drop the names vector entirely if nobody supplied names.
+  bool any_named = false;
+  for (const auto& nm : out.names_) {
+    if (!nm.empty()) {
+      any_named = true;
+      break;
+    }
+  }
+  if (!any_named) out.names_.clear();
+
+  out.validate();
+  return out;
+}
+
+}  // namespace copath::cograph

@@ -1,0 +1,161 @@
+// The cotree: the canonical tree representation of a cograph.
+//
+// Definition recap (paper §1): a cograph admits a unique rooted tree T(G)
+// whose internal nodes are labelled 0 (union) or 1 (join) with labels
+// alternating along root paths, every internal node has >= 2 children, and
+// leaves are the graph's vertices; (x, y) is an edge iff the lowest common
+// ancestor of x and y is a 1-node.
+//
+// copath keeps the cotree in structure-of-arrays form (kind / parent /
+// children CSR) so the PRAM pipeline can load it straight into shared
+// memory. Construction goes through CotreeBuilder, which normalizes
+// arbitrary union/join expressions into canonical cotree shape (merging
+// same-kind chains, dropping single-child wrappers).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace copath::cograph {
+
+using NodeId = std::int32_t;
+using VertexId = std::int32_t;
+inline constexpr NodeId kNull = -1;
+
+enum class NodeKind : std::uint8_t {
+  Leaf,
+  Union,  // 0-node: disjoint union of the children's cographs
+  Join,   // 1-node: union plus all edges between different children
+};
+
+[[nodiscard]] constexpr char kind_char(NodeKind k) {
+  switch (k) {
+    case NodeKind::Leaf: return 'v';
+    case NodeKind::Union: return '+';
+    case NodeKind::Join: return '*';
+  }
+  return '?';
+}
+
+class CotreeBuilder;
+
+class Cotree {
+ public:
+  Cotree() = default;
+
+  [[nodiscard]] std::size_t size() const { return kind_.size(); }
+  [[nodiscard]] NodeId root() const { return root_; }
+  [[nodiscard]] std::size_t vertex_count() const {
+    return leaf_of_vertex_.size();
+  }
+
+  [[nodiscard]] NodeKind kind(NodeId v) const {
+    return kind_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] NodeId parent(NodeId v) const {
+    return parent_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] bool is_leaf(NodeId v) const {
+    return kind(v) == NodeKind::Leaf;
+  }
+  [[nodiscard]] std::span<const NodeId> children(NodeId v) const {
+    const auto u = static_cast<std::size_t>(v);
+    return std::span<const NodeId>(child_.data() + child_off_[u],
+                                   child_.data() + child_off_[u + 1]);
+  }
+  [[nodiscard]] std::size_t child_count(NodeId v) const {
+    return children(v).size();
+  }
+
+  /// Vertex id carried by a leaf node (kNull for internal nodes).
+  [[nodiscard]] VertexId vertex_of(NodeId leaf) const {
+    return vertex_[static_cast<std::size_t>(leaf)];
+  }
+  [[nodiscard]] NodeId leaf_of(VertexId v) const {
+    return leaf_of_vertex_[static_cast<std::size_t>(v)];
+  }
+
+  /// Optional human-readable vertex names (set by the parser / builder).
+  [[nodiscard]] const std::string& name_of(VertexId v) const;
+
+  /// Checks the paper's cotree properties (4)-(5): >= 2 children per
+  /// internal node, alternating labels, consistent parent/child pointers,
+  /// and a vertex<->leaf bijection. Throws CheckError on violation.
+  void validate() const;
+
+  /// Parses the cotree algebra, e.g. "(* (+ (* a b) c) (+ d e f))".
+  /// Leaves are identifiers; '+' is union, '*' is join. Nested same-kind
+  /// expressions are normalized.
+  static Cotree parse(std::string_view text);
+
+  /// Inverse of parse (canonical spacing, vertex names preserved).
+  [[nodiscard]] std::string format() const;
+
+  /// Multi-line ASCII rendering of the tree (for examples / figures).
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// The complement cograph's cotree: every internal label flips.
+  [[nodiscard]] Cotree complement() const;
+
+  /// Raw factory for generators that build large instances directly (no
+  /// recursion, unlike CotreeBuilder): `kind`/`parent` per node; children
+  /// are ordered by ascending node id. Vertices are numbered over leaves in
+  /// left-to-right DFS order. Validates.
+  static Cotree from_parts(std::vector<NodeKind> kind,
+                           std::vector<NodeId> parent, NodeId root);
+
+ private:
+  friend class CotreeBuilder;
+
+  std::vector<NodeKind> kind_;
+  std::vector<NodeId> parent_;
+  std::vector<std::size_t> child_off_;  // CSR, size() + 1 entries
+  std::vector<NodeId> child_;
+  std::vector<VertexId> vertex_;
+  std::vector<NodeId> leaf_of_vertex_;
+  std::vector<std::string> names_;  // may be empty (=> synthetic names)
+  NodeId root_ = kNull;
+};
+
+/// Incremental cotree construction. Nodes are created bottom-up; `build`
+/// normalizes (same-kind merge, single-child collapse) and produces the
+/// canonical cotree with vertices numbered in leaf-creation order.
+class CotreeBuilder {
+ public:
+  /// Creates a leaf; `name` is optional (used for printing only).
+  NodeId leaf(std::string name = {});
+  /// Creates a leaf carrying an explicit vertex id (used by the recognizer
+  /// so cotree vertex ids coincide with the input graph's). Either all
+  /// leaves use explicit ids or none do; ids must form a bijection onto
+  /// [0, #leaves).
+  NodeId leaf_with_vertex(VertexId id, std::string name = {});
+  /// Creates an internal node adopting `children` (builder node ids).
+  NodeId node(NodeKind k, const std::vector<NodeId>& children);
+  NodeId unite(const std::vector<NodeId>& children) {
+    return node(NodeKind::Union, children);
+  }
+  NodeId join(const std::vector<NodeId>& children) {
+    return node(NodeKind::Join, children);
+  }
+
+  /// Finalizes the tree rooted at `root`.
+  [[nodiscard]] Cotree build(NodeId root) &&;
+
+ private:
+  struct Proto {
+    NodeKind kind;
+    std::vector<NodeId> children;
+    std::string name;
+    VertexId explicit_vertex = kNull;
+  };
+  std::vector<Proto> nodes_;
+  bool any_explicit_ = false;
+};
+
+}  // namespace copath::cograph

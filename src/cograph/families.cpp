@@ -1,0 +1,192 @@
+#include "cograph/families.hpp"
+
+#include <algorithm>
+
+namespace copath::cograph {
+
+namespace {
+
+/// Flat star-shaped cotree: one internal node of `k` over n leaves.
+Cotree flat(NodeKind k, std::size_t n) {
+  COPATH_CHECK(n > 0);
+  if (n == 1) {
+    CotreeBuilder b;
+    const NodeId l = b.leaf();
+    return std::move(b).build(l);
+  }
+  std::vector<NodeKind> kind(n + 1, NodeKind::Leaf);
+  std::vector<NodeId> parent(n + 1, 0);
+  kind[0] = k;
+  parent[0] = kNull;
+  return Cotree::from_parts(std::move(kind), std::move(parent), 0);
+}
+
+}  // namespace
+
+Cotree clique(std::size_t n) { return flat(NodeKind::Join, n); }
+
+Cotree independent_set(std::size_t n) { return flat(NodeKind::Union, n); }
+
+Cotree complete_bipartite(std::size_t a, std::size_t b) {
+  return complete_multipartite({a, b});
+}
+
+Cotree complete_multipartite(const std::vector<std::size_t>& parts) {
+  COPATH_CHECK(!parts.empty());
+  CotreeBuilder b;
+  std::vector<NodeId> tops;
+  tops.reserve(parts.size());
+  for (const std::size_t p : parts) {
+    COPATH_CHECK(p > 0);
+    if (p == 1) {
+      tops.push_back(b.leaf());
+      continue;
+    }
+    std::vector<NodeId> leaves(p);
+    for (auto& l : leaves) l = b.leaf();
+    tops.push_back(b.unite(leaves));
+  }
+  const NodeId root = tops.size() == 1 ? tops[0] : b.join(tops);
+  return std::move(b).build(root);
+}
+
+Cotree star(std::size_t n) { return complete_multipartite({1, n}); }
+
+Cotree threshold_graph(const std::vector<std::uint8_t>& bits) {
+  // Build iteratively: current = cotree-so-far; adding a dominating vertex
+  // joins a leaf, adding an isolated vertex unions a leaf.
+  std::vector<NodeKind> kind;
+  std::vector<NodeId> parent;
+  kind.push_back(NodeKind::Leaf);  // the first vertex
+  parent.push_back(kNull);
+  NodeId root = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const NodeKind want = bits[i] ? NodeKind::Join : NodeKind::Union;
+    const auto leaf = static_cast<NodeId>(kind.size());
+    kind.push_back(NodeKind::Leaf);
+    parent.push_back(kNull);
+    if (kind[static_cast<std::size_t>(root)] == want) {
+      // Same label as the current root: absorb (keeps alternation).
+      parent[static_cast<std::size_t>(leaf)] = root;
+    } else {
+      const auto top = static_cast<NodeId>(kind.size());
+      kind.push_back(want);
+      parent.push_back(kNull);
+      parent[static_cast<std::size_t>(root)] = top;
+      parent[static_cast<std::size_t>(leaf)] = top;
+      root = top;
+    }
+  }
+  return Cotree::from_parts(std::move(kind), std::move(parent), root);
+}
+
+Cotree or_instance(const std::vector<std::uint8_t>& bits) {
+  // Fig 2: R (0-node) has children x and all a_i with b_i = 0; u (1-node,
+  // child of R) has children y, z and all a_i with b_i = 1.
+  std::vector<NodeKind> kind;
+  std::vector<NodeId> parent;
+  const NodeId R = 0;
+  const NodeId u = 1;
+  kind.assign(2, NodeKind::Union);
+  kind[static_cast<std::size_t>(u)] = NodeKind::Join;
+  parent.assign(2, kNull);
+  parent[static_cast<std::size_t>(u)] = R;
+  const auto add_leaf = [&](NodeId p) {
+    kind.push_back(NodeKind::Leaf);
+    parent.push_back(p);
+  };
+  add_leaf(R);  // x
+  add_leaf(u);  // y
+  add_leaf(u);  // z
+  for (const std::uint8_t b : bits) add_leaf(b ? u : R);
+  return Cotree::from_parts(std::move(kind), std::move(parent), R);
+}
+
+Cotree paper_fig10() { return Cotree::parse("(* (+ (* a b) c) (+ d e f))"); }
+
+Cotree caterpillar(std::size_t n, NodeKind top) {
+  COPATH_CHECK(n > 0);
+  if (n == 1) return independent_set(1);
+  // From the top: root (kind = top) has a leaf and a child of the opposite
+  // kind, and so on; the last internal node has two leaves.
+  std::vector<NodeKind> kind;
+  std::vector<NodeId> parent;
+  NodeKind k = top;
+  NodeId prev = kNull;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const auto node = static_cast<NodeId>(kind.size());
+    kind.push_back(k);
+    parent.push_back(prev);
+    // Leaf sibling hanging off this level. Created after the internal child
+    // so that the deep subtree is the *left* (first) child... node ids of
+    // children decide order; the internal child gets a smaller id than the
+    // leaf only if created first, which happens on the next loop turn — so
+    // create the leaf now (larger id = second child).
+    kind.push_back(NodeKind::Leaf);
+    parent.push_back(node);
+    prev = node;
+    k = k == NodeKind::Join ? NodeKind::Union : NodeKind::Join;
+  }
+  // Bottom-most internal node needs a second leaf.
+  kind.push_back(NodeKind::Leaf);
+  parent.push_back(prev);
+  return Cotree::from_parts(std::move(kind), std::move(parent), 0);
+}
+
+Cotree random_cotree(std::size_t vertices, const RandomCotreeOptions& opt) {
+  COPATH_CHECK(vertices > 0);
+  util::Rng rng(opt.seed);
+  if (vertices == 1) return independent_set(1);
+  // Iterative top-down expansion with an explicit work queue: each item is
+  // (node, leaves_to_distribute, kind).
+  std::vector<NodeKind> kind;
+  std::vector<NodeId> parent;
+  struct Item {
+    NodeId node;
+    std::size_t leaves;
+  };
+  std::vector<Item> queue;
+  const NodeKind root_kind =
+      rng.chance(opt.join_root_probability) ? NodeKind::Join : NodeKind::Union;
+  kind.push_back(root_kind);
+  parent.push_back(kNull);
+  queue.push_back({0, vertices});
+  while (!queue.empty()) {
+    const Item it = queue.back();
+    queue.pop_back();
+    const auto nu = static_cast<std::size_t>(it.node);
+    // Number of children: 2 + Geometric(p) capped by available leaves.
+    std::size_t arity = 2;
+    const double p = 1.0 / std::max(1.0, opt.mean_arity - 1.0);
+    while (arity < it.leaves && !rng.chance(p)) ++arity;
+    arity = std::min(arity, it.leaves);
+    // Split leaves into `arity` positive parts (random, optionally skewed).
+    std::vector<std::size_t> part(arity, 1);
+    std::size_t rest = it.leaves - arity;
+    for (std::size_t i = 0; i + 1 < arity && rest > 0; ++i) {
+      // Skew pushes mass into the first part, producing deep spines.
+      const double frac = opt.skew + (1.0 - opt.skew) * rng.uniform();
+      const auto take = std::min<std::size_t>(
+          rest, static_cast<std::size_t>(frac * static_cast<double>(rest)));
+      part[i] += take;
+      rest -= take;
+    }
+    part[arity - 1] += rest;
+    const NodeKind child_kind =
+        kind[nu] == NodeKind::Join ? NodeKind::Union : NodeKind::Join;
+    for (const std::size_t leaves : part) {
+      const auto c = static_cast<NodeId>(kind.size());
+      if (leaves == 1) {
+        kind.push_back(NodeKind::Leaf);
+        parent.push_back(it.node);
+      } else {
+        kind.push_back(child_kind);
+        parent.push_back(it.node);
+        queue.push_back({c, leaves});
+      }
+    }
+  }
+  return Cotree::from_parts(std::move(kind), std::move(parent), 0);
+}
+
+}  // namespace copath::cograph

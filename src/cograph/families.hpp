@@ -1,0 +1,67 @@
+// Cograph instance generators: the paper's constructions, classic cograph
+// families, and random cotrees for the test/benchmark sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cograph/cotree.hpp"
+#include "util/rng.hpp"
+
+namespace copath::cograph {
+
+/// K_n — a clique (join of n leaves). Hamiltonian for n >= 1.
+Cotree clique(std::size_t n);
+
+/// The empty graph on n vertices (union of n leaves): the path cover is n
+/// singleton paths.
+Cotree independent_set(std::size_t n);
+
+/// Complete bipartite K_{a,b} = join(union^a, union^b).
+Cotree complete_bipartite(std::size_t a, std::size_t b);
+
+/// Complete multipartite graph with the given part sizes.
+Cotree complete_multipartite(const std::vector<std::size_t>& parts);
+
+/// Star K_{1,n} (a join of one center with an n-leaf union).
+Cotree star(std::size_t n);
+
+/// Threshold graph from a creation sequence: bits[i] == 1 adds a dominating
+/// vertex (join), 0 adds an isolated vertex (union). Threshold graphs are a
+/// classic cograph subclass; they exercise deep alternating cotrees.
+Cotree threshold_graph(const std::vector<std::uint8_t>& bits);
+
+/// The paper's Theorem 2.2 lower-bound instance (Fig 2): root R is a 0-node
+/// with children {x, u} ∪ {a_i : b_i = 0}; u is a 1-node with children
+/// {y, z} ∪ {a_i : b_i = 1}. The graph's minimum path cover has
+/// (#zero-bits) + 2 paths, i.e. fewer than n + 2 iff OR(b) = 1.
+Cotree or_instance(const std::vector<std::uint8_t>& bits);
+
+/// The running example of the paper's §4 (Fig 10):
+/// (* (+ (* a b) c) (+ d e f)) — two primary vertices {a, c}, inserts
+/// {b, e, f}, bridge {d}; Hamiltonian.
+Cotree paper_fig10();
+
+/// A "caterpillar" cotree of maximum height: T_1 = leaf,
+/// T_{i+1} = join/union(T_i, leaf) with alternating labels. Produces the
+/// worst case (height Θ(n)) for the naive parallelization baseline.
+/// `top` selects the root label.
+Cotree caterpillar(std::size_t n, NodeKind top = NodeKind::Join);
+
+struct RandomCotreeOptions {
+  std::uint64_t seed = 1;
+  /// Mean number of children per internal node (>= 2; children counts are
+  /// 2 + Geometric).
+  double mean_arity = 2.8;
+  /// Probability that the root is a join node.
+  double join_root_probability = 0.5;
+  /// Skew of child subtree sizes: 0 = balanced random splits, towards 1 =
+  /// increasingly lopsided (deep) trees.
+  double skew = 0.0;
+};
+
+/// Uniform-ish random cotree with `vertices` leaves. Shape is controlled by
+/// RandomCotreeOptions; labels alternate by construction.
+Cotree random_cotree(std::size_t vertices, const RandomCotreeOptions& opt);
+
+}  // namespace copath::cograph

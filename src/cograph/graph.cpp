@@ -1,0 +1,149 @@
+#include "cograph/graph.hpp"
+
+#include <algorithm>
+
+namespace copath::cograph {
+
+void Graph::add_edge(VertexId u, VertexId v) {
+  COPATH_CHECK(u != v);
+  COPATH_CHECK(static_cast<std::size_t>(u) < adj_.size() &&
+               static_cast<std::size_t>(v) < adj_.size());
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  ++edges_;
+  sorted_ = false;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  COPATH_CHECK_MSG(sorted_, "call finalize()/from_cotree before has_edge");
+  const auto& a = adj_[static_cast<std::size_t>(u)];
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+void Graph::finalize() {
+  for (auto& a : adj_) std::sort(a.begin(), a.end());
+  sorted_ = true;
+}
+
+Graph Graph::from_cotree(const Cotree& t) {
+  Graph g(t.vertex_count());
+  if (t.size() == 0) return g;
+  // The vertices below any node form a contiguous range of *positions* in
+  // the DFS leaf sequence (vertex ids themselves may be permuted when the
+  // cotree came from the recognizer). At each join node, connect every pair
+  // of positions coming from different children.
+  const std::size_t n = t.size();
+  std::vector<std::size_t> lo(n, 0), hi(n, 0);  // [lo, hi) leaf positions
+  std::vector<VertexId> leaf_seq;               // vertex id per position
+  leaf_seq.reserve(t.vertex_count());
+  {
+    std::vector<NodeId> stack{t.root()};
+    std::vector<std::uint8_t> expanded(n, 0);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      const auto vu = static_cast<std::size_t>(v);
+      if (t.is_leaf(v)) {
+        lo[vu] = leaf_seq.size();
+        leaf_seq.push_back(t.vertex_of(v));
+        hi[vu] = leaf_seq.size();
+        stack.pop_back();
+        continue;
+      }
+      if (!expanded[vu]) {
+        expanded[vu] = 1;
+        const auto kids = t.children(v);
+        for (std::size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+        continue;
+      }
+      stack.pop_back();
+      const auto kids = t.children(v);
+      lo[vu] = lo[static_cast<std::size_t>(kids.front())];
+      hi[vu] = hi[static_cast<std::size_t>(kids.back())];
+      if (t.kind(v) == NodeKind::Join) {
+        // Cross edges between each child block and everything after it.
+        for (std::size_t i = 0; i + 1 < kids.size(); ++i) {
+          const auto a = static_cast<std::size_t>(kids[i]);
+          for (std::size_t x = lo[a]; x < hi[a]; ++x) {
+            for (std::size_t y = hi[a]; y < hi[vu]; ++y)
+              g.add_edge(leaf_seq[x], leaf_seq[y]);
+          }
+        }
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph Graph::complement() const {
+  const std::size_t n = vertex_count();
+  Graph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (!has_edge(static_cast<VertexId>(u), static_cast<VertexId>(v)))
+        g.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+CotreeAdjacency::CotreeAdjacency(const Cotree& t) : tree_(&t) {
+  const std::size_t n = t.size();
+  COPATH_CHECK(n > 0);
+  first_.assign(n, 0);
+  euler_.reserve(2 * n);
+  depth_.reserve(2 * n);
+  // Iterative Euler walk recording (node, depth) at every visit.
+  struct Frame {
+    NodeId node;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack{{t.root(), 0}};
+  std::vector<std::int32_t> node_depth(n, 0);
+  while (!stack.empty()) {
+    auto& f = stack.back();
+    const auto vu = static_cast<std::size_t>(f.node);
+    if (f.next_child == 0) {
+      first_[vu] = euler_.size();
+    }
+    euler_.push_back(f.node);
+    depth_.push_back(node_depth[vu]);
+    const auto kids = t.children(f.node);
+    if (f.next_child < kids.size()) {
+      const NodeId c = kids[f.next_child++];
+      node_depth[static_cast<std::size_t>(c)] = node_depth[vu] + 1;
+      stack.push_back({c, 0});
+    } else {
+      stack.pop_back();
+    }
+  }
+  // Sparse table over the (depth) tour for argmin queries.
+  const std::size_t len = euler_.size();
+  log2_.assign(len + 1, 0);
+  for (std::size_t i = 2; i <= len; ++i) log2_[i] = log2_[i / 2] + 1;
+  const std::size_t levels = log2_[len] + 1;
+  sparse_.assign(levels, std::vector<std::size_t>(len));
+  for (std::size_t i = 0; i < len; ++i) sparse_[0][i] = i;
+  for (std::size_t k = 1; k < levels; ++k) {
+    const std::size_t span = std::size_t{1} << k;
+    for (std::size_t i = 0; i + span <= len; ++i) {
+      const std::size_t a = sparse_[k - 1][i];
+      const std::size_t b = sparse_[k - 1][i + span / 2];
+      sparse_[k][i] = depth_[a] <= depth_[b] ? a : b;
+    }
+  }
+}
+
+NodeId CotreeAdjacency::lca_leaf(VertexId u, VertexId v) const {
+  COPATH_CHECK(u != v);
+  std::size_t a = first_[static_cast<std::size_t>(tree_->leaf_of(u))];
+  std::size_t b = first_[static_cast<std::size_t>(tree_->leaf_of(v))];
+  if (a > b) std::swap(a, b);
+  const std::size_t k = log2_[b - a + 1];
+  const std::size_t x = sparse_[k][a];
+  const std::size_t y = sparse_[k][b + 1 - (std::size_t{1} << k)];
+  return euler_[depth_[x] <= depth_[y] ? x : y];
+}
+
+}  // namespace copath::cograph

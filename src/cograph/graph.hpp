@@ -1,0 +1,71 @@
+// Explicit graph view of a cograph, plus an O(1) adjacency oracle.
+//
+// Cographs are frequently dense (a join doubles edge counts), so the
+// explicit adjacency-list materialization is meant for small and medium
+// instances (tests, examples, the recognizer). Large-scale adjacency
+// queries — the path cover validator runs one per reported edge — go
+// through CotreeAdjacency, which answers "is (x, y) an edge?" via property
+// (6): the LCA of the two leaves is a 1-node. LCA is classic Euler tour +
+// sparse-table RMQ, O(n log n) preprocessing and O(1) per query.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cograph/cotree.hpp"
+
+namespace copath::cograph {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t n) : adj_(n) {}
+
+  [[nodiscard]] std::size_t vertex_count() const { return adj_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+
+  void add_edge(VertexId u, VertexId v);
+  /// Sorts adjacency lists; required before has_edge after manual
+  /// add_edge calls (from_cotree finalizes automatically).
+  void finalize();
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+  [[nodiscard]] const std::vector<VertexId>& neighbors(VertexId u) const {
+    return adj_[static_cast<std::size_t>(u)];
+  }
+
+  /// Materializes the cograph described by a cotree. O(n + m) with m the
+  /// number of edges (which may be Theta(n^2)).
+  static Graph from_cotree(const Cotree& t);
+
+  /// The complement graph. O(n^2).
+  [[nodiscard]] Graph complement() const;
+
+ private:
+  std::vector<std::vector<VertexId>> adj_;
+  std::size_t edges_ = 0;
+  bool sorted_ = true;
+};
+
+/// Constant-time cograph adjacency oracle backed by the cotree.
+class CotreeAdjacency {
+ public:
+  explicit CotreeAdjacency(const Cotree& t);
+
+  /// True iff vertices u and v are adjacent in the cograph (u != v).
+  [[nodiscard]] bool adjacent(VertexId u, VertexId v) const {
+    return tree_->kind(lca_leaf(u, v)) == NodeKind::Join;
+  }
+
+  /// Lowest common ancestor of the leaves of two vertices.
+  [[nodiscard]] NodeId lca_leaf(VertexId u, VertexId v) const;
+
+ private:
+  const Cotree* tree_;
+  std::vector<NodeId> euler_;        // node at each tour slot
+  std::vector<std::int32_t> depth_;  // depth at each tour slot
+  std::vector<std::size_t> first_;   // first tour slot per node
+  std::vector<std::vector<std::size_t>> sparse_;  // RMQ table (argmin slots)
+  std::vector<std::uint32_t> log2_;
+};
+
+}  // namespace copath::cograph

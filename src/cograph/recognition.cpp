@@ -1,0 +1,150 @@
+#include "cograph/recognition.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+namespace copath::cograph {
+
+namespace {
+
+/// Connected components of g restricted to `sub`; returns vertex lists.
+std::vector<std::vector<VertexId>> components(
+    const Graph& g, const std::vector<VertexId>& sub) {
+  static thread_local std::vector<std::int8_t> mark;  // 0 out, 1 in, 2 done
+  mark.assign(g.vertex_count(), 0);
+  for (const VertexId v : sub) mark[static_cast<std::size_t>(v)] = 1;
+  std::vector<std::vector<VertexId>> comps;
+  std::vector<VertexId> queue;
+  for (const VertexId s : sub) {
+    if (mark[static_cast<std::size_t>(s)] != 1) continue;
+    comps.emplace_back();
+    queue.assign(1, s);
+    mark[static_cast<std::size_t>(s)] = 2;
+    while (!queue.empty()) {
+      const VertexId v = queue.back();
+      queue.pop_back();
+      comps.back().push_back(v);
+      for (const VertexId w : g.neighbors(v)) {
+        if (mark[static_cast<std::size_t>(w)] == 1) {
+          mark[static_cast<std::size_t>(w)] = 2;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+/// Connected components of the COMPLEMENT of g restricted to `sub`, using
+/// the "remaining set" trick: BFS where a step visits every remaining
+/// vertex *not* adjacent to the current one — O(|sub| + edges scanned).
+std::vector<std::vector<VertexId>> co_components(
+    const Graph& g, const std::vector<VertexId>& sub) {
+  static thread_local std::vector<std::int8_t> state;  // 0: out, 1: remaining
+  state.assign(g.vertex_count(), 0);
+  std::vector<VertexId> remaining = sub;
+  for (const VertexId v : sub) state[static_cast<std::size_t>(v)] = 1;
+  std::vector<std::vector<VertexId>> comps;
+  std::vector<VertexId> queue;
+  static thread_local std::vector<std::int8_t> adj_mark;
+  adj_mark.assign(g.vertex_count(), 0);
+  const auto take = [&](VertexId v) {
+    state[static_cast<std::size_t>(v)] = 0;
+    remaining.erase(std::find(remaining.begin(), remaining.end(), v));
+  };
+  while (!remaining.empty()) {
+    const VertexId s = remaining.back();
+    comps.emplace_back();
+    take(s);
+    queue.assign(1, s);
+    while (!queue.empty()) {
+      const VertexId v = queue.back();
+      queue.pop_back();
+      comps.back().push_back(v);
+      // Mark v's neighbours, sweep the remaining set for non-neighbours.
+      for (const VertexId w : g.neighbors(v))
+        adj_mark[static_cast<std::size_t>(w)] = 1;
+      std::vector<VertexId> grabbed;
+      for (const VertexId w : remaining) {
+        if (!adj_mark[static_cast<std::size_t>(w)]) grabbed.push_back(w);
+      }
+      for (const VertexId w : g.neighbors(v))
+        adj_mark[static_cast<std::size_t>(w)] = 0;
+      for (const VertexId w : grabbed) {
+        state[static_cast<std::size_t>(w)] = 0;
+        queue.push_back(w);
+      }
+      if (!grabbed.empty()) {
+        std::erase_if(remaining, [&](VertexId w) {
+          return state[static_cast<std::size_t>(w)] == 0;
+        });
+      }
+    }
+  }
+  return comps;
+}
+
+/// Finds an induced P4 a-b-c-d in g restricted to `sub` (must exist when
+/// the subgraph is connected and co-connected with >= 2 vertices).
+std::vector<VertexId> find_p4(const Graph& g,
+                              const std::vector<VertexId>& sub) {
+  for (const VertexId b : sub) {
+    for (const VertexId c : g.neighbors(b)) {
+      for (const VertexId a : sub) {
+        if (a == b || a == c || !g.has_edge(a, b) || g.has_edge(a, c))
+          continue;
+        for (const VertexId d : sub) {
+          if (d == a || d == b || d == c) continue;
+          if (g.has_edge(c, d) && !g.has_edge(b, d) && !g.has_edge(a, d))
+            return {a, b, c, d};
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+RecognitionResult recognize_cograph(const Graph& g) {
+  RecognitionResult result;
+  const std::size_t n = g.vertex_count();
+  if (n == 0) {
+    result.cotree = Cotree{};
+    return result;
+  }
+  CotreeBuilder b;
+  bool failed = false;
+  // Explicit work-stack recursion (subset, phase) to survive deep cotrees.
+  const std::function<NodeId(const std::vector<VertexId>&)> solve =
+      [&](const std::vector<VertexId>& sub) -> NodeId {
+    if (failed) return 0;
+    if (sub.size() == 1) return b.leaf_with_vertex(sub[0]);
+    auto comps = components(g, sub);
+    if (comps.size() > 1) {
+      std::vector<NodeId> kids;
+      kids.reserve(comps.size());
+      for (const auto& comp : comps) kids.push_back(solve(comp));
+      return failed ? 0 : b.unite(kids);
+    }
+    auto cocs = co_components(g, sub);
+    if (cocs.size() > 1) {
+      std::vector<NodeId> kids;
+      kids.reserve(cocs.size());
+      for (const auto& coc : cocs) kids.push_back(solve(coc));
+      return failed ? 0 : b.join(kids);
+    }
+    // Connected and co-connected: not a cograph.
+    failed = true;
+    result.p4_witness = find_p4(g, sub);
+    return 0;
+  };
+  std::vector<VertexId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  const NodeId root = solve(all);
+  if (!failed) result.cotree = std::move(b).build(root);
+  return result;
+}
+
+}  // namespace copath::cograph

@@ -1,0 +1,58 @@
+// copath — time- and work-optimal minimum path cover on cographs.
+//
+// Reproduction of K. Nakano, S. Olariu, A. Y. Zomaya, "A Time-Optimal
+// Solution for the Path Cover Problem on Cographs" (IPPS 1999 / TCS 290
+// (2003) 1541-1556). See README.md for the quickstart and DESIGN.md for the
+// system inventory.
+//
+// Public surface (namespaces re-exported below):
+//   cograph::Cotree / CotreeBuilder / parse-format     the input language
+//   cograph::Graph, recognize_cograph                  graph-side substrate
+//   core::min_path_cover_sequential                    Lemma 2.3, O(n)
+//   core::min_path_cover_parallel / _pram              Theorem 5.3, EREW
+//                                                      O(log n) / O(n) work
+//   core::path_cover_size, path_counts_pram            Lemma 2.4
+//   core::has_hamiltonian_path / _cycle, constructors  the §1 corollary
+//   core::validate_path_cover                          independent checker
+//   pram::Machine / Policy / Stats                     the PRAM simulator
+#pragma once
+
+#include "cograph/binarize.hpp"
+#include "cograph/cotree.hpp"
+#include "cograph/families.hpp"
+#include "cograph/graph.hpp"
+#include "cograph/recognition.hpp"
+#include "core/brackets.hpp"
+#include "core/count.hpp"
+#include "core/forest.hpp"
+#include "core/hamiltonian.hpp"
+#include "core/or_reduction.hpp"
+#include "core/path_cover.hpp"
+#include "core/pipeline.hpp"
+#include "core/reference.hpp"
+#include "core/sequential.hpp"
+#include "pram/array.hpp"
+#include "pram/machine.hpp"
+
+namespace copath {
+
+// Convenience aliases so applications can stay inside `copath::`.
+using cograph::Cotree;
+using cograph::CotreeBuilder;
+using cograph::Graph;
+using cograph::NodeKind;
+using cograph::recognize_cograph;
+using cograph::VertexId;
+
+using core::has_hamiltonian_cycle;
+using core::has_hamiltonian_path;
+using core::hamiltonian_cycle;
+using core::hamiltonian_path;
+using core::min_path_cover_parallel;
+using core::min_path_cover_pram;
+using core::min_path_cover_sequential;
+using core::PathCover;
+using core::path_cover_size;
+using core::validate_path_cover;
+
+}  // namespace copath

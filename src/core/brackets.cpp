@@ -1,0 +1,144 @@
+#include "core/brackets.hpp"
+
+#include <sstream>
+
+namespace copath::core {
+
+namespace {
+
+constexpr std::int8_t kSlotP = 0;
+constexpr std::int8_t kSlotL = 1;
+constexpr std::int8_t kSlotR = 2;
+
+}  // namespace
+
+std::string BracketStream::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < length(); ++i) {
+    if (i) os << ' ';
+    char c = '?';
+    if (sq_sign[i] > 0) c = '[';
+    if (sq_sign[i] < 0) c = ']';
+    if (rd_sign[i] > 0) c = '(';
+    if (rd_sign[i] < 0) c = ')';
+    os << c << vert[i]
+       << (slot[i] == kSlotP ? 'p' : slot[i] == kSlotL ? 'l' : 'r');
+  }
+  return os.str();
+}
+
+BracketStream generate_brackets_host(
+    const cograph::BinarizedCotree& bc,
+    const std::vector<std::int64_t>& leaf_count,
+    const std::vector<std::int64_t>& p) {
+  const std::size_t bn = bc.size();
+  COPATH_CHECK(leaf_count.size() == bn && p.size() == bn);
+  BracketStream out;
+  out.real_count = bc.leaf_of_vertex.size();
+  out.role.assign(out.real_count, Role::Primary);
+  out.owner.assign(out.real_count, -1);
+
+  const auto push = [&](std::int8_t sq, std::int8_t rd, std::int8_t slot,
+                        std::int32_t id) {
+    out.sq_sign.push_back(sq);
+    out.rd_sign.push_back(rd);
+    out.slot.push_back(slot);
+    out.vert.push_back(id);
+  };
+
+  // Collect the vertices of a (flattened) subtree in left-to-right order.
+  const auto subtree_vertices = [&](std::int32_t root) {
+    std::vector<std::int32_t> verts;
+    std::vector<std::int32_t> stack{root};
+    while (!stack.empty()) {
+      const std::int32_t v = stack.back();
+      stack.pop_back();
+      const auto vu = static_cast<std::size_t>(v);
+      if (bc.tree.left[vu] == -1) {
+        verts.push_back(bc.vertex[vu]);
+        continue;
+      }
+      stack.push_back(bc.tree.right[vu]);
+      stack.push_back(bc.tree.left[vu]);
+    }
+    return verts;
+  };
+
+  // Skeleton walk (iterative): emit(v) = leaf block | emit(l)·emit(r) for
+  // 0-nodes | emit(l)·bundle(v) for 1-nodes. A 1-node pushes the marker
+  // ~v so its bundle is emitted right after its left subtree.
+  std::vector<std::int32_t> dummy_owner;  // growing, per dummy id
+  std::vector<std::int32_t> stack{bc.tree.root};
+  while (!stack.empty()) {
+    const std::int32_t item = stack.back();
+    stack.pop_back();
+    if (item < 0) {
+      // Bundle of 1-node v = ~item.
+      const std::int32_t v = ~item;
+      const auto vu = static_cast<std::size_t>(v);
+      const std::int32_t rc = bc.tree.right[vu];
+      const std::int64_t lw = leaf_count[static_cast<std::size_t>(rc)];
+      const std::int64_t pv = p[static_cast<std::size_t>(bc.tree.left[vu])];
+      const auto w = subtree_vertices(rc);
+      COPATH_CHECK(static_cast<std::int64_t>(w.size()) == lw);
+      const std::int64_t bridges = pv > lw ? lw : pv - 1;
+      for (std::int64_t i = 0; i < bridges; ++i) {
+        const std::int32_t s = w[static_cast<std::size_t>(i)];
+        out.role[static_cast<std::size_t>(s)] = Role::Bridge;
+        out.owner[static_cast<std::size_t>(s)] = v;
+        push(-1, 0, kSlotR, s);
+        push(-1, 0, kSlotL, s);
+        push(+1, 0, kSlotP, s);
+      }
+      if (pv > lw) continue;  // Case 1: bridges only
+      // Case 2: inserts t_pv..t_lw and 2 p(v)-2 dummies.
+      const std::int64_t inserts = lw - pv + 1;
+      const std::int64_t dummies = 2 * pv - 2;
+      const auto dummy_base =
+          static_cast<std::int32_t>(out.real_count + dummy_owner.size());
+      for (std::int64_t i = 0; i < dummies; ++i) dummy_owner.push_back(v);
+      for (std::int64_t i = 0; i < inserts; ++i) {
+        const std::int32_t tv = w[static_cast<std::size_t>(bridges + i)];
+        out.role[static_cast<std::size_t>(tv)] = Role::Insert;
+        out.owner[static_cast<std::size_t>(tv)] = v;
+        push(0, -1, kSlotP, tv);
+      }
+      for (std::int64_t i = 0; i < dummies; ++i)
+        push(0, -1, kSlotP, dummy_base + static_cast<std::int32_t>(i));
+      for (std::int64_t i = 0; i < dummies; ++i)
+        push(0, +1, kSlotR, dummy_base + static_cast<std::int32_t>(i));
+      for (std::int64_t i = 0; i < inserts; ++i) {
+        const std::int32_t tv = w[static_cast<std::size_t>(bridges + i)];
+        push(0, +1, kSlotL, tv);
+        push(0, +1, kSlotR, tv);
+      }
+      continue;
+    }
+    const auto vu = static_cast<std::size_t>(item);
+    if (bc.tree.left[vu] == -1) {
+      const std::int32_t id = bc.vertex[vu];
+      push(+1, 0, kSlotP, id);
+      push(0, +1, kSlotL, id);
+      push(0, +1, kSlotR, id);
+      continue;
+    }
+    const std::int32_t lc = bc.tree.left[vu];
+    const std::int32_t rc = bc.tree.right[vu];
+    if (!bc.is_join[vu]) {
+      stack.push_back(rc);
+      stack.push_back(lc);
+    } else {
+      stack.push_back(~item);
+      stack.push_back(lc);
+    }
+  }
+
+  out.dummy_count = dummy_owner.size();
+  out.role.resize(out.id_count(), Role::Dummy);
+  out.owner.resize(out.id_count(), -1);
+  for (std::size_t i = 0; i < dummy_owner.size(); ++i)
+    out.owner[out.real_count + i] = dummy_owner[i];
+  return out;
+}
+
+}  // namespace copath::core

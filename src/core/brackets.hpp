@@ -1,0 +1,60 @@
+// Bracket-sequence machinery of the paper's §4.
+//
+// Every vertex contributes up to three bracket slots:
+//   p — the slot seeking the vertex's *parent* in its path tree,
+//   l/r — the slots seeking a left/right *child*.
+// Primary vertices emit "[ ( (" (square-open parent slot, two round-open
+// child slots); bridge vertices of a 1-node emit "] ] [" (two square-close
+// child slots, square-open parent slot); insert and dummy vertices emit
+// round brackets ( ")" parent slot, "(" child slots — both for inserts,
+// right-only for dummies). Matching the square system and the round system
+// independently (stack semantics) yields the pseudo path trees; see Figs
+// 10–12.
+//
+// The BracketStream is the common currency between the host reference
+// pipeline and the PRAM pipeline, which lets the tests compare the two
+// implementations bracket-for-bracket.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cograph/binarize.hpp"
+#include "cograph/cotree.hpp"
+
+namespace copath::core {
+
+enum class Role : std::uint8_t { Primary, Bridge, Insert, Dummy };
+
+struct BracketStream {
+  // Per bracket position (parallel arrays):
+  std::vector<std::int8_t> sq_sign;  // +1 "[", -1 "]", 0 not square
+  std::vector<std::int8_t> rd_sign;  // +1 "(", -1 ")", 0 not round
+  std::vector<std::int8_t> slot;     // 0 = p, 1 = l, 2 = r
+  std::vector<std::int32_t> vert;    // vertex id (dummies get ids >= n)
+
+  // Per id in [0, real_count + dummy_count):
+  std::vector<Role> role;
+  std::vector<std::int32_t> owner;  // owning 1-node (binarized node id) for
+                                    // bridge/insert/dummy; -1 for primary
+
+  std::size_t real_count = 0;
+  std::size_t dummy_count = 0;
+
+  [[nodiscard]] std::size_t length() const { return sq_sign.size(); }
+  [[nodiscard]] std::size_t id_count() const {
+    return real_count + dummy_count;
+  }
+
+  /// Debug rendering, e.g. "[a (a (a )b (b (b ..." (paper notation).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Host (sequential) bracket generation over the leftist binarized cotree:
+/// the recursive definition of B(R) from §4, dummies included. `leaf_count`
+/// and `p` index binarized nodes.
+BracketStream generate_brackets_host(const cograph::BinarizedCotree& bc,
+                                     const std::vector<std::int64_t>& leaf_count,
+                                     const std::vector<std::int64_t>& p);
+
+}  // namespace copath::core

@@ -1,0 +1,68 @@
+#include "core/count.hpp"
+
+namespace copath::core {
+
+std::vector<std::int64_t> path_counts_host(
+    const cograph::BinarizedCotree& bc,
+    const std::vector<std::int64_t>& leaf_count) {
+  const std::size_t n = bc.size();
+  COPATH_CHECK(leaf_count.size() == n);
+  std::vector<std::int64_t> p(n, 0);
+  // Iterative post-order.
+  std::vector<std::int32_t> order;
+  order.reserve(n);
+  std::vector<std::int32_t> stack{bc.tree.root};
+  while (!stack.empty()) {
+    const std::int32_t v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    const auto vu = static_cast<std::size_t>(v);
+    if (bc.tree.left[vu] != -1) stack.push_back(bc.tree.left[vu]);
+    if (bc.tree.right[vu] != -1) stack.push_back(bc.tree.right[vu]);
+  }
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const auto v = static_cast<std::size_t>(order[i]);
+    if (bc.tree.left[v] == -1) {
+      p[v] = 1;
+      continue;
+    }
+    const auto l = static_cast<std::size_t>(bc.tree.left[v]);
+    const auto r = static_cast<std::size_t>(bc.tree.right[v]);
+    if (bc.is_join[v]) {
+      p[v] = std::max<std::int64_t>(p[l] - leaf_count[r], 1);
+    } else {
+      p[v] = p[l] + p[r];
+    }
+  }
+  return p;
+}
+
+std::vector<std::int64_t> path_counts_pram(
+    pram::Machine& m, const cograph::BinarizedCotree& bc,
+    const std::vector<std::int64_t>& leaf_count) {
+  const std::size_t n = bc.size();
+  COPATH_CHECK(leaf_count.size() == n);
+  std::vector<std::int64_t> leaf_value(n, 1);
+  std::vector<PathCountPolicy::NodeOp> ops(n, {0, 0});
+  for (std::size_t v = 0; v < n; ++v) {
+    if (bc.tree.left[v] == -1) continue;
+    ops[v].is_join = bc.is_join[v];
+    ops[v].l_right =
+        leaf_count[static_cast<std::size_t>(bc.tree.right[v])];
+  }
+  return par::tree_contract_eval<PathCountPolicy>(m, bc.tree, leaf_value,
+                                                  ops);
+}
+
+std::int64_t path_cover_size(const cograph::Cotree& t) {
+  auto bc = cograph::binarize(t);
+  const auto leaf_count = cograph::make_leftist(bc);
+  const auto p = path_counts_host(bc, leaf_count);
+  return p[static_cast<std::size_t>(bc.tree.root)];
+}
+
+bool has_hamiltonian_path(const cograph::Cotree& t) {
+  return path_cover_size(t) == 1;
+}
+
+}  // namespace copath::core

@@ -1,0 +1,261 @@
+#include "core/forest.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace copath::core {
+
+namespace {
+
+constexpr std::int8_t kSlotP = 0;
+constexpr std::int8_t kSlotL = 1;
+
+void set_child(PathForest& f, std::int32_t parent, std::int8_t side,
+               std::int32_t child) {
+  if (side == 0) {
+    f.left[static_cast<std::size_t>(parent)] = child;
+  } else {
+    f.right[static_cast<std::size_t>(parent)] = child;
+  }
+}
+
+/// Iterative inorder of the tree rooted at `r`; appends ids to `out`.
+void inorder(const PathForest& f, std::int32_t r,
+             std::vector<std::int32_t>& out) {
+  std::int32_t cur = r;
+  std::vector<std::int32_t> stack;
+  while (cur != -1 || !stack.empty()) {
+    while (cur != -1) {
+      stack.push_back(cur);
+      cur = f.left[static_cast<std::size_t>(cur)];
+    }
+    cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    cur = f.right[static_cast<std::size_t>(cur)];
+  }
+}
+
+}  // namespace
+
+PathForest build_forest(const BracketStream& bs,
+                        const std::vector<std::int64_t>& sq_match,
+                        const std::vector<std::int64_t>& rd_match) {
+  const std::size_t ids = bs.id_count();
+  PathForest f;
+  f.parent.assign(ids, -1);
+  f.left.assign(ids, -1);
+  f.right.assign(ids, -1);
+  f.side.assign(ids, 0);
+  const std::size_t len = bs.length();
+  COPATH_CHECK(sq_match.size() == len && rd_match.size() == len);
+  for (std::size_t i = 0; i < len; ++i) {
+    // Square matches: child's "[" (p slot) with parent's "]" (l/r slot).
+    if (bs.sq_sign[i] > 0) {
+      COPATH_CHECK(bs.slot[i] == kSlotP);
+      const std::int64_t j = sq_match[i];
+      if (j < 0) {
+        f.roots.push_back(bs.vert[i]);  // unmatched "[" = path tree root
+        continue;
+      }
+      const auto child = static_cast<std::size_t>(bs.vert[i]);
+      const std::int32_t par = bs.vert[static_cast<std::size_t>(j)];
+      const std::int8_t side =
+          bs.slot[static_cast<std::size_t>(j)] == kSlotL ? 0 : 1;
+      f.parent[child] = par;
+      f.side[child] = side;
+      set_child(f, par, side, static_cast<std::int32_t>(child));
+      continue;
+    }
+    // Round matches: parent's "(" (l/r slot) with child's ")" (p slot).
+    if (bs.rd_sign[i] > 0) {
+      const std::int64_t j = rd_match[i];
+      if (j < 0) continue;  // childless slot
+      const std::int32_t par = bs.vert[i];
+      const auto child =
+          static_cast<std::size_t>(bs.vert[static_cast<std::size_t>(j)]);
+      const std::int8_t side = bs.slot[i] == kSlotL ? 0 : 1;
+      f.parent[child] = par;
+      f.side[child] = side;
+      set_child(f, par, side, static_cast<std::int32_t>(child));
+    }
+  }
+  return f;
+}
+
+std::size_t mark_illegal(const PathForest& f, const BracketStream& bs,
+                         const cograph::Cotree& t,
+                         const cograph::CotreeAdjacency& adj,
+                         std::vector<std::uint8_t>& illegal,
+                         std::vector<std::uint8_t>& legal_dummy) {
+  COPATH_CHECK(illegal.size() == bs.id_count());
+  COPATH_CHECK(legal_dummy.size() == bs.id_count());
+  std::fill(illegal.begin(), illegal.end(), 0);
+  std::fill(legal_dummy.begin(), legal_dummy.end(), 0);
+
+  // Representative w-side vertex per owner 1-node (the adjacency of any
+  // w-subtree vertex to anything outside the subtree depends only on the
+  // subtree, so one representative answers "would an insert fit here?").
+  std::unordered_map<std::int32_t, VertexId> rep;
+  for (std::size_t id = 0; id < bs.real_count; ++id) {
+    if (bs.owner[id] != -1)
+      rep.emplace(bs.owner[id], static_cast<VertexId>(id));
+  }
+
+  // "Is the (real) vertex y next to a hypothetical w-side vertex of owner
+  // `own` a valid path adjacency?" For y outside the owner's w-subtree the
+  // answer is the same for every w-subtree vertex, so one representative
+  // suffices; inside it the adjacency depends on the concrete insert, so
+  // stay conservative (the w-subtree's internal edges are never relied on).
+  const auto fits = [&](std::int32_t own, std::int32_t y) {
+    if (bs.owner[static_cast<std::size_t>(y)] == own) return false;
+    return adj.adjacent(rep.at(own), static_cast<VertexId>(y));
+  };
+
+  std::size_t found = 0;
+  std::vector<std::int32_t> seq;
+  const auto is_dummy = [&](std::int32_t v) {
+    return static_cast<std::size_t>(v) >= bs.real_count;
+  };
+  (void)t;
+  for (const std::int32_t r : f.roots) {
+    seq.clear();
+    inorder(f, r, seq);
+    // One pass tracking the previous non-dummy element and the dummies
+    // pending between it and the next non-dummy element.
+    std::int32_t prev_nd = -1;
+    std::vector<std::int32_t> pending;
+    // legality of a pending dummy's left/right skipped neighbours
+    const auto settle_pending = [&](std::int32_t next_nd) {
+      for (const std::int32_t d : pending) {
+        const auto du = static_cast<std::size_t>(d);
+        bool ok = true;
+        if (prev_nd != -1 && !fits(bs.owner[du], prev_nd)) ok = false;
+        if (next_nd != -1 && !fits(bs.owner[du], next_nd)) ok = false;
+        legal_dummy[du] = ok ? 1 : 0;
+      }
+      pending.clear();
+    };
+    for (const std::int32_t e : seq) {
+      if (is_dummy(e)) {
+        pending.push_back(e);
+        continue;
+      }
+      settle_pending(e);
+      if (prev_nd != -1 &&
+          !adj.adjacent(static_cast<VertexId>(prev_nd),
+                        static_cast<VertexId>(e))) {
+        // Invalid final-path adjacency: blame the insert(s) in the pair.
+        bool blamed = false;
+        for (const std::int32_t z : {prev_nd, e}) {
+          const auto zu = static_cast<std::size_t>(z);
+          if (bs.role[zu] == Role::Insert) {
+            if (!illegal[zu]) ++found;
+            illegal[zu] = 1;
+            blamed = true;
+          }
+        }
+        COPATH_CHECK_MSG(blamed, "unrepairable non-insert adjacency "
+                                     << prev_nd << " -- " << e);
+      }
+      prev_nd = e;
+    }
+    settle_pending(-1);
+  }
+  return found;
+}
+
+std::size_t repair_forest(PathForest& f, const BracketStream& bs,
+                          const cograph::Cotree& t,
+                          std::size_t max_rounds) {
+  std::vector<std::uint8_t> illegal(bs.id_count(), 0);
+  std::vector<std::uint8_t> legal_dummy(bs.id_count(), 0);
+  const cograph::CotreeAdjacency adj(t);
+  std::size_t rounds = 0;
+  while (true) {
+    const std::size_t bad =
+        mark_illegal(f, bs, t, adj, illegal, legal_dummy);
+    if (bad == 0) return rounds;
+    COPATH_CHECK_MSG(rounds < max_rounds,
+                     "path-tree repair failed to converge after "
+                         << rounds << " rounds (" << bad
+                         << " illegal inserts remain)");
+    ++rounds;
+    // Group by owner: k-th illegal insert <-> k-th legal dummy (id order).
+    std::unordered_map<std::int32_t, std::vector<std::int32_t>> ill_by_owner;
+    std::unordered_map<std::int32_t, std::vector<std::int32_t>> dum_by_owner;
+    for (std::size_t id = 0; id < bs.id_count(); ++id) {
+      if (bs.role[id] == Role::Insert && illegal[id]) {
+        ill_by_owner[bs.owner[id]].push_back(static_cast<std::int32_t>(id));
+      } else if (bs.role[id] == Role::Dummy && legal_dummy[id]) {
+        dum_by_owner[bs.owner[id]].push_back(static_cast<std::int32_t>(id));
+      }
+    }
+    for (auto& [owner, inserts] : ill_by_owner) {
+      auto& dummies = dum_by_owner[owner];
+      COPATH_CHECK_MSG(
+          dummies.size() >= inserts.size(),
+          "owner " << owner << " has " << inserts.size()
+                   << " illegal inserts but only " << dummies.size()
+                   << " legal dummies");
+      for (std::size_t k = 0; k < inserts.size(); ++k) {
+        const auto x = static_cast<std::size_t>(inserts[k]);
+        const auto d = static_cast<std::size_t>(dummies[k]);
+        // Exchange tree positions; subtrees travel with their nodes
+        // (children point at ids, so nothing else moves).
+        std::swap(f.parent[x], f.parent[d]);
+        std::swap(f.side[x], f.side[d]);
+        COPATH_CHECK(f.parent[x] != -1 && f.parent[d] != -1);
+        set_child(f, f.parent[x], f.side[x], static_cast<std::int32_t>(x));
+        set_child(f, f.parent[d], f.side[d], static_cast<std::int32_t>(d));
+      }
+    }
+  }
+}
+
+void bypass_dummies(PathForest& f, const BracketStream& bs) {
+  // Dummies have at most a right child; splice maximal dummy chains.
+  for (std::size_t id = bs.real_count; id < bs.id_count(); ++id) {
+    const auto is_dummy = [&](std::int32_t v) {
+      return v != -1 && static_cast<std::size_t>(v) >= bs.real_count;
+    };
+    const std::int32_t top = static_cast<std::int32_t>(id);
+    if (is_dummy(f.parent[id])) continue;  // not a chain top
+    COPATH_CHECK_MSG(f.parent[id] != -1, "dummy became a forest root");
+    COPATH_CHECK_MSG(f.left[id] == -1, "dummy acquired a left child");
+    // Walk to the chain bottom.
+    std::int32_t bottom = top;
+    while (is_dummy(f.right[static_cast<std::size_t>(bottom)])) {
+      bottom = f.right[static_cast<std::size_t>(bottom)];
+      COPATH_CHECK(f.left[static_cast<std::size_t>(bottom)] == -1);
+    }
+    const std::int32_t child = f.right[static_cast<std::size_t>(bottom)];
+    const std::int32_t q = f.parent[static_cast<std::size_t>(top)];
+    const std::int8_t side = f.side[static_cast<std::size_t>(top)];
+    set_child(f, q, side, child);
+    if (child != -1) {
+      f.parent[static_cast<std::size_t>(child)] = q;
+      f.side[static_cast<std::size_t>(child)] = side;
+    }
+  }
+}
+
+PathCover extract_paths(const PathForest& f, const BracketStream& bs) {
+  PathCover out;
+  out.paths.reserve(f.roots.size());
+  std::vector<std::int32_t> seq;
+  for (const std::int32_t r : f.roots) {
+    seq.clear();
+    inorder(f, r, seq);
+    out.paths.emplace_back();
+    out.paths.back().reserve(seq.size());
+    for (const std::int32_t id : seq) {
+      COPATH_CHECK_MSG(static_cast<std::size_t>(id) < bs.real_count,
+                       "dummy survived bypass");
+      out.paths.back().push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace copath::core

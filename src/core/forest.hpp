@@ -1,0 +1,68 @@
+// Path trees (paper §3): building the pseudo path forest from the bracket
+// matchings, repairing illegal insert vertices via dummy exchange (§4,
+// Figs 11–12), bypassing dummies, and extracting the final paths.
+//
+// These are the host-side stages shared by the reference pipeline; the PRAM
+// pipeline mirrors them with Euler tours and scans but reuses the same
+// conventions (ids, sides, pairing rule), so the two can be diffed in
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/brackets.hpp"
+#include "core/path_cover.hpp"
+
+namespace copath::core {
+
+/// The (pseudo) path forest over ids [0, real_count + dummy_count).
+struct PathForest {
+  std::vector<std::int32_t> parent;  // -1 for roots
+  std::vector<std::int32_t> left;
+  std::vector<std::int32_t> right;
+  std::vector<std::int8_t> side;     // 0 left child, 1 right child
+  std::vector<std::int32_t> roots;   // in path order
+
+  [[nodiscard]] std::size_t size() const { return parent.size(); }
+};
+
+/// Builds the pseudo path forest from the two matchings (indices into the
+/// bracket stream; -1 = unmatched). Roots are the unmatched square-open
+/// parent slots, in bracket order.
+PathForest build_forest(const BracketStream& bs,
+                        const std::vector<std::int64_t>& sq_match,
+                        const std::vector<std::int64_t>& rd_match);
+
+/// One legality scan over the *dummy-skipped* inorder (dummies are spliced
+/// out in Step 7, so the final path adjacencies are between skipped
+/// neighbours). An insert is illegal iff a skipped neighbour is not
+/// adjacent to it in the cograph (checked via the LCA oracle — the paper's
+/// "checking vertex adjacencies in the resulting linear order"); a dummy is
+/// a legal exchange target iff both its skipped neighbours are adjacent to
+/// the owner's w-side vertices. Returns the number of illegal inserts.
+/// `illegal` and `legal_dummy` must be sized bs.id_count().
+std::size_t mark_illegal(const PathForest& f, const BracketStream& bs,
+                         const cograph::Cotree& t,
+                         const cograph::CotreeAdjacency& adj,
+                         std::vector<std::uint8_t>& illegal,
+                         std::vector<std::uint8_t>& legal_dummy);
+
+/// Repairs the forest: repeatedly exchanges illegal inserts with legal
+/// dummies of the same 1-node (k-th with k-th, both in id order) until a
+/// legality scan comes back clean. Returns the number of exchange rounds
+/// used (the paper's analysis corresponds to a single round; the validator
+/// in tests certifies the result regardless). Throws if `max_rounds` is
+/// exceeded.
+std::size_t repair_forest(PathForest& f, const BracketStream& bs,
+                          const cograph::Cotree& t,
+                          std::size_t max_rounds = 32);
+
+/// Splices every dummy vertex out of the forest (dummies have at most one
+/// child, always a right child).
+void bypass_dummies(PathForest& f, const BracketStream& bs);
+
+/// Inorder traversal of every path tree; one path per root.
+PathCover extract_paths(const PathForest& f, const BracketStream& bs);
+
+}  // namespace copath::core

@@ -1,0 +1,44 @@
+// Public path cover types and the independent validator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cograph/cotree.hpp"
+#include "cograph/graph.hpp"
+
+namespace copath::core {
+
+using cograph::VertexId;
+
+/// A set of vertex-disjoint paths covering all vertices of a graph. Each
+/// inner vector lists a path's vertices in traversal order; singleton paths
+/// are allowed (isolated vertices).
+struct PathCover {
+  std::vector<std::vector<VertexId>> paths;
+
+  [[nodiscard]] std::size_t size() const { return paths.size(); }
+  [[nodiscard]] std::size_t vertex_total() const {
+    std::size_t s = 0;
+    for (const auto& p : paths) s += p.size();
+    return s;
+  }
+  [[nodiscard]] bool is_hamiltonian_path() const { return paths.size() == 1; }
+};
+
+struct ValidationReport {
+  bool ok = false;
+  std::string error;  // empty when ok
+};
+
+/// Independently checks that `cover` is a valid path cover of the cograph
+/// described by `t`: every vertex appears exactly once, and every
+/// consecutive pair is adjacent (verified against the cotree LCA oracle,
+/// property (6) — no trust in the algorithm under test). If
+/// `require_minimum`, also checks |cover| equals the minimum path cover
+/// size computed by the (independently tested) counting recursion.
+ValidationReport validate_path_cover(const cograph::Cotree& t,
+                                     const PathCover& cover,
+                                     bool require_minimum = true);
+
+}  // namespace copath::core

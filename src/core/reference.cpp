@@ -1,0 +1,42 @@
+#include "core/reference.hpp"
+
+#include "core/brackets.hpp"
+#include "core/count.hpp"
+#include "core/forest.hpp"
+#include "par/brackets.hpp"
+
+namespace copath::core {
+
+PathCover min_path_cover_reference(const cograph::Cotree& t,
+                                   ReferenceTrace* trace) {
+  // Steps 1-3: binarize, leftist, L(u) and p(u).
+  auto bc = cograph::binarize(t);
+  const auto leaf_count = cograph::make_leftist(bc);
+  const auto p = path_counts_host(bc, leaf_count);
+
+  // Step 4: the bracket sequence B(R).
+  const BracketStream bs = generate_brackets_host(bc, leaf_count, p);
+
+  // Step 5: match squares and rounds independently (stack semantics).
+  const auto sq_match = par::match_brackets_seq(bs.sq_sign);
+  const auto rd_match = par::match_brackets_seq(bs.rd_sign);
+  PathForest f = build_forest(bs, sq_match, rd_match);
+
+  // Step 6: exchange illegal inserts with legal dummies.
+  const std::size_t rounds = repair_forest(f, bs, t);
+
+  // Step 7: bypass dummies.
+  bypass_dummies(f, bs);
+
+  // Step 8: read off the paths.
+  PathCover cover = extract_paths(f, bs);
+  if (trace != nullptr) {
+    trace->bracket_length = bs.length();
+    trace->dummy_count = bs.dummy_count;
+    trace->repair_rounds = rounds;
+    trace->path_count = cover.paths.size();
+  }
+  return cover;
+}
+
+}  // namespace copath::core

@@ -1,0 +1,24 @@
+// Host reference of the paper's full bracket pipeline (§4–§5, Steps 1–8),
+// executed sequentially. Exists to (a) pin down the semantics of every
+// pipeline stage independently of the PRAM machinery and (b) serve as the
+// differential-test oracle for the PRAM pipeline (identical bracket
+// streams, identical path counts, both validator-clean).
+#pragma once
+
+#include "cograph/cotree.hpp"
+#include "core/path_cover.hpp"
+
+namespace copath::core {
+
+struct ReferenceTrace {
+  std::size_t bracket_length = 0;
+  std::size_t dummy_count = 0;
+  std::size_t repair_rounds = 0;
+  std::size_t path_count = 0;
+};
+
+/// Minimum path cover via the bracket pipeline, host execution.
+PathCover min_path_cover_reference(const cograph::Cotree& t,
+                                   ReferenceTrace* trace = nullptr);
+
+}  // namespace copath::core

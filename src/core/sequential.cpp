@@ -1,0 +1,210 @@
+#include "core/sequential.hpp"
+
+#include <vector>
+
+#include "core/count.hpp"
+
+namespace copath::core {
+
+namespace {
+
+/// Intrusive path-cover state: vertices are linked through next/prev;
+/// paths are records in an arena chained into per-tree-node lists.
+struct CoverState {
+  std::vector<VertexId> next, prev;
+  struct Path {
+    VertexId head;
+    VertexId tail;
+    std::int32_t next_path;  // arena link, -1 at the end of a cover list
+  };
+  std::vector<Path> arena;
+  struct Cover {
+    std::int32_t first = -1;
+    std::int32_t last = -1;
+    std::int64_t count = 0;
+  };
+
+  explicit CoverState(std::size_t n)
+      : next(n, cograph::kNull), prev(n, cograph::kNull) {
+    arena.reserve(n);
+  }
+
+  Cover singleton(VertexId v) {
+    arena.push_back({v, v, -1});
+    const auto id = static_cast<std::int32_t>(arena.size() - 1);
+    return Cover{id, id, 1};
+  }
+
+  static Cover concat(Cover a, Cover b, std::vector<Path>& arena) {
+    if (a.count == 0) return b;
+    if (b.count == 0) return a;
+    arena[static_cast<std::size_t>(a.last)].next_path = b.first;
+    return Cover{a.first, b.last, a.count + b.count};
+  }
+};
+
+}  // namespace
+
+PathCover min_path_cover_sequential(const cograph::Cotree& t) {
+  auto bc = cograph::binarize(t);
+  const auto leaf_count = cograph::make_leftist(bc);
+  return min_path_cover_sequential(bc, leaf_count);
+}
+
+PathCover min_path_cover_sequential(
+    const cograph::BinarizedCotree& bc,
+    const std::vector<std::int64_t>& leaf_count) {
+  const std::size_t bn = bc.size();
+  const std::size_t n = bc.leaf_of_vertex.size();
+  CoverState st(n);
+  auto& arena = st.arena;
+  std::vector<CoverState::Cover> cover(bn);
+
+  // Post-order sweep (iterative).
+  std::vector<std::int32_t> order;
+  order.reserve(bn);
+  {
+    std::vector<std::int32_t> stack{bc.tree.root};
+    while (!stack.empty()) {
+      const std::int32_t v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      const auto vu = static_cast<std::size_t>(v);
+      if (bc.tree.left[vu] != -1) stack.push_back(bc.tree.left[vu]);
+      if (bc.tree.right[vu] != -1) stack.push_back(bc.tree.right[vu]);
+    }
+  }
+
+  // Scratch reused across 1-nodes.
+  std::vector<VertexId> w_vertices;
+  std::vector<std::pair<VertexId, VertexId>> segments;  // (head, tail)
+
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const std::int32_t node = order[i];
+    const auto vu = static_cast<std::size_t>(node);
+    const std::int32_t lc = bc.tree.left[vu];
+    const std::int32_t rc = bc.tree.right[vu];
+    if (lc == -1) {  // leaf
+      cover[vu] = st.singleton(bc.vertex[vu]);
+      continue;
+    }
+    const auto lcu = static_cast<std::size_t>(lc);
+    const auto rcu = static_cast<std::size_t>(rc);
+    if (!bc.is_join[vu]) {  // 0-node: disjoint union
+      cover[vu] = CoverState::concat(cover[lcu], cover[rcu], arena);
+      continue;
+    }
+    // 1-node. Gather the vertices of G(w) by walking w's cover (their
+    // internal edges are never used — §2).
+    const std::int64_t lw = leaf_count[rcu];
+    const std::int64_t pv = cover[lcu].count;
+    w_vertices.clear();
+    for (std::int32_t pid = cover[rcu].first; pid != -1;
+         pid = arena[static_cast<std::size_t>(pid)].next_path) {
+      VertexId v = arena[static_cast<std::size_t>(pid)].head;
+      while (v != cograph::kNull) {
+        const VertexId nxt = st.next[static_cast<std::size_t>(v)];
+        st.next[static_cast<std::size_t>(v)] = cograph::kNull;
+        st.prev[static_cast<std::size_t>(v)] = cograph::kNull;
+        w_vertices.push_back(v);
+        v = nxt;
+      }
+    }
+    COPATH_CHECK(static_cast<std::int64_t>(w_vertices.size()) == lw);
+
+    const auto link = [&](VertexId a, VertexId b) {
+      st.next[static_cast<std::size_t>(a)] = b;
+      st.prev[static_cast<std::size_t>(b)] = a;
+    };
+
+    if (pv > lw) {
+      // Case 1: bridge lw+1 paths into one with the lw vertices of G(w).
+      std::int32_t pid = cover[lcu].first;
+      const VertexId head = arena[static_cast<std::size_t>(pid)].head;
+      VertexId tail = arena[static_cast<std::size_t>(pid)].tail;
+      for (std::int64_t k = 0; k < lw; ++k) {
+        const VertexId s = w_vertices[static_cast<std::size_t>(k)];
+        pid = arena[static_cast<std::size_t>(pid)].next_path;
+        link(tail, s);
+        link(s, arena[static_cast<std::size_t>(pid)].head);
+        tail = arena[static_cast<std::size_t>(pid)].tail;
+      }
+      // Reuse the first arena record for the merged path; the rest of the
+      // list (pv - lw - 1 paths) stays as-is.
+      const std::int32_t rest =
+          arena[static_cast<std::size_t>(pid)].next_path;
+      const std::int32_t merged = cover[lcu].first;
+      arena[static_cast<std::size_t>(merged)].head = head;
+      arena[static_cast<std::size_t>(merged)].tail = tail;
+      arena[static_cast<std::size_t>(merged)].next_path = rest;
+      cover[vu] = CoverState::Cover{
+          merged, rest == -1 ? merged : cover[lcu].last, pv - lw};
+      continue;
+    }
+    // Case 2: p(v)-1 bridges, the rest inserted -> Hamiltonian path.
+    segments.clear();
+    for (std::int32_t pid = cover[lcu].first; pid != -1;
+         pid = arena[static_cast<std::size_t>(pid)].next_path) {
+      segments.emplace_back(arena[static_cast<std::size_t>(pid)].head,
+                            arena[static_cast<std::size_t>(pid)].tail);
+    }
+    COPATH_CHECK(static_cast<std::int64_t>(segments.size()) == pv);
+    for (std::int64_t k = 0; k + 1 < pv; ++k) {
+      const VertexId s = w_vertices[static_cast<std::size_t>(k)];
+      link(segments[static_cast<std::size_t>(k)].second, s);
+      link(s, segments[static_cast<std::size_t>(k + 1)].first);
+    }
+    VertexId head = segments.front().first;
+    VertexId tail = segments.back().second;
+    // Insert the remaining lw - pv + 1 vertices next to G(v)-vertices only:
+    // the slot before the head, the slots between consecutive same-segment
+    // vertices, then the slot after the tail.
+    std::size_t ins = static_cast<std::size_t>(pv - 1);  // next w vertex
+    if (ins < w_vertices.size()) {
+      const VertexId tv = w_vertices[ins++];
+      link(tv, head);
+      head = tv;
+    }
+    for (std::size_t seg = 0;
+         seg < segments.size() && ins < w_vertices.size(); ++seg) {
+      VertexId x = segments[seg].first;
+      const VertexId stop = segments[seg].second;
+      while (x != stop && ins < w_vertices.size()) {
+        const VertexId y = st.next[static_cast<std::size_t>(x)];
+        const VertexId tv = w_vertices[ins++];
+        link(x, tv);
+        link(tv, y);
+        x = y;
+      }
+    }
+    if (ins < w_vertices.size()) {
+      const VertexId tv = w_vertices[ins++];
+      link(tail, tv);
+      tail = tv;
+    }
+    COPATH_CHECK_MSG(ins == w_vertices.size(),
+                     "insert capacity exhausted — leftist precondition "
+                     "violated?");
+    const std::int32_t merged = cover[lcu].first;
+    arena[static_cast<std::size_t>(merged)].head = head;
+    arena[static_cast<std::size_t>(merged)].tail = tail;
+    arena[static_cast<std::size_t>(merged)].next_path = -1;
+    cover[vu] = CoverState::Cover{merged, merged, 1};
+  }
+
+  // Extract the root cover.
+  PathCover out;
+  const auto& root_cover = cover[static_cast<std::size_t>(bc.tree.root)];
+  out.paths.reserve(static_cast<std::size_t>(root_cover.count));
+  for (std::int32_t pid = root_cover.first; pid != -1;
+       pid = arena[static_cast<std::size_t>(pid)].next_path) {
+    out.paths.emplace_back();
+    for (VertexId v = arena[static_cast<std::size_t>(pid)].head;
+         v != cograph::kNull; v = st.next[static_cast<std::size_t>(v)]) {
+      out.paths.back().push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace copath::core

@@ -1,0 +1,71 @@
+#include <sstream>
+
+#include "core/count.hpp"
+#include "core/path_cover.hpp"
+
+namespace copath::core {
+
+ValidationReport validate_path_cover(const cograph::Cotree& t,
+                                     const PathCover& cover,
+                                     bool require_minimum) {
+  ValidationReport rep;
+  const std::size_t n = t.vertex_count();
+  std::vector<std::uint8_t> seen(n, 0);
+  std::size_t total = 0;
+  for (const auto& path : cover.paths) {
+    if (path.empty()) {
+      rep.error = "empty path in cover";
+      return rep;
+    }
+    for (const VertexId v : path) {
+      if (v < 0 || static_cast<std::size_t>(v) >= n) {
+        std::ostringstream os;
+        os << "vertex " << v << " out of range";
+        rep.error = os.str();
+        return rep;
+      }
+      if (seen[static_cast<std::size_t>(v)]++) {
+        std::ostringstream os;
+        os << "vertex " << v << " covered twice";
+        rep.error = os.str();
+        return rep;
+      }
+      ++total;
+    }
+  }
+  if (total != n) {
+    std::ostringstream os;
+    os << "cover touches " << total << " of " << n << " vertices";
+    rep.error = os.str();
+    return rep;
+  }
+  // Edge validity straight from the cotree (property (6)); no reliance on
+  // the algorithm under test.
+  const cograph::CotreeAdjacency adj(t);
+  for (std::size_t pi = 0; pi < cover.paths.size(); ++pi) {
+    const auto& path = cover.paths[pi];
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (!adj.adjacent(path[i], path[i + 1])) {
+        std::ostringstream os;
+        os << "path " << pi << ": vertices " << path[i] << " and "
+           << path[i + 1] << " are not adjacent in the cograph";
+        rep.error = os.str();
+        return rep;
+      }
+    }
+  }
+  if (require_minimum) {
+    const std::int64_t want = path_cover_size(t);
+    if (static_cast<std::int64_t>(cover.paths.size()) != want) {
+      std::ostringstream os;
+      os << "cover has " << cover.paths.size() << " paths, minimum is "
+         << want;
+      rep.error = os.str();
+      return rep;
+    }
+  }
+  rep.ok = true;
+  return rep;
+}
+
+}  // namespace copath::core

@@ -1,0 +1,66 @@
+// Plain rooted binary tree representation shared by the PRAM primitives.
+//
+// Every tree in the path cover pipeline — the binarized cotree, the reduced
+// cotree, and the path trees themselves — is binary, so this is the common
+// currency between modules. Nodes are dense 0-based ids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace copath::par {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNull = -1;
+
+struct BinTree {
+  std::vector<std::int32_t> parent;  // kNull for the root
+  std::vector<std::int32_t> left;    // kNull if absent
+  std::vector<std::int32_t> right;   // kNull if absent
+  std::int32_t root = -1;
+
+  [[nodiscard]] std::size_t size() const { return parent.size(); }
+
+  [[nodiscard]] static BinTree with_size(std::size_t n) {
+    BinTree t;
+    t.parent.assign(n, -1);
+    t.left.assign(n, -1);
+    t.right.assign(n, -1);
+    return t;
+  }
+
+  [[nodiscard]] bool is_leaf(std::int32_t v) const {
+    return left[static_cast<std::size_t>(v)] == -1 &&
+           right[static_cast<std::size_t>(v)] == -1;
+  }
+
+  /// Structural sanity check: parent/child pointers agree, exactly one
+  /// root, every node reachable (implied by the pointer bijection checks).
+  void validate() const {
+    const std::size_t n = size();
+    COPATH_CHECK(left.size() == n && right.size() == n);
+    if (n == 0) return;
+    COPATH_CHECK(root >= 0 && static_cast<std::size_t>(root) < n);
+    COPATH_CHECK(parent[static_cast<std::size_t>(root)] == -1);
+    std::size_t root_count = 0;
+    std::vector<std::uint8_t> claimed(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (parent[v] == -1) ++root_count;
+      for (const std::int32_t c : {left[v], right[v]}) {
+        if (c == -1) continue;
+        COPATH_CHECK(static_cast<std::size_t>(c) < n);
+        COPATH_CHECK_MSG(parent[static_cast<std::size_t>(c)] ==
+                             static_cast<std::int32_t>(v),
+                         "child " << c << " does not point back to " << v);
+        COPATH_CHECK_MSG(!claimed[static_cast<std::size_t>(c)],
+                         "node " << c << " claimed by two parents");
+        claimed[static_cast<std::size_t>(c)] = 1;
+      }
+    }
+    COPATH_CHECK_MSG(root_count == 1, "expected exactly one root");
+  }
+};
+
+}  // namespace copath::par

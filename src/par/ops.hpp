@@ -1,0 +1,28 @@
+// Binary operators for the scan/reduce primitives.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace copath::par {
+
+template <typename T>
+struct Plus {
+  static constexpr T identity() { return T{}; }
+  constexpr T operator()(T a, T b) const { return a + b; }
+};
+
+template <typename T>
+struct Max {
+  static constexpr T identity() { return std::numeric_limits<T>::lowest(); }
+  constexpr T operator()(T a, T b) const { return std::max(a, b); }
+};
+
+template <typename T>
+struct Min {
+  static constexpr T identity() { return std::numeric_limits<T>::max(); }
+  constexpr T operator()(T a, T b) const { return std::min(a, b); }
+};
+
+}  // namespace copath::par

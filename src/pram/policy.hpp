@@ -1,0 +1,68 @@
+// PRAM memory-access policies and the violation exception.
+//
+// The paper's results are stated for the EREW PRAM (upper bound) and the
+// CREW PRAM (lower bound). The simulator supports the whole family so the
+// test suite can demonstrate that the implemented algorithms really respect
+// the exclusive-access contract they claim (an EREW violation throws).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace copath::pram {
+
+/// Memory access discipline enforced (or not) by the machine.
+enum class Policy {
+  /// Exclusive Read Exclusive Write: no memory cell may be accessed by two
+  /// distinct processors in the same step, in any read/write combination.
+  EREW,
+  /// Concurrent Read Exclusive Write: concurrent reads are allowed; a cell
+  /// written in a step must not be read or written by any other processor
+  /// in that step.
+  CREW,
+  /// Concurrent Read Concurrent Write, Common rule: concurrent writes are
+  /// allowed only if all writers write the same value.
+  CRCW_Common,
+  /// Concurrent Read Concurrent Write, Arbitrary rule: one of the written
+  /// values survives. (This simulator deterministically keeps the write of
+  /// the highest-numbered processor so runs are reproducible.)
+  CRCW_Arbitrary,
+  /// Concurrent Read Concurrent Write, Priority rule: the lowest-numbered
+  /// processor wins.
+  CRCW_Priority,
+  /// No conflict detection (no shadow metadata, maximum speed). Write
+  /// buffering — and therefore synchronous step semantics — is preserved.
+  Unchecked,
+};
+
+[[nodiscard]] constexpr const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::EREW: return "EREW";
+    case Policy::CREW: return "CREW";
+    case Policy::CRCW_Common: return "CRCW(common)";
+    case Policy::CRCW_Arbitrary: return "CRCW(arbitrary)";
+    case Policy::CRCW_Priority: return "CRCW(priority)";
+    case Policy::Unchecked: return "unchecked";
+  }
+  return "?";
+}
+
+/// Does the policy allow two processors to read the same cell in one step?
+[[nodiscard]] constexpr bool allows_concurrent_read(Policy p) {
+  return p != Policy::EREW;
+}
+
+/// Does the policy allow two processors to write the same cell in one step?
+[[nodiscard]] constexpr bool allows_concurrent_write(Policy p) {
+  return p == Policy::CRCW_Common || p == Policy::CRCW_Arbitrary ||
+         p == Policy::CRCW_Priority || p == Policy::Unchecked;
+}
+
+/// Thrown at the end of a step in which the access discipline was violated.
+class PramViolation : public std::runtime_error {
+ public:
+  explicit PramViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace copath::pram

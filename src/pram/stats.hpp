@@ -1,0 +1,46 @@
+// Cost accounting for the PRAM simulator.
+//
+// The paper's complexity claims are about exactly two quantities:
+//   time  T(n) = number of synchronous steps, and
+//   work  W(n) = sum over steps of the number of active processors.
+// An algorithm is work-optimal when W(n) = O(T*(n)) for the best sequential
+// time T*(n), and time-optimal when no polynomial-processor algorithm in the
+// model can beat its step count (Theorem 2.2 gives the Ω(log n) floor here).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace copath::pram {
+
+struct Stats {
+  /// Synchronous steps executed (PRAM "time").
+  std::uint64_t steps = 0;
+  /// Sum of active processors over all steps (PRAM "work").
+  std::uint64_t work = 0;
+  /// Largest processor count used in any single step.
+  std::uint64_t max_processors = 0;
+  /// Shared-memory reads / buffered writes observed (checked modes only;
+  /// stays 0 under Policy::Unchecked).
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Shared-memory cells currently allocated on the machine.
+  std::uint64_t cells = 0;
+
+  Stats& operator+=(const Stats& o) {
+    steps += o.steps;
+    work += o.work;
+    if (o.max_processors > max_processors) max_processors = o.max_processors;
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Stats& s) {
+    return os << "steps=" << s.steps << " work=" << s.work
+              << " max_procs=" << s.max_processors << " reads=" << s.reads
+              << " writes=" << s.writes;
+  }
+};
+
+}  // namespace copath::pram

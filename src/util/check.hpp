@@ -1,0 +1,53 @@
+// Lightweight runtime-check macros used across copath.
+//
+// COPATH_CHECK is always on (library invariants and user-input validation);
+// COPATH_DCHECK compiles away in NDEBUG builds (hot-loop assertions inside
+// the PRAM primitives).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace copath::util {
+
+/// Thrown when a COPATH_CHECK fails; carries the failing expression and
+/// location so test failures and user errors are actionable.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "COPATH_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace copath::util
+
+#define COPATH_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]]                                           \
+      ::copath::util::check_failed(#expr, __FILE__, __LINE__, "");      \
+  } while (false)
+
+#define COPATH_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]] {                                         \
+      std::ostringstream copath_check_os;                               \
+      copath_check_os << msg;                                           \
+      ::copath::util::check_failed(#expr, __FILE__, __LINE__,           \
+                                   copath_check_os.str());              \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define COPATH_DCHECK(expr) \
+  do {                      \
+  } while (false)
+#else
+#define COPATH_DCHECK(expr) COPATH_CHECK(expr)
+#endif

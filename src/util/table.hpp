@@ -1,0 +1,83 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// The paper is a theory paper with no numeric tables, so the benches print
+// their own "paper-style" tables (n, PRAM steps, steps/log2 n, work, work/n,
+// ...) — this helper keeps them aligned and greppable.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace copath::util {
+
+/// Column-aligned ASCII table. Usage:
+///   Table t({"n", "steps", "steps/log2(n)"});
+///   t.row({Table::I(1024), Table::I(57), Table::F(5.7)});
+///   t.print(std::cout);
+class Table {
+ public:
+  using Cell = std::variant<std::string, long long, double>;
+
+  static Cell S(std::string s) { return Cell(std::move(s)); }
+  static Cell I(long long v) { return Cell(v); }
+  static Cell F(double v) { return Cell(v); }
+
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<Cell> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::ostream& os) const {
+    std::vector<std::vector<std::string>> rendered;
+    rendered.reserve(rows_.size());
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      std::vector<std::string> out;
+      out.reserve(r.size());
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        std::string s = render(r[c]);
+        if (c < width.size() && s.size() > width[c]) width[c] = s.size();
+        out.push_back(std::move(s));
+      }
+      rendered.push_back(std::move(out));
+    }
+    print_row(os, headers_, width);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << std::string(width[c] + 2, '-');
+      if (c + 1 < headers_.size()) os << '+';
+    }
+    os << '\n';
+    for (const auto& r : rendered) print_row(os, r, width);
+  }
+
+ private:
+  static std::string render(const Cell& cell) {
+    if (std::holds_alternative<std::string>(cell))
+      return std::get<std::string>(cell);
+    if (std::holds_alternative<long long>(cell))
+      return std::to_string(std::get<long long>(cell));
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3) << std::get<double>(cell);
+    return os.str();
+  }
+
+  static void print_row(std::ostream& os, const std::vector<std::string>& r,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(width[c])) << r[c] << ' ';
+      if (c + 1 < r.size()) os << '|';
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace copath::util

@@ -1,0 +1,82 @@
+#include "util/thread_pool.hpp"
+
+namespace copath::util {
+
+ThreadPool::ThreadPool(std::size_t workers)
+    : worker_count_(workers == 0 ? 1 : workers) {
+  if (worker_count_ == 1) return;  // inline mode
+  threads_.reserve(worker_count_);
+  for (std::size_t id = 0; id < worker_count_; ++id) {
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_blocks(begin, end,
+                  [&fn](std::size_t /*worker*/, std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i) fn(i);
+                  });
+}
+
+void ThreadPool::parallel_blocks(std::size_t begin, std::size_t end,
+                                 const BlockFn& fn) {
+  if (begin >= end) return;
+  if (threads_.empty()) {  // inline mode
+    fn(0, begin, end);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    job_ = &fn;
+    job_begin_ = begin;
+    job_end_ = end;
+    remaining_ = worker_count_;
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+  std::unique_lock lock(mu_);
+  work_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::size_t seen_epoch = 0;
+  for (;;) {
+    const BlockFn* job = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    {
+      std::unique_lock lock(mu_);
+      work_ready_.wait(lock,
+                       [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      job = job_;
+      begin = job_begin_;
+      end = job_end_;
+    }
+    // Static partition: worker `id` owns one contiguous block.
+    const std::size_t n = end - begin;
+    const std::size_t chunk = (n + worker_count_ - 1) / worker_count_;
+    const std::size_t lo = begin + id * chunk;
+    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+    if (lo < hi) (*job)(id, lo, hi);
+    {
+      std::lock_guard lock(mu_);
+      if (--remaining_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace copath::util

@@ -1,0 +1,134 @@
+// Cotree representation: parsing, formatting, builder normalization,
+// validation of the paper's structural properties (4)-(5).
+#include <gtest/gtest.h>
+
+#include "cograph/cotree.hpp"
+#include "cograph/families.hpp"
+
+namespace copath::cograph {
+namespace {
+
+TEST(Parse, RoundTripsCanonicalForm) {
+  const std::string text = "(* (+ (* a b) c) (+ d e f))";
+  const Cotree t = Cotree::parse(text);
+  EXPECT_EQ(t.format(), text);
+  EXPECT_EQ(t.vertex_count(), 6u);
+  EXPECT_EQ(t.size(), 10u);  // 6 leaves + 4 internal nodes
+}
+
+TEST(Parse, SingleLeaf) {
+  const Cotree t = Cotree::parse("x");
+  EXPECT_EQ(t.vertex_count(), 1u);
+  EXPECT_TRUE(t.is_leaf(t.root()));
+  EXPECT_EQ(t.format(), "x");
+}
+
+TEST(Parse, NormalizesNestedSameKind) {
+  // (+ a (+ b c)) must collapse to (+ a b c) — alternation property (5).
+  const Cotree t = Cotree::parse("(+ a (+ b c))");
+  EXPECT_EQ(t.format(), "(+ a b c)");
+  EXPECT_EQ(t.child_count(t.root()), 3u);
+}
+
+TEST(Parse, CollapsesSingleChildWrappers) {
+  const Cotree t = Cotree::parse("(* (+ a) b)");
+  EXPECT_EQ(t.format(), "(* a b)");
+}
+
+TEST(Parse, RejectsGarbage) {
+  EXPECT_THROW(Cotree::parse("(* a"), util::CheckError);
+  EXPECT_THROW(Cotree::parse("(? a b)"), util::CheckError);
+  EXPECT_THROW(Cotree::parse("(* a b) trailing"), util::CheckError);
+  EXPECT_THROW(Cotree::parse("()"), util::CheckError);
+}
+
+TEST(Parse, WhitespaceInsensitive) {
+  const Cotree t = Cotree::parse("  (*\n a\tb )  ");
+  EXPECT_EQ(t.format(), "(* a b)");
+}
+
+TEST(Builder, AssignsVerticesInLeafOrder) {
+  CotreeBuilder b;
+  const NodeId x = b.leaf("x");
+  const NodeId y = b.leaf("y");
+  const NodeId z = b.leaf("z");
+  const NodeId root = b.join({b.unite({x, y}), z});
+  const Cotree t = std::move(b).build(root);
+  EXPECT_EQ(t.vertex_count(), 3u);
+  EXPECT_EQ(t.name_of(0), "x");
+  EXPECT_EQ(t.name_of(1), "y");
+  EXPECT_EQ(t.name_of(2), "z");
+}
+
+TEST(Builder, ExplicitVertexIds) {
+  CotreeBuilder b;
+  const NodeId x = b.leaf_with_vertex(2);
+  const NodeId y = b.leaf_with_vertex(0);
+  const NodeId z = b.leaf_with_vertex(1);
+  const Cotree t = std::move(b).build(b.join({x, y, z}));
+  EXPECT_EQ(t.vertex_of(t.leaf_of(2)), 2);
+  EXPECT_EQ(t.vertex_of(t.leaf_of(0)), 0);
+}
+
+TEST(Builder, RejectsNonBijectiveExplicitIds) {
+  CotreeBuilder b;
+  const NodeId x = b.leaf_with_vertex(0);
+  const NodeId y = b.leaf_with_vertex(0);
+  EXPECT_THROW((void)std::move(b).build(b.join({x, y})),
+               util::CheckError);
+}
+
+TEST(Validate, RejectsBrokenAlternation) {
+  // from_parts checks property (5) directly.
+  std::vector<NodeKind> kind{NodeKind::Union, NodeKind::Union,
+                             NodeKind::Leaf, NodeKind::Leaf,
+                             NodeKind::Leaf};
+  std::vector<NodeId> parent{kNull, 0, 1, 1, 0};
+  EXPECT_THROW(
+      (void)Cotree::from_parts(std::move(kind), std::move(parent), 0),
+      util::CheckError);
+}
+
+TEST(Validate, RejectsUnaryInternalNodes) {
+  std::vector<NodeKind> kind{NodeKind::Union, NodeKind::Leaf};
+  std::vector<NodeId> parent{kNull, 0};
+  EXPECT_THROW(
+      (void)Cotree::from_parts(std::move(kind), std::move(parent), 0),
+      util::CheckError);
+}
+
+TEST(Complement, FlipsLabelsAndIsInvolution) {
+  const Cotree t = Cotree::parse("(* (+ a b) c)");
+  const Cotree c = t.complement();
+  EXPECT_EQ(c.format(), "(+ (* a b) c)");
+  EXPECT_EQ(c.complement().format(), t.format());
+}
+
+TEST(FromParts, BuildsDeepChainWithoutRecursion) {
+  // A 100k-deep caterpillar must construct fine (no stack recursion).
+  const Cotree t = caterpillar(100000);
+  EXPECT_EQ(t.vertex_count(), 100000u);
+}
+
+TEST(Ascii, RendersEveryVertex) {
+  const Cotree t = Cotree::parse("(* (+ a b) c)");
+  const std::string art = t.to_ascii();
+  EXPECT_NE(art.find('a'), std::string::npos);
+  EXPECT_NE(art.find('b'), std::string::npos);
+  EXPECT_NE(art.find('c'), std::string::npos);
+  EXPECT_NE(art.find("1 (join)"), std::string::npos);
+  EXPECT_NE(art.find("0 (union)"), std::string::npos);
+}
+
+TEST(Children, SpansAndParentsConsistent) {
+  const Cotree t = Cotree::parse("(+ (* a b c) (* d e) f)");
+  for (std::size_t v = 0; v < t.size(); ++v) {
+    for (const NodeId c : t.children(static_cast<NodeId>(v))) {
+      EXPECT_EQ(t.parent(c), static_cast<NodeId>(v));
+    }
+  }
+  EXPECT_EQ(t.child_count(t.root()), 3u);
+}
+
+}  // namespace
+}  // namespace copath::cograph

@@ -1,0 +1,118 @@
+// Instance generators: structural invariants and closed-form path cover
+// sizes for the classic families.
+#include <gtest/gtest.h>
+
+#include "cograph/families.hpp"
+#include "cograph/graph.hpp"
+#include "core/count.hpp"
+
+namespace copath::cograph {
+namespace {
+
+TEST(Families, CliqueIsHamiltonian) {
+  for (const std::size_t n : {1u, 2u, 3u, 10u, 64u}) {
+    EXPECT_EQ(core::path_cover_size(clique(n)), 1) << "n=" << n;
+  }
+}
+
+TEST(Families, IndependentSetNeedsOnePathPerVertex) {
+  for (const std::size_t n : {1u, 2u, 5u, 33u}) {
+    EXPECT_EQ(core::path_cover_size(independent_set(n)),
+              static_cast<std::int64_t>(n));
+  }
+}
+
+TEST(Families, StarNeedsNMinusOnePaths) {
+  // K_{1,n}: the centre can join only two leaves into one path.
+  for (const std::size_t n : {2u, 3u, 10u}) {
+    EXPECT_EQ(core::path_cover_size(star(n)),
+              static_cast<std::int64_t>(n) - 1);
+  }
+}
+
+TEST(Families, CompleteBipartiteFormula) {
+  // K_{a,b}, a >= b: minimum path cover has max(a - b, 1) paths.
+  for (const std::size_t a : {1u, 2u, 4u, 9u}) {
+    for (const std::size_t b : {1u, 2u, 4u, 9u}) {
+      const auto want = std::max<std::int64_t>(
+          static_cast<std::int64_t>(std::max(a, b)) -
+              static_cast<std::int64_t>(std::min(a, b)),
+          1);
+      EXPECT_EQ(core::path_cover_size(complete_bipartite(a, b)), want)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Families, OrInstanceFormula) {
+  // k ones among n bits: the minimum path cover has n - k + 2 paths.
+  for (const std::size_t n : {1u, 4u, 9u}) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      std::vector<std::uint8_t> bits(n, 0);
+      for (std::size_t i = 0; i < k; ++i) bits[i] = 1;
+      const Cotree t = or_instance(bits);
+      EXPECT_EQ(t.vertex_count(), n + 3);
+      EXPECT_EQ(core::path_cover_size(t),
+                static_cast<std::int64_t>(n - k) + 2)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Families, ThresholdGraphAlternationAndSize) {
+  const std::vector<std::uint8_t> bits{1, 0, 1, 1, 0, 0, 1};
+  const Cotree t = threshold_graph(bits);
+  EXPECT_EQ(t.vertex_count(), bits.size() + 1);
+  t.validate();  // alternation enforced by validate
+}
+
+TEST(Families, ThresholdAllOnesIsClique) {
+  const Cotree t = threshold_graph({1, 1, 1});
+  EXPECT_EQ(core::path_cover_size(t), 1);
+  const Graph g = Graph::from_cotree(t);
+  EXPECT_EQ(g.edge_count(), 6u);
+}
+
+TEST(Families, CaterpillarHeightIsLinear) {
+  const Cotree t = caterpillar(50, NodeKind::Join);
+  EXPECT_EQ(t.vertex_count(), 50u);
+  // Walk from the deepest leaf to the root: depth must be ~n/… linear.
+  std::size_t max_depth = 0;
+  for (std::size_t v = 0; v < t.size(); ++v) {
+    std::size_t d = 0;
+    for (NodeId u = static_cast<NodeId>(v); u != kNull; u = t.parent(u)) ++d;
+    max_depth = std::max(max_depth, d);
+  }
+  EXPECT_GE(max_depth, 25u);
+}
+
+TEST(Families, CaterpillarJoinTopIsHamiltonian) {
+  // Join-rooted caterpillars stay Hamiltonian: each join adds a vertex
+  // adjacent to everything below.
+  for (const std::size_t n : {2u, 5u, 21u}) {
+    EXPECT_EQ(core::path_cover_size(caterpillar(n, NodeKind::Join)), 1)
+        << "n=" << n;
+  }
+}
+
+TEST(Families, RandomCotreeRespectsVertexCountAndValidates) {
+  for (unsigned seed = 0; seed < 30; ++seed) {
+    RandomCotreeOptions opt;
+    opt.seed = seed;
+    opt.skew = (seed % 3) * 0.45;
+    opt.mean_arity = 2.0 + (seed % 4) * 0.8;
+    const std::size_t n = 1 + seed * 7 % 90;
+    const Cotree t = random_cotree(n, opt);
+    EXPECT_EQ(t.vertex_count(), n);
+    t.validate();
+  }
+}
+
+TEST(Families, RandomCotreeIsDeterministicPerSeed) {
+  RandomCotreeOptions opt;
+  opt.seed = 99;
+  EXPECT_EQ(random_cotree(40, opt).format(), random_cotree(40, opt).format());
+}
+
+}  // namespace
+}  // namespace copath::cograph

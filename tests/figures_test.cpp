@@ -1,0 +1,123 @@
+// Regenerating the paper's figures (F1..F12 in DESIGN.md): each expository
+// figure corresponds to a concrete structure this library can rebuild.
+#include <gtest/gtest.h>
+
+#include "cograph/binarize.hpp"
+#include "cograph/families.hpp"
+#include "core/brackets.hpp"
+#include "core/count.hpp"
+#include "core/reference.hpp"
+#include "core/sequential.hpp"
+
+namespace copath {
+namespace {
+
+using cograph::Cotree;
+using cograph::NodeKind;
+
+// Fig 1: a cograph and its cotree — parse/format/adjacency round trip.
+TEST(Figures, Fig1CographAndCotree) {
+  const Cotree t = Cotree::parse("(* (+ a b) (+ c (* d e)))");
+  t.validate();
+  const cograph::Graph g = cograph::Graph::from_cotree(t);
+  // LCA(d, e) is a join: edge; LCA(a, b) is a union: no edge.
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+// Fig 2: the lower-bound cotree for bits 0,0,0,0,0,1,0,1.
+TEST(Figures, Fig2LowerBoundInstance) {
+  const std::vector<std::uint8_t> bits{0, 0, 0, 0, 0, 1, 0, 1};
+  const Cotree t = cograph::or_instance(bits);
+  // Root R is a 0-node; its 1-node child u holds y, z and the two 1-bits.
+  EXPECT_EQ(t.kind(t.root()), NodeKind::Union);
+  // R's children: u, x, and the six 0-bit leaves.
+  EXPECT_EQ(t.child_count(t.root()), 8u);
+  // k = 2 ones: cover size n - k + 2 = 8, and the path through y has
+  // k + 2 = 4 vertices.
+  EXPECT_EQ(core::path_cover_size(t), 8);
+  const core::PathCover c = core::min_path_cover_sequential(t);
+  std::size_t longest = 0;
+  for (const auto& p : c.paths) longest = std::max(longest, p.size());
+  EXPECT_EQ(longest, 4u);
+}
+
+// Fig 3: binarization replaces a k-ary node by a left-deep comb.
+TEST(Figures, Fig3Binarization) {
+  const Cotree t = Cotree::parse("(+ a b c d e)");
+  const auto bc = cograph::binarize(t);
+  EXPECT_EQ(bc.size(), 2 * 5 - 1);
+  // The root of the comb has depth-(k-2) left spine.
+  std::size_t spine = 0;
+  std::int32_t v = bc.tree.root;
+  while (v != -1 && bc.tree.left[static_cast<std::size_t>(v)] != -1) {
+    ++spine;
+    v = bc.tree.left[static_cast<std::size_t>(v)];
+  }
+  EXPECT_EQ(spine, 4u);  // k - 1 internal nodes along the left spine
+}
+
+// Fig 4, Case 1: p(v) > L(w) — bridges merge L(w)+1 paths.
+TEST(Figures, Fig4Case1Bridging) {
+  // join(independent 6, independent 2): p(v)=6 > L(w)=2 -> 4 paths.
+  const Cotree t = Cotree::parse("(* (+ a b c d e f) (+ x y))");
+  EXPECT_EQ(core::path_cover_size(t), 4);
+  const auto c = core::min_path_cover_sequential(t);
+  EXPECT_TRUE(core::validate_path_cover(t, c).ok);
+}
+
+// Fig 4/8, Case 2: p(v) <= L(w) — Hamiltonian path via bridges + inserts.
+TEST(Figures, Fig4Case2Insertion) {
+  const Cotree t = Cotree::parse("(* (+ a b c) (+ x y z w))");
+  EXPECT_EQ(core::path_cover_size(t), 1);
+}
+
+// Fig 5: the reduced cotree — bridge/insert classification.
+TEST(Figures, Fig5ReducedCotreeRoles) {
+  auto bc = cograph::binarize(cograph::paper_fig10());
+  const auto L = cograph::make_leftist(bc);
+  const auto p = core::path_counts_host(bc, L);
+  const auto bs = core::generate_brackets_host(bc, L, p);
+  std::size_t bridges = 0, inserts = 0, primaries = 0;
+  for (std::size_t id = 0; id < bs.real_count; ++id) {
+    bridges += bs.role[id] == core::Role::Bridge;
+    inserts += bs.role[id] == core::Role::Insert;
+    primaries += bs.role[id] == core::Role::Primary;
+  }
+  EXPECT_EQ(primaries, 2u);  // a, c
+  EXPECT_EQ(bridges, 1u);    // d
+  EXPECT_EQ(inserts, 3u);    // b, e, f
+}
+
+// Figs 6-9 + 10: path trees via brackets; inorder of the tree is the path.
+TEST(Figures, Fig10BracketsToPath) {
+  core::ReferenceTrace trace;
+  const auto c =
+      core::min_path_cover_reference(cograph::paper_fig10(), &trace);
+  ASSERT_EQ(c.paths.size(), 1u);
+  EXPECT_EQ(c.paths[0].size(), 6u);
+  EXPECT_TRUE(core::validate_path_cover(cograph::paper_fig10(), c).ok);
+}
+
+// Figs 11-12: dummy vertices — exactly 2 p(v) - 2 per Case-2 1-node.
+TEST(Figures, Fig11DummyBudget) {
+  // join(union of 3 edges, 5 singles): the left side keeps L(v)=6 >= 5
+  // under the leftist reorder, with p(v) = 3 <= L(w) = 5 -> Case 2 with
+  // 2 p(v) - 2 = 4 dummies.
+  const Cotree t =
+      Cotree::parse("(* (+ (* a b) (* c d) (* e f)) (+ v w x y z))");
+  auto bc = cograph::binarize(t);
+  const auto L = cograph::make_leftist(bc);
+  const auto p = core::path_counts_host(bc, L);
+  const auto bs = core::generate_brackets_host(bc, L, p);
+  EXPECT_EQ(bs.dummy_count, 2u * 3 - 2);
+}
+
+TEST(Figures, AsciiRenderingOfFig1) {
+  const Cotree t = Cotree::parse("(* (+ a b) c)");
+  const std::string art = t.to_ascii();
+  EXPECT_NE(art.find("1 (join)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace copath

@@ -1,0 +1,98 @@
+// Graph materialization and the LCA adjacency oracle (property (6)).
+#include <gtest/gtest.h>
+
+#include "cograph/families.hpp"
+#include "cograph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace copath::cograph {
+namespace {
+
+TEST(FromCotree, CliqueHasAllEdges) {
+  const Graph g = Graph::from_cotree(clique(6));
+  EXPECT_EQ(g.vertex_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 15u);
+  for (VertexId u = 0; u < 6; ++u)
+    for (VertexId v = u + 1; v < 6; ++v) EXPECT_TRUE(g.has_edge(u, v));
+}
+
+TEST(FromCotree, IndependentSetHasNoEdges) {
+  const Graph g = Graph::from_cotree(independent_set(9));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(FromCotree, CompleteBipartiteEdgeCount) {
+  const Graph g = Graph::from_cotree(complete_bipartite(3, 5));
+  EXPECT_EQ(g.edge_count(), 15u);
+}
+
+TEST(FromCotree, CompleteMultipartiteEdgeCount) {
+  // K(2,3,4): edges = (2*3 + 2*4 + 3*4) = 26.
+  const Graph g = Graph::from_cotree(complete_multipartite({2, 3, 4}));
+  EXPECT_EQ(g.edge_count(), 26u);
+}
+
+TEST(FromCotree, Fig10Example) {
+  const Graph g = Graph::from_cotree(paper_fig10());
+  EXPECT_EQ(g.vertex_count(), 6u);
+  // (* (+ (* a b) c) (+ d e f)): edges = ab + {a,b,c}x{d,e,f} = 1 + 9.
+  EXPECT_EQ(g.edge_count(), 10u);
+}
+
+TEST(Oracle, MatchesExplicitGraphOnRandomCotrees) {
+  util::Rng rng(21);
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomCotreeOptions opt;
+    opt.seed = 4000 + static_cast<unsigned>(trial);
+    const Cotree t = random_cotree(2 + rng.below(40), opt);
+    const Graph g = Graph::from_cotree(t);
+    const CotreeAdjacency adj(t);
+    const auto n = static_cast<VertexId>(g.vertex_count());
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        ASSERT_EQ(adj.adjacent(u, v), g.has_edge(u, v))
+            << "trial " << trial << " pair (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+TEST(Oracle, LcaIdentifiesCorrectNodeKind) {
+  const Cotree t = Cotree::parse("(* (+ a b) (+ c d))");
+  const CotreeAdjacency adj(t);
+  EXPECT_FALSE(adj.adjacent(0, 1));  // a,b under the union
+  EXPECT_TRUE(adj.adjacent(0, 2));   // a,c across the join
+  EXPECT_FALSE(adj.adjacent(2, 3));  // c,d under the union
+}
+
+TEST(Complement, EdgeCountsAreComplementary) {
+  util::Rng rng(22);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomCotreeOptions opt;
+    opt.seed = 6000 + static_cast<unsigned>(trial);
+    const Cotree t = random_cotree(2 + rng.below(25), opt);
+    const Graph g = Graph::from_cotree(t);
+    const Graph gc = Graph::from_cotree(t.complement());
+    const std::size_t n = g.vertex_count();
+    EXPECT_EQ(g.edge_count() + gc.edge_count(), n * (n - 1) / 2);
+    // Also via Graph::complement directly.
+    const Graph gc2 = g.complement();
+    EXPECT_EQ(gc2.edge_count(), gc.edge_count());
+  }
+}
+
+TEST(GraphBasics, AddEdgeAndLookup) {
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  EXPECT_THROW((void)g.has_edge(0, 2), util::CheckError);  // not finalized
+  g.finalize();
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_THROW(g.add_edge(1, 1), util::CheckError);  // self loop
+}
+
+}  // namespace
+}  // namespace copath::cograph

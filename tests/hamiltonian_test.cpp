@@ -1,0 +1,107 @@
+// Hamiltonian path / cycle corollary, cross-checked against brute force.
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.hpp"
+#include "cograph/families.hpp"
+#include "core/count.hpp"
+#include "core/hamiltonian.hpp"
+#include "util/rng.hpp"
+
+namespace copath::core {
+namespace {
+
+using cograph::Cotree;
+using cograph::Graph;
+using cograph::RandomCotreeOptions;
+
+TEST(HamPath, KnownFamilies) {
+  EXPECT_TRUE(hamiltonian_path(cograph::clique(6)).has_value());
+  EXPECT_FALSE(hamiltonian_path(cograph::independent_set(3)).has_value());
+  EXPECT_TRUE(hamiltonian_path(cograph::complete_bipartite(4, 4)));
+  EXPECT_TRUE(hamiltonian_path(cograph::complete_bipartite(5, 4)));
+  EXPECT_FALSE(hamiltonian_path(cograph::complete_bipartite(6, 4)));
+}
+
+TEST(HamPath, ReturnedPathIsActuallyHamiltonian) {
+  util::Rng rng(13);
+  int found = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    RandomCotreeOptions opt;
+    opt.seed = 330 + static_cast<unsigned>(trial);
+    opt.join_root_probability = 0.8;  // favour connected graphs
+    const Cotree t = cograph::random_cotree(2 + rng.below(30), opt);
+    const auto path = hamiltonian_path(t);
+    ASSERT_EQ(path.has_value(), path_cover_size(t) == 1);
+    if (!path) continue;
+    ++found;
+    PathCover as_cover;
+    as_cover.paths.push_back(*path);
+    EXPECT_TRUE(validate_path_cover(t, as_cover, false).ok);
+    EXPECT_EQ(path->size(), t.vertex_count());
+  }
+  EXPECT_GT(found, 10);
+}
+
+TEST(HamCycle, KnownFamilies) {
+  EXPECT_TRUE(has_hamiltonian_cycle(cograph::clique(3)));
+  EXPECT_TRUE(has_hamiltonian_cycle(cograph::clique(9)));
+  EXPECT_FALSE(has_hamiltonian_cycle(cograph::clique(2)));
+  EXPECT_FALSE(has_hamiltonian_cycle(cograph::independent_set(5)));
+  EXPECT_TRUE(has_hamiltonian_cycle(cograph::complete_bipartite(4, 4)));
+  EXPECT_FALSE(has_hamiltonian_cycle(cograph::complete_bipartite(5, 4)));
+  EXPECT_FALSE(has_hamiltonian_cycle(cograph::star(4)));
+}
+
+TEST(HamCycle, AgreesWithBruteForce) {
+  util::Rng rng(14);
+  int cycles = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    RandomCotreeOptions opt;
+    opt.seed = 660 + static_cast<unsigned>(trial);
+    opt.join_root_probability = 0.7;
+    const Cotree t = cograph::random_cotree(1 + rng.below(9), opt);
+    const Graph g = Graph::from_cotree(t);
+    const bool want = baseline::has_hamiltonian_cycle_exact(g);
+    ASSERT_EQ(has_hamiltonian_cycle(t), want)
+        << "trial " << trial << " " << t.format();
+    cycles += want ? 1 : 0;
+  }
+  EXPECT_GT(cycles, 15);
+}
+
+TEST(HamCycle, ConstructedCycleIsValid) {
+  util::Rng rng(15);
+  int built = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    RandomCotreeOptions opt;
+    opt.seed = 990 + static_cast<unsigned>(trial);
+    opt.join_root_probability = 0.8;
+    const Cotree t = cograph::random_cotree(3 + rng.below(40), opt);
+    const auto cyc = hamiltonian_cycle(t);
+    ASSERT_EQ(cyc.has_value(), has_hamiltonian_cycle(t));
+    if (!cyc) continue;
+    ++built;
+    ASSERT_EQ(cyc->size(), t.vertex_count());
+    const cograph::CotreeAdjacency adj(t);
+    std::vector<std::uint8_t> seen(t.vertex_count(), 0);
+    for (std::size_t i = 0; i < cyc->size(); ++i) {
+      ASSERT_FALSE(seen[static_cast<std::size_t>((*cyc)[i])]);
+      seen[static_cast<std::size_t>((*cyc)[i])] = 1;
+      const VertexId a = (*cyc)[i];
+      const VertexId b = (*cyc)[(i + 1) % cyc->size()];
+      ASSERT_TRUE(adj.adjacent(a, b))
+          << "cycle edge (" << a << "," << b << ") missing, trial "
+          << trial;
+    }
+  }
+  EXPECT_GT(built, 20);
+}
+
+TEST(HamCycle, TriangleEdgeCase) {
+  const auto cyc = hamiltonian_cycle(cograph::clique(3));
+  ASSERT_TRUE(cyc.has_value());
+  EXPECT_EQ(cyc->size(), 3u);
+}
+
+}  // namespace
+}  // namespace copath::core

@@ -1,0 +1,163 @@
+// Theorem 5.3: the PRAM pipeline — validity, minimality, EREW discipline
+// (the machine *checks* it), cost bounds, and engine/worker invariance.
+#include <gtest/gtest.h>
+
+#include "cograph/families.hpp"
+#include "core/count.hpp"
+#include "core/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace copath::core {
+namespace {
+
+using cograph::Cotree;
+using cograph::RandomCotreeOptions;
+using pram::Machine;
+using pram::Policy;
+
+struct Shape {
+  std::size_t n;
+  std::size_t procs;
+  std::size_t workers;
+  par::RankEngine engine;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(PipelineSweep, ValidMinimalAndEREWClean) {
+  const auto [nmax, procs, workers, engine] = GetParam();
+  util::Rng rng(nmax * 7 + procs);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomCotreeOptions opt;
+    opt.seed = nmax * 1000 + static_cast<unsigned>(trial);
+    opt.skew = (trial % 3) * 0.4;
+    const Cotree t = cograph::random_cotree(1 + rng.below(nmax), opt);
+    Machine m({Policy::EREW, workers, procs});
+    PipelineOptions popt;
+    popt.rank_engine = engine;
+    PipelineTrace trace;
+    PathCover c;
+    ASSERT_NO_THROW(c = min_path_cover_pram(m, t, popt, &trace))
+        << "EREW violation or convergence failure on " << t.format();
+    const ValidationReport rep = validate_path_cover(t, c, true);
+    ASSERT_TRUE(rep.ok) << rep.error << "\n" << t.format();
+    EXPECT_EQ(static_cast<std::int64_t>(c.paths.size()),
+              path_cover_size(t));
+    EXPECT_LE(trace.repair_rounds, 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelineSweep,
+    ::testing::Values(Shape{6, 1, 1, par::RankEngine::Contract},
+                      Shape{30, 4, 1, par::RankEngine::Contract},
+                      Shape{30, 4, 1, par::RankEngine::Wyllie},
+                      Shape{90, 16, 1, par::RankEngine::Contract},
+                      Shape{90, 16, 2, par::RankEngine::Contract},
+                      Shape{150, 8, 4, par::RankEngine::Contract}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "n" + std::to_string(info.param.n) + "_p" +
+             std::to_string(info.param.procs) + "_w" +
+             std::to_string(info.param.workers) +
+             (info.param.engine == par::RankEngine::Contract ? "_c" : "_w");
+    });
+
+TEST(Pipeline, SingleVertexAndPairs) {
+  Machine m({Policy::EREW, 1, 2});
+  EXPECT_EQ(min_path_cover_pram(m, Cotree::parse("a")).paths.size(), 1u);
+  EXPECT_EQ(min_path_cover_pram(m, Cotree::parse("(* a b)")).paths.size(),
+            1u);
+  EXPECT_EQ(min_path_cover_pram(m, Cotree::parse("(+ a b)")).paths.size(),
+            2u);
+}
+
+TEST(Pipeline, FamiliesValidMinimal) {
+  for (const auto& t :
+       {cograph::clique(20), cograph::independent_set(11),
+        cograph::star(10), cograph::complete_bipartite(7, 4),
+        cograph::complete_multipartite({5, 4, 2}),
+        cograph::threshold_graph({1, 1, 0, 1, 0, 0, 1}),
+        cograph::caterpillar(41, cograph::NodeKind::Join),
+        cograph::caterpillar(40, cograph::NodeKind::Union),
+        cograph::paper_fig10()}) {
+    Machine m({Policy::EREW, 1, 8});
+    const PathCover c = min_path_cover_pram(m, t);
+    const ValidationReport rep = validate_path_cover(t, c, true);
+    EXPECT_TRUE(rep.ok) << rep.error << " on " << t.format();
+  }
+}
+
+TEST(Pipeline, WorkerCountDoesNotChangeResult) {
+  RandomCotreeOptions opt;
+  opt.seed = 4321;
+  const Cotree t = cograph::random_cotree(90, opt);
+  std::vector<std::vector<VertexId>> first;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    Machine m({Policy::EREW, workers, 8});
+    const PathCover c = min_path_cover_pram(m, t);
+    if (first.empty()) {
+      first = c.paths;
+    } else {
+      EXPECT_EQ(c.paths, first) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(Pipeline, TraceReportsPlausibleNumbers) {
+  RandomCotreeOptions opt;
+  opt.seed = 7;
+  const Cotree t = cograph::random_cotree(64, opt);
+  Machine m({Policy::EREW, 1, 8});
+  PipelineTrace trace;
+  const PathCover c = min_path_cover_pram(m, t, {}, &trace);
+  EXPECT_GT(trace.bracket_length, 3 * 64u - 1);
+  EXPECT_LE(trace.bracket_length, 7 * 64u);
+  EXPECT_EQ(trace.path_count, c.paths.size());
+}
+
+TEST(Pipeline, ConvenienceWrapperReportsStats) {
+  RandomCotreeOptions opt;
+  opt.seed = 99;
+  const Cotree t = cograph::random_cotree(120, opt);
+  pram::Stats stats;
+  const PathCover c = min_path_cover_parallel(t, 1, &stats);
+  EXPECT_TRUE(validate_path_cover(t, c, true).ok);
+  EXPECT_GT(stats.steps, 0u);
+  EXPECT_GT(stats.work, stats.steps);
+}
+
+TEST(PipelineCost, Theorem53Bound) {
+  // O(log n) steps and O(n) work with P = n / log2 n (generous constants;
+  // the benches report the exact measurements).
+  RandomCotreeOptions opt;
+  opt.seed = 1;
+  const std::size_t n = 1 << 12;
+  const Cotree t = cograph::random_cotree(n, opt);
+  Machine m({Policy::Unchecked, 1, n / 12});
+  (void)min_path_cover_pram(m, t);
+  EXPECT_LE(m.stats().steps, 3000 * 12);
+  EXPECT_LE(m.stats().work, 4000 * n);
+}
+
+TEST(PipelineCost, StepsGrowLogarithmically) {
+  // Doubling n with P = n/log n should increase steps by roughly a
+  // constant, not double them.
+  RandomCotreeOptions opt;
+  opt.seed = 2;
+  std::uint64_t prev = 0;
+  for (const std::size_t logn : {10u, 11u, 12u}) {
+    const std::size_t n = std::size_t{1} << logn;
+    const Cotree t = cograph::random_cotree(n, opt);
+    Machine m({Policy::Unchecked, 1, n / logn});
+    (void)min_path_cover_pram(m, t);
+    const std::uint64_t steps = m.stats().steps;
+    if (prev != 0) {
+      EXPECT_LT(steps, prev * 3 / 2)
+          << "steps should grow ~ log n, not linearly";
+    }
+    prev = steps;
+  }
+}
+
+}  // namespace
+}  // namespace copath::core

@@ -1,0 +1,119 @@
+// Cograph recognition: cotree -> graph -> cotree round trips, P4
+// detection, and agreement with the brute-force P4-freeness test.
+#include <gtest/gtest.h>
+
+#include "cograph/families.hpp"
+#include "cograph/recognition.hpp"
+#include "util/rng.hpp"
+
+namespace copath::cograph {
+namespace {
+
+bool graphs_equal(const Graph& a, const Graph& b) {
+  if (a.vertex_count() != b.vertex_count()) return false;
+  const auto n = static_cast<VertexId>(a.vertex_count());
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v)
+      if (a.has_edge(u, v) != b.has_edge(u, v)) return false;
+  return true;
+}
+
+bool has_induced_p4(const Graph& g) {
+  const auto n = static_cast<VertexId>(g.vertex_count());
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = 0; b < n; ++b)
+      for (VertexId c = 0; c < n; ++c)
+        for (VertexId d = 0; d < n; ++d) {
+          if (a == b || a == c || a == d || b == c || b == d || c == d)
+            continue;
+          if (g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(c, d) &&
+              !g.has_edge(a, c) && !g.has_edge(a, d) && !g.has_edge(b, d))
+            return true;
+        }
+  return false;
+}
+
+TEST(Recognition, RoundTripsRandomCotrees) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomCotreeOptions opt;
+    opt.seed = 8800 + static_cast<unsigned>(trial);
+    const Cotree t = random_cotree(1 + rng.below(50), opt);
+    const Graph g = Graph::from_cotree(t);
+    const RecognitionResult res = recognize_cograph(g);
+    ASSERT_TRUE(res.is_cograph()) << "trial " << trial;
+    EXPECT_TRUE(graphs_equal(g, Graph::from_cotree(*res.cotree)));
+  }
+}
+
+TEST(Recognition, P4IsRejectedWithWitness) {
+  Graph p4(4);
+  p4.add_edge(0, 1);
+  p4.add_edge(1, 2);
+  p4.add_edge(2, 3);
+  p4.finalize();
+  const RecognitionResult res = recognize_cograph(p4);
+  EXPECT_FALSE(res.is_cograph());
+  ASSERT_EQ(res.p4_witness.size(), 4u);
+  const auto& w = res.p4_witness;
+  EXPECT_TRUE(p4.has_edge(w[0], w[1]));
+  EXPECT_TRUE(p4.has_edge(w[1], w[2]));
+  EXPECT_TRUE(p4.has_edge(w[2], w[3]));
+  EXPECT_FALSE(p4.has_edge(w[0], w[2]));
+  EXPECT_FALSE(p4.has_edge(w[0], w[3]));
+  EXPECT_FALSE(p4.has_edge(w[1], w[3]));
+}
+
+TEST(Recognition, C5IsRejected) {
+  Graph c5(5);
+  for (VertexId v = 0; v < 5; ++v) c5.add_edge(v, (v + 1) % 5);
+  c5.finalize();
+  EXPECT_FALSE(recognize_cograph(c5).is_cograph());
+}
+
+TEST(Recognition, AgreesWithBruteForceOnRandomGraphs) {
+  util::Rng rng(55);
+  int cographs = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::size_t n = 1 + rng.below(8);
+    Graph g(n);
+    const double p = rng.uniform();
+    for (VertexId u = 0; u < static_cast<VertexId>(n); ++u)
+      for (VertexId v = u + 1; v < static_cast<VertexId>(n); ++v)
+        if (rng.chance(p)) g.add_edge(u, v);
+    g.finalize();
+    const bool want = !has_induced_p4(g);
+    const RecognitionResult res = recognize_cograph(g);
+    ASSERT_EQ(res.is_cograph(), want) << "trial " << trial;
+    if (want) {
+      ++cographs;
+      EXPECT_TRUE(graphs_equal(g, Graph::from_cotree(*res.cotree)));
+    }
+  }
+  EXPECT_GT(cographs, 10);  // the sweep must actually exercise both sides
+}
+
+TEST(Recognition, EmptyAndSingleton) {
+  EXPECT_TRUE(recognize_cograph(Graph(0)).is_cograph());
+  const RecognitionResult res = recognize_cograph(Graph(1));
+  ASSERT_TRUE(res.is_cograph());
+  EXPECT_EQ(res.cotree->vertex_count(), 1u);
+}
+
+TEST(Recognition, DisconnectedCliques) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(3, 5);
+  g.finalize();
+  const RecognitionResult res = recognize_cograph(g);
+  ASSERT_TRUE(res.is_cograph());
+  EXPECT_EQ(res.cotree->kind(res.cotree->root()), NodeKind::Union);
+  EXPECT_EQ(res.cotree->child_count(res.cotree->root()), 2u);
+}
+
+}  // namespace
+}  // namespace copath::cograph

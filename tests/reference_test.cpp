@@ -1,0 +1,120 @@
+// The host reference of the bracket pipeline (§4): golden bracket streams,
+// validity/minimality sweeps, and the repair-convergence claim.
+#include <gtest/gtest.h>
+
+#include "cograph/binarize.hpp"
+#include "cograph/families.hpp"
+#include "core/brackets.hpp"
+#include "core/count.hpp"
+#include "core/reference.hpp"
+#include "util/rng.hpp"
+
+namespace copath::core {
+namespace {
+
+using cograph::Cotree;
+using cograph::RandomCotreeOptions;
+
+TEST(Brackets, Fig10GoldenStream) {
+  // §4's running example; vertex order a..f = 0..5, dummies 6, 7.
+  const Cotree t = cograph::paper_fig10();
+  auto bc = cograph::binarize(t);
+  const auto leaf_count = cograph::make_leftist(bc);
+  const auto p = path_counts_host(bc, leaf_count);
+  const BracketStream bs = generate_brackets_host(bc, leaf_count, p);
+  EXPECT_EQ(bs.to_string(),
+            "[0p (0l (0r )1p (1l (1r [2p (2l (2r ]3r ]3l [3p )4p )5p )6p "
+            ")7p (6r (7r (4l (4r (5l (5r");
+  EXPECT_EQ(bs.dummy_count, 2u);  // 2 p(v) - 2 with p(v) = 2
+  EXPECT_EQ(bs.real_count, 6u);
+  // Roles: a, c primary; b, e, f inserts; d bridge (paper's wording).
+  EXPECT_EQ(bs.role[0], Role::Primary);
+  EXPECT_EQ(bs.role[1], Role::Insert);
+  EXPECT_EQ(bs.role[2], Role::Primary);
+  EXPECT_EQ(bs.role[3], Role::Bridge);
+  EXPECT_EQ(bs.role[4], Role::Insert);
+  EXPECT_EQ(bs.role[5], Role::Insert);
+}
+
+TEST(Brackets, LengthIsLinearInN) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomCotreeOptions opt;
+    opt.seed = 70000 + static_cast<unsigned>(trial);
+    const std::size_t n = 5 + rng.below(300);
+    const Cotree t = cograph::random_cotree(n, opt);
+    auto bc = cograph::binarize(t);
+    const auto leaf_count = cograph::make_leftist(bc);
+    const auto p = path_counts_host(bc, leaf_count);
+    const BracketStream bs = generate_brackets_host(bc, leaf_count, p);
+    // §4 end: the sequence (with dummies) stays O(n) — at most ~7n here.
+    EXPECT_LE(bs.length(), 7 * n) << "n=" << n;
+    EXPECT_LE(bs.dummy_count, 2 * n);
+  }
+}
+
+TEST(Brackets, CliqueHasNoDummies) {
+  // Cliques resolve through Case 2 with p(v) = 1 at every join: 0 dummies.
+  auto bc = cograph::binarize(cograph::clique(16));
+  const auto leaf_count = cograph::make_leftist(bc);
+  const auto p = path_counts_host(bc, leaf_count);
+  EXPECT_EQ(generate_brackets_host(bc, leaf_count, p).dummy_count, 0u);
+}
+
+TEST(Reference, Fig10IsHamiltonian) {
+  ReferenceTrace trace;
+  const PathCover c =
+      min_path_cover_reference(cograph::paper_fig10(), &trace);
+  EXPECT_EQ(c.paths.size(), 1u);
+  EXPECT_TRUE(validate_path_cover(cograph::paper_fig10(), c).ok);
+  EXPECT_LE(trace.repair_rounds, 1u);
+}
+
+TEST(Reference, RandomSweepValidMinimal) {
+  util::Rng rng(2);
+  std::size_t max_rounds = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomCotreeOptions opt;
+    opt.seed = 90000 + static_cast<unsigned>(trial);
+    opt.skew = (trial % 4) * 0.3;
+    const Cotree t = cograph::random_cotree(1 + rng.below(150), opt);
+    ReferenceTrace trace;
+    const PathCover c = min_path_cover_reference(t, &trace);
+    const ValidationReport rep = validate_path_cover(t, c, true);
+    ASSERT_TRUE(rep.ok) << rep.error << "\n" << t.format();
+    max_rounds = std::max(max_rounds, trace.repair_rounds);
+  }
+  // The paper's analysis corresponds to one exchange round; we allow two
+  // before declaring drift.
+  EXPECT_LE(max_rounds, 2u);
+}
+
+TEST(Reference, FamiliesValidMinimal) {
+  for (const auto& t :
+       {cograph::clique(12), cograph::independent_set(7),
+        cograph::star(9), cograph::complete_bipartite(6, 6),
+        cograph::complete_multipartite({4, 3, 3}),
+        cograph::threshold_graph({1, 0, 1, 1, 0, 1}),
+        cograph::caterpillar(31, cograph::NodeKind::Join),
+        cograph::caterpillar(32, cograph::NodeKind::Union)}) {
+    const PathCover c = min_path_cover_reference(t);
+    const ValidationReport rep = validate_path_cover(t, c, true);
+    EXPECT_TRUE(rep.ok) << rep.error << " on " << t.format();
+  }
+}
+
+TEST(Reference, PathCountAlwaysMatchesLemma24) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomCotreeOptions opt;
+    opt.seed = 91000 + static_cast<unsigned>(trial);
+    const Cotree t = cograph::random_cotree(1 + rng.below(80), opt);
+    ReferenceTrace trace;
+    (void)min_path_cover_reference(t, &trace);
+    EXPECT_EQ(static_cast<std::int64_t>(trace.path_count),
+              path_cover_size(t));
+  }
+}
+
+}  // namespace
+}  // namespace copath::core

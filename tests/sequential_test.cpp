@@ -1,0 +1,119 @@
+// Lemma 2.3: the sequential O(n) algorithm — validity, minimality, and
+// agreement with the exact brute force.
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.hpp"
+#include "cograph/families.hpp"
+#include "core/count.hpp"
+#include "core/sequential.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace copath::core {
+namespace {
+
+using cograph::Cotree;
+using cograph::RandomCotreeOptions;
+
+void expect_valid_minimum(const Cotree& t, const PathCover& cover) {
+  const ValidationReport rep = validate_path_cover(t, cover, true);
+  ASSERT_TRUE(rep.ok) << rep.error << " on " << t.format();
+}
+
+TEST(Sequential, SingleVertex) {
+  const PathCover c = min_path_cover_sequential(Cotree::parse("a"));
+  ASSERT_EQ(c.paths.size(), 1u);
+  EXPECT_EQ(c.paths[0], std::vector<VertexId>{0});
+}
+
+TEST(Sequential, CliqueGivesHamiltonianPath) {
+  const PathCover c = min_path_cover_sequential(cograph::clique(8));
+  EXPECT_TRUE(c.is_hamiltonian_path());
+  expect_valid_minimum(cograph::clique(8), c);
+}
+
+TEST(Sequential, IndependentSetGivesSingletons) {
+  const PathCover c =
+      min_path_cover_sequential(cograph::independent_set(7));
+  EXPECT_EQ(c.paths.size(), 7u);
+  for (const auto& p : c.paths) EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Sequential, RandomSweepIsValidAndMinimum) {
+  util::Rng rng(808);
+  for (int trial = 0; trial < 150; ++trial) {
+    RandomCotreeOptions opt;
+    opt.seed = 50000 + static_cast<unsigned>(trial);
+    opt.skew = (trial % 4) * 0.3;
+    opt.mean_arity = 2.0 + (trial % 3) * 0.9;
+    const Cotree t = cograph::random_cotree(1 + rng.below(120), opt);
+    expect_valid_minimum(t, min_path_cover_sequential(t));
+  }
+}
+
+TEST(Sequential, MatchesBruteForcePathCount) {
+  util::Rng rng(909);
+  for (int trial = 0; trial < 120; ++trial) {
+    RandomCotreeOptions opt;
+    opt.seed = 60000 + static_cast<unsigned>(trial);
+    const Cotree t = cograph::random_cotree(1 + rng.below(10), opt);
+    const cograph::Graph g = cograph::Graph::from_cotree(t);
+    const PathCover c = min_path_cover_sequential(t);
+    EXPECT_EQ(static_cast<std::int64_t>(c.paths.size()),
+              baseline::min_path_cover_size_exact(g));
+  }
+}
+
+TEST(Sequential, FamiliesAreHandled) {
+  for (const auto& t :
+       {cograph::star(6), cograph::complete_bipartite(5, 2),
+        cograph::complete_multipartite({3, 3, 2}),
+        cograph::threshold_graph({1, 0, 1, 0, 1}),
+        cograph::caterpillar(23, cograph::NodeKind::Join),
+        cograph::caterpillar(24, cograph::NodeKind::Union),
+        cograph::paper_fig10()}) {
+    expect_valid_minimum(t, min_path_cover_sequential(t));
+  }
+}
+
+TEST(Sequential, DeepCaterpillarRunsWithoutRecursionIssues) {
+  const Cotree t = cograph::caterpillar(200000);
+  const PathCover c = min_path_cover_sequential(t);
+  EXPECT_EQ(static_cast<std::int64_t>(c.paths.size()), path_cover_size(t));
+  EXPECT_EQ(c.vertex_total(), 200000u);
+}
+
+TEST(Sequential, LinearTimeScaling) {
+  // ns/vertex should not grow with n (sanity check on the O(n) claim; kept
+  // loose to stay robust on slow CI machines).
+  RandomCotreeOptions opt;
+  opt.seed = 5;
+  const Cotree small = cograph::random_cotree(1 << 12, opt);
+  const Cotree big = cograph::random_cotree(1 << 16, opt);
+  util::WallTimer t1;
+  (void)min_path_cover_sequential(small);
+  const double per_small = t1.nanos() / (1 << 12);
+  util::WallTimer t2;
+  (void)min_path_cover_sequential(big);
+  const double per_big = t2.nanos() / (1 << 16);
+  EXPECT_LT(per_big, 20 * per_small + 1e4);
+}
+
+TEST(Validator, CatchesBadCovers) {
+  const Cotree t = Cotree::parse("(+ (* a b) c)");
+  // Missing vertex.
+  EXPECT_FALSE(validate_path_cover(t, PathCover{{{0, 1}}}, false).ok);
+  // Duplicate vertex.
+  EXPECT_FALSE(
+      validate_path_cover(t, PathCover{{{0, 1}, {1, 2}}}, false).ok);
+  // Non-edge inside a path (a and c are not adjacent).
+  EXPECT_FALSE(validate_path_cover(t, PathCover{{{0, 2}, {1}}}, false).ok);
+  // Valid but not minimum.
+  EXPECT_TRUE(validate_path_cover(t, PathCover{{{0}, {1}, {2}}}, false).ok);
+  EXPECT_FALSE(validate_path_cover(t, PathCover{{{0}, {1}, {2}}}, true).ok);
+  // Valid and minimum.
+  EXPECT_TRUE(validate_path_cover(t, PathCover{{{0, 1}, {2}}}, true).ok);
+}
+
+}  // namespace
+}  // namespace copath::core
