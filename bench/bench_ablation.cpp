@@ -1,4 +1,5 @@
-// E8 (ablation) — the design choices DESIGN.md §5 calls out:
+// E8 (ablation) — the design choices DESIGN.md calls out, all expressed as
+// SolveOptions on the Solver facade:
 //   A. list-ranking engine inside the pipeline (contraction vs Wyllie),
 //   B. processor budget P (the n/log n choice vs more/fewer processors),
 //   C. conflict checking (EREW-checked vs unchecked) — wall-clock cost of
@@ -20,24 +21,25 @@ void ranking_ablation() {
   util::Table t({"engine", "n", "steps", "steps/log2(n)", "work", "work/n"});
   for (const auto engine :
        {par::RankEngine::Contract, par::RankEngine::Wyllie}) {
+    SolveOptions opts = bench::paper_options(Backend::Pram);
+    opts.pipeline.rank_engine = engine;
+    const Solver solver(opts);
     for (const std::size_t logn : {12u, 14u, 16u}) {
       const std::size_t n = std::size_t{1} << logn;
       cograph::RandomCotreeOptions opt;
       opt.seed = logn;
       const auto inst = cograph::random_cotree(n, opt);
-      auto m = bench::paper_machine(n);
-      core::PipelineOptions popt;
-      popt.rank_engine = engine;
-      (void)core::min_path_cover_pram(m, inst, popt);
+      const SolveResult res = solver.solve(Instance::view(inst));
+      bench::require_ok(res);
       t.row({util::Table::S(engine == par::RankEngine::Contract
                                 ? "contract"
                                 : "wyllie"),
              util::Table::I(static_cast<long long>(n)),
-             util::Table::I(static_cast<long long>(m.stats().steps)),
-             util::Table::F(static_cast<double>(m.stats().steps) /
+             util::Table::I(static_cast<long long>(res.stats.steps)),
+             util::Table::F(static_cast<double>(res.stats.steps) /
                             static_cast<double>(logn)),
-             util::Table::I(static_cast<long long>(m.stats().work)),
-             util::Table::F(static_cast<double>(m.stats().work) /
+             util::Table::I(static_cast<long long>(res.stats.work)),
+             util::Table::F(static_cast<double>(res.stats.work) /
                             static_cast<double>(n))});
     }
   }
@@ -68,14 +70,15 @@ void processor_budget_ablation() {
       {"n", n},
   };
   for (const auto& b : budgets) {
-    pram::Machine m(
-        pram::Machine::Config{pram::Policy::Unchecked, 1, b.p});
-    (void)core::min_path_cover_pram(m, inst);
+    SolveOptions opts = bench::paper_options(Backend::Pram);
+    opts.processors = b.p;
+    const SolveResult res = Solver(opts).solve(Instance::view(inst));
+    bench::require_ok(res);
     t.row({util::Table::I(static_cast<long long>(b.p)),
            util::Table::S(b.label),
-           util::Table::I(static_cast<long long>(m.stats().steps)),
-           util::Table::I(static_cast<long long>(m.stats().work)),
-           util::Table::F(static_cast<double>(m.stats().work) /
+           util::Table::I(static_cast<long long>(res.stats.steps)),
+           util::Table::I(static_cast<long long>(res.stats.work)),
+           util::Table::F(static_cast<double>(res.stats.work) /
                           static_cast<double>(n))});
   }
   t.print(std::cout);
@@ -91,15 +94,13 @@ void checking_ablation() {
   const auto inst = cograph::random_cotree(n, opt);
   util::Table t({"mode", "steps", "work", "wall_ms"});
   for (const bool checked : {false, true}) {
-    pram::Machine m(pram::Machine::Config{
-        checked ? pram::Policy::EREW : pram::Policy::Unchecked, 1,
-        n / log2z(n)});
-    util::WallTimer timer;
-    (void)core::min_path_cover_pram(m, inst);
+    const Solver solver(bench::paper_options(Backend::Pram, checked));
+    const SolveResult res = solver.solve(Instance::view(inst));
+    bench::require_ok(res);
     t.row({util::Table::S(checked ? "EREW-checked" : "unchecked"),
-           util::Table::I(static_cast<long long>(m.stats().steps)),
-           util::Table::I(static_cast<long long>(m.stats().work)),
-           util::Table::F(timer.millis())});
+           util::Table::I(static_cast<long long>(res.stats.steps)),
+           util::Table::I(static_cast<long long>(res.stats.work)),
+           util::Table::F(res.wall_ms)});
   }
   t.print(std::cout);
   std::cout << std::endl;

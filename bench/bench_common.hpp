@@ -1,4 +1,5 @@
-// Shared helpers for the benchmark harness.
+// Shared helpers for the benchmark harness. All benches drive the library
+// through the copath::Solver facade — no pram::Machine wiring here.
 #pragma once
 
 #include <cmath>
@@ -17,14 +18,34 @@ inline std::size_t log2z(std::size_t n) {
   return l == 0 ? 1 : l;
 }
 
-/// An EREW machine with the paper's processor budget P = n / log2 n.
+/// Solver options for the paper's setting: the chosen backend on an EREW
+/// machine with the P = n / log2 n budget (processors = 0 resolves to it).
 /// Conflict checking is disabled for the large sweeps (the test suite runs
-/// the same code fully checked).
-inline pram::Machine paper_machine(std::size_t n,
-                                   bool checked = false) {
-  return pram::Machine(pram::Machine::Config{
-      checked ? pram::Policy::EREW : pram::Policy::Unchecked, 1,
-      std::max<std::size_t>(1, n / log2z(n))});
+/// the same code fully checked), and so are the result verdict sweeps —
+/// no bench reads them, and the BM loops must time the engine alone.
+inline SolveOptions paper_options(Backend backend, bool checked = false) {
+  SolveOptions opts;
+  opts.backend = backend;
+  opts.policy = checked ? pram::Policy::EREW : pram::Policy::Unchecked;
+  opts.compute_verdicts = false;
+  return opts;
+}
+
+/// Benches have no recovery story: a failed solve is a harness bug.
+inline const SolveResult& require_ok(const SolveResult& res) {
+  if (!res.ok) {
+    std::cerr << "solve failed: " << res.error << "\n";
+    std::exit(1);
+  }
+  return res;
+}
+
+inline const CountResult& require_ok(const CountResult& res) {
+  if (!res.ok) {
+    std::cerr << "count failed: " << res.error << "\n";
+    std::exit(1);
+  }
+  return res;
 }
 
 inline void banner(const char* experiment, const char* claim) {

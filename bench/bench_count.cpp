@@ -1,5 +1,6 @@
 // E3 — Lemma 2.4: counting the minimum path cover in O(log n) time and
-// O(n) work (n / log n EREW processors) via tree contraction.
+// O(n) work (n / log n EREW processors) via tree contraction, through
+// Solver::count (the count-only facade entry).
 //
 // Expected shape: steps/log2(n) flat; work/n flat.
 #include <benchmark/benchmark.h>
@@ -15,6 +16,7 @@ void count_table() {
   bench::banner("E3: Lemma 2.4 — p(u) by tree contraction",
                 "paper: O(log n) time, O(n) work on the EREW PRAM with "
                 "n/log n processors. Expect steps/log2(n) and work/n flat.");
+  const Solver solver(bench::paper_options(Backend::Pram));
   util::Table t({"family", "n", "p(root)", "steps", "steps/log2(n)", "work",
                  "work/n"});
   for (const char* family : {"random", "skewed", "caterpillar"}) {
@@ -29,18 +31,17 @@ void count_table() {
         opt.skew = std::string(family) == "skewed" ? 0.8 : 0.0;
         inst = cograph::random_cotree(n, opt);
       }
-      auto bc = cograph::binarize(inst);
-      const auto leaf_count = cograph::make_leftist(bc);
-      auto m = bench::paper_machine(2 * n);
-      const auto p = core::path_counts_pram(m, bc, leaf_count);
+      const CountResult res =
+          solver.count(SolveRequest{Instance::view(inst), {}, {}});
+      bench::require_ok(res);
       t.row({util::Table::S(family),
              util::Table::I(static_cast<long long>(n)),
-             util::Table::I(p[static_cast<std::size_t>(bc.tree.root)]),
-             util::Table::I(static_cast<long long>(m.stats().steps)),
-             util::Table::F(static_cast<double>(m.stats().steps) /
+             util::Table::I(res.path_cover_size),
+             util::Table::I(static_cast<long long>(res.stats.steps)),
+             util::Table::F(static_cast<double>(res.stats.steps) /
                             static_cast<double>(logn)),
-             util::Table::I(static_cast<long long>(m.stats().work)),
-             util::Table::F(static_cast<double>(m.stats().work) /
+             util::Table::I(static_cast<long long>(res.stats.work)),
+             util::Table::F(static_cast<double>(res.stats.work) /
                             static_cast<double>(n))});
     }
   }
@@ -48,32 +49,37 @@ void count_table() {
   std::cout << std::endl;
 }
 
-void BM_count_pram(benchmark::State& state) {
+// The BM loops time the full count *request* (binarize + leftist prep +
+// the counting sweep + verdicts), i.e. facade latency — every component is
+// O(n) host-side except the O(log n)-step simulated contraction, so the
+// asymptotic story is unchanged but the absolute numbers include prep.
+// The table above isolates Lemma 2.4 itself via the simulated step/work
+// counts, which host-side prep cannot pollute.
+void BM_count_request_pram(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   cograph::RandomCotreeOptions opt;
   opt.seed = 11;
   const auto inst = cograph::random_cotree(n, opt);
-  auto bc = cograph::binarize(inst);
-  const auto leaf_count = cograph::make_leftist(bc);
+  const Solver solver(bench::paper_options(Backend::Pram));
   for (auto _ : state) {
-    auto m = bench::paper_machine(2 * n);
-    benchmark::DoNotOptimize(core::path_counts_pram(m, bc, leaf_count));
+    benchmark::DoNotOptimize(
+        solver.count(SolveRequest{Instance::view(inst), {}, {}}));
   }
 }
-BENCHMARK(BM_count_pram)->Range(1 << 12, 1 << 17);
+BENCHMARK(BM_count_request_pram)->Range(1 << 12, 1 << 17);
 
-void BM_count_host(benchmark::State& state) {
+void BM_count_request_host(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   cograph::RandomCotreeOptions opt;
   opt.seed = 11;
   const auto inst = cograph::random_cotree(n, opt);
-  auto bc = cograph::binarize(inst);
-  const auto leaf_count = cograph::make_leftist(bc);
+  const Solver solver(bench::paper_options(Backend::Sequential));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::path_counts_host(bc, leaf_count));
+    benchmark::DoNotOptimize(
+        solver.count(SolveRequest{Instance::view(inst), {}, {}}));
   }
 }
-BENCHMARK(BM_count_host)->Range(1 << 12, 1 << 17);
+BENCHMARK(BM_count_request_host)->Range(1 << 12, 1 << 17);
 
 }  // namespace
 

@@ -1,5 +1,7 @@
 // E6 — the Hamiltonicity corollary (§1): deciding and constructing
-// Hamiltonian paths/cycles through the path cover machinery.
+// Hamiltonian paths/cycles through the path cover machinery, all via the
+// Solver facade (decide = Solver::count verdicts, construct = solve with
+// want_hamiltonian_cycle / the one-path cover).
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
@@ -13,6 +15,10 @@ void hamiltonian_table() {
       "E6: Hamiltonian path / cycle via path cover",
       "paper: both reduce to the same machinery (p = 1, and the root-split "
       "condition). Decision steps track O(log n) like E3.");
+  const Solver decider(bench::paper_options(Backend::Sequential));
+  SolveOptions copts = bench::paper_options(Backend::Sequential);
+  copts.want_hamiltonian_cycle = true;
+  const Solver constructor_(copts);
   util::Table t({"family", "n", "ham_path", "ham_cycle", "decide_ms",
                  "construct_ms"});
   for (const std::size_t logn : {12u, 14u, 16u}) {
@@ -32,19 +38,21 @@ void hamiltonian_table() {
     };
     for (const auto& cs : cases) {
       util::WallTimer decide;
-      const bool hp = core::has_hamiltonian_path(cs.t);
-      const bool hc = core::has_hamiltonian_cycle(cs.t);
+      const CountResult verdicts =
+          decider.count(SolveRequest{Instance::view(cs.t), {}, {}});
       const double decide_ms = decide.millis();
+      bench::require_ok(verdicts);
       util::WallTimer construct;
-      if (hc) {
-        benchmark::DoNotOptimize(core::hamiltonian_cycle(cs.t));
-      } else if (hp) {
-        benchmark::DoNotOptimize(core::hamiltonian_path(cs.t));
+      if (verdicts.hamiltonian_cycle || verdicts.hamiltonian_path) {
+        // One request constructs the cover (= the Hamiltonian path when
+        // p(G) = 1) and, where one exists, the cycle order.
+        benchmark::DoNotOptimize(
+            constructor_.solve(Instance::view(cs.t)));
       }
       t.row({util::Table::S(cs.name),
              util::Table::I(static_cast<long long>(cs.t.vertex_count())),
-             util::Table::S(hp ? "yes" : "no"),
-             util::Table::S(hc ? "yes" : "no"),
+             util::Table::S(verdicts.hamiltonian_path ? "yes" : "no"),
+             util::Table::S(verdicts.hamiltonian_cycle ? "yes" : "no"),
              util::Table::F(decide_ms), util::Table::F(construct.millis())});
     }
   }
@@ -55,8 +63,11 @@ void hamiltonian_table() {
 void BM_ham_cycle_construct(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto inst = cograph::complete_bipartite(n / 2, n / 2);
+  SolveOptions opts = bench::paper_options(Backend::Sequential);
+  opts.want_hamiltonian_cycle = true;  // the cycle attempt is the measurement
+  const Solver solver(opts);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::hamiltonian_cycle(inst));
+    benchmark::DoNotOptimize(solver.solve(Instance::view(inst)));
   }
 }
 BENCHMARK(BM_ham_cycle_construct)->Range(1 << 10, 1 << 16);
@@ -66,11 +77,10 @@ void BM_ham_decide_pram_steps(benchmark::State& state) {
   // the table above carries the step-count story.
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto inst = cograph::clique(n);
-  auto bc = cograph::binarize(inst);
-  const auto leaf_count = cograph::make_leftist(bc);
+  const Solver solver(bench::paper_options(Backend::Pram));
   for (auto _ : state) {
-    auto m = copath::bench::paper_machine(n);
-    benchmark::DoNotOptimize(core::path_counts_pram(m, bc, leaf_count));
+    benchmark::DoNotOptimize(
+        solver.count(SolveRequest{Instance::view(inst), {}, {}}));
   }
 }
 BENCHMARK(BM_ham_decide_pram_steps)->Range(1 << 10, 1 << 14);

@@ -3,7 +3,8 @@
 // The paper reduces OR(n bits) to path cover counting: the reduction is an
 // O(1)-step construction, so counting cannot beat the Ω(log n) CREW bound
 // for OR. This bench exhibits the tightness: construction steps stay
-// constant while counting steps track c · log2(n).
+// constant while counting steps track c · log2(n). It drives the
+// self-contained or_via_path_cover overload (the machine lives in src/).
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
@@ -34,9 +35,8 @@ void or_table() {
       // Theorem 2.2's setting allows unbounded processors: one per element
       // (processors = 0 → maximal parallelism), so the construction is a
       // single synchronous step as in the paper.
-      pram::Machine m(
-          pram::Machine::Config{pram::Policy::Unchecked, 1, 0});
-      const auto res = core::or_via_path_cover(m, bits);
+      core::OrReductionOptions opt;  // Unchecked, processors = 0
+      const auto res = core::or_via_path_cover(bits, opt);
       t.row({util::Table::I(static_cast<long long>(n)),
              util::Table::I(static_cast<long long>(ones)),
              util::Table::I(res.path_cover_size),
@@ -56,9 +56,7 @@ void BM_or_reduction(benchmark::State& state) {
   std::vector<std::uint8_t> bits(n, 0);
   bits[n / 2] = 1;
   for (auto _ : state) {
-    pram::Machine m(
-        pram::Machine::Config{pram::Policy::Unchecked, 1, 0});
-    benchmark::DoNotOptimize(core::or_via_path_cover(m, bits));
+    benchmark::DoNotOptimize(core::or_via_path_cover(bits));
   }
   state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
 }

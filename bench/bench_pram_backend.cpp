@@ -1,17 +1,27 @@
 // E7 — the PRAM simulator substrate itself (substitution validity,
 // DESIGN.md §2): overhead of conflict checking, scaling over worker
 // threads, and the cost model's insensitivity to the physical backend.
+// Driven through core::probe_scan_substrate, the facade's substrate probe
+// (the machine wiring lives in src/).
 //
 // Note: the host may have a single core; simulated steps/work are identical
 // for every worker count by construction — that is the point of the model.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
-#include "par/scan.hpp"
 
 namespace {
 
 using namespace copath;
+
+core::BackendConfig probe_config(std::size_t n, bool checked,
+                                 std::size_t workers) {
+  core::BackendConfig cfg;
+  cfg.policy = checked ? pram::Policy::EREW : pram::Policy::Unchecked;
+  cfg.workers = workers;
+  cfg.processors = n / 18;
+  return cfg;
+}
 
 void backend_table() {
   bench::banner(
@@ -23,17 +33,13 @@ void backend_table() {
   util::Table t({"mode", "workers", "steps", "work", "wall_ms"});
   for (const bool checked : {false, true}) {
     for (const std::size_t workers : {1u, 2u, 4u}) {
-      pram::Machine m(pram::Machine::Config{
-          checked ? pram::Policy::EREW : pram::Policy::Unchecked, workers,
-          n / 18});
-      pram::Array<std::int64_t> a(m, n, 1);
-      util::WallTimer timer;
-      par::exclusive_scan(m, a);
+      const auto res = core::probe_scan_substrate(
+          n, probe_config(n, checked, workers));
       t.row({util::Table::S(checked ? "EREW-checked" : "unchecked"),
              util::Table::I(static_cast<long long>(workers)),
-             util::Table::I(static_cast<long long>(m.stats().steps)),
-             util::Table::I(static_cast<long long>(m.stats().work)),
-             util::Table::F(timer.millis())});
+             util::Table::I(static_cast<long long>(res.stats.steps)),
+             util::Table::I(static_cast<long long>(res.stats.work)),
+             util::Table::F(res.wall_ms)});
     }
   }
   t.print(std::cout);
@@ -42,23 +48,22 @@ void backend_table() {
 
 void BM_scan_unchecked(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  core::BackendConfig cfg;
+  cfg.policy = pram::Policy::Unchecked;
+  cfg.processors = n / 16;
   for (auto _ : state) {
-    pram::Machine m(
-        pram::Machine::Config{pram::Policy::Unchecked, 1, n / 16});
-    pram::Array<std::int64_t> a(m, n, 1);
-    par::exclusive_scan(m, a);
-    benchmark::DoNotOptimize(a.host(n - 1));
+    benchmark::DoNotOptimize(core::probe_scan_substrate(n, cfg));
   }
 }
 BENCHMARK(BM_scan_unchecked)->Range(1 << 14, 1 << 20);
 
 void BM_scan_checked(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  core::BackendConfig cfg;
+  cfg.policy = pram::Policy::EREW;
+  cfg.processors = n / 16;
   for (auto _ : state) {
-    pram::Machine m(pram::Machine::Config{pram::Policy::EREW, 1, n / 16});
-    pram::Array<std::int64_t> a(m, n, 1);
-    par::exclusive_scan(m, a);
-    benchmark::DoNotOptimize(a.host(n - 1));
+    benchmark::DoNotOptimize(core::probe_scan_substrate(n, cfg));
   }
 }
 BENCHMARK(BM_scan_checked)->Range(1 << 14, 1 << 18);

@@ -1,5 +1,6 @@
 // E4 — Theorem 5.3 (the main result): reporting all paths of a minimum
-// path cover in O(log n) time and O(n) work on the EREW PRAM.
+// path cover in O(log n) time and O(n) work on the EREW PRAM, through the
+// Solver facade (Backend::Pram with trace collection).
 //
 // Expected shape: pipeline steps/log2(n) flat; work/n flat; work within a
 // constant factor of the sequential algorithm's time (work-optimality).
@@ -17,6 +18,9 @@ void report_table() {
       "E4: Theorem 5.3 — parallel minimum path cover (the main result)",
       "paper: O(log n) time, n/log n EREW processors, O(n) work. Expect "
       "steps/log2(n) flat and work/n flat across families and sizes.");
+  SolveOptions opts = bench::paper_options(Backend::Pram);
+  opts.collect_trace = true;
+  const Solver solver(opts);
   util::Table t({"family", "n", "paths", "steps", "steps/log2(n)", "work",
                  "work/n", "brackets", "dummies", "repair_rounds"});
   for (const char* family : {"random", "skewed", "deep"}) {
@@ -31,21 +35,21 @@ void report_table() {
         opt.skew = std::string(family) == "skewed" ? 0.8 : 0.0;
         inst = cograph::random_cotree(n, opt);
       }
-      auto m = bench::paper_machine(n);
-      core::PipelineTrace trace;
-      const auto cover = core::min_path_cover_pram(m, inst, {}, &trace);
+      const SolveResult res = solver.solve(Instance::view(inst));
+      bench::require_ok(res);
       t.row({util::Table::S(family),
              util::Table::I(static_cast<long long>(n)),
-             util::Table::I(static_cast<long long>(cover.paths.size())),
-             util::Table::I(static_cast<long long>(m.stats().steps)),
-             util::Table::F(static_cast<double>(m.stats().steps) /
+             util::Table::I(static_cast<long long>(res.cover.size())),
+             util::Table::I(static_cast<long long>(res.stats.steps)),
+             util::Table::F(static_cast<double>(res.stats.steps) /
                             static_cast<double>(logn)),
-             util::Table::I(static_cast<long long>(m.stats().work)),
-             util::Table::F(static_cast<double>(m.stats().work) /
+             util::Table::I(static_cast<long long>(res.stats.work)),
+             util::Table::F(static_cast<double>(res.stats.work) /
                             static_cast<double>(n)),
-             util::Table::I(static_cast<long long>(trace.bracket_length)),
-             util::Table::I(static_cast<long long>(trace.dummy_count)),
-             util::Table::I(static_cast<long long>(trace.repair_rounds))});
+             util::Table::I(static_cast<long long>(res.trace.bracket_length)),
+             util::Table::I(static_cast<long long>(res.trace.dummy_count)),
+             util::Table::I(
+                 static_cast<long long>(res.trace.repair_rounds))});
     }
   }
   t.print(std::cout);
@@ -57,13 +61,12 @@ void report_table() {
     cograph::RandomCotreeOptions opt;
     opt.seed = 3;
     const auto inst = cograph::random_cotree(n, opt);
-    auto m = bench::paper_machine(n);
-    core::PipelineTrace trace;
-    (void)core::min_path_cover_pram(m, inst, {}, &trace);
+    const SolveResult res = solver.solve(Instance::view(inst));
+    bench::require_ok(res);
     std::cout << "\nPer-stage breakdown (random, n = " << n << "):\n";
     util::Table ts({"stage", "steps", "share_%", "work", "work/n"});
-    const auto total_steps = static_cast<double>(m.stats().steps);
-    for (const auto& [name, steps, work] : trace.stages) {
+    const auto total_steps = static_cast<double>(res.stats.steps);
+    for (const auto& [name, steps, work] : res.trace.stages) {
       ts.row({util::Table::S(name),
               util::Table::I(static_cast<long long>(steps)),
               util::Table::F(100.0 * static_cast<double>(steps) /
@@ -77,20 +80,22 @@ void report_table() {
 
   // Work-optimality: PRAM work vs sequential wall time per vertex.
   std::cout << "\nWork-optimality check (work/n vs sequential ns/vertex):\n";
+  const Solver seq(bench::paper_options(Backend::Sequential));
   util::Table t2({"n", "pram work/n", "seq ns/vertex"});
   for (const std::size_t logn : {14u, 16u, 18u}) {
     const std::size_t n = std::size_t{1} << logn;
     cograph::RandomCotreeOptions opt;
     opt.seed = logn;
     const auto inst = cograph::random_cotree(n, opt);
-    auto m = bench::paper_machine(n);
-    (void)core::min_path_cover_pram(m, inst);
-    util::WallTimer timer;
-    (void)core::min_path_cover_sequential(inst);
+    const SolveResult pram_res =
+        bench::require_ok(solver.solve(Instance::view(inst)));
+    const SolveResult seq_res =
+        bench::require_ok(seq.solve(Instance::view(inst)));
     t2.row({util::Table::I(static_cast<long long>(n)),
-            util::Table::F(static_cast<double>(m.stats().work) /
+            util::Table::F(static_cast<double>(pram_res.stats.work) /
                            static_cast<double>(n)),
-            util::Table::F(timer.nanos() / static_cast<double>(n))});
+            util::Table::F(seq_res.wall_ms * 1e6 /
+                           static_cast<double>(n))});
   }
   t2.print(std::cout);
   std::cout << std::endl;
@@ -101,9 +106,9 @@ void BM_pipeline(benchmark::State& state) {
   cograph::RandomCotreeOptions opt;
   opt.seed = 77;
   const auto inst = cograph::random_cotree(n, opt);
+  const Solver solver(bench::paper_options(Backend::Pram));
   for (auto _ : state) {
-    auto m = bench::paper_machine(n);
-    benchmark::DoNotOptimize(core::min_path_cover_pram(m, inst));
+    benchmark::DoNotOptimize(solver.solve(Instance::view(inst)));
   }
 }
 BENCHMARK(BM_pipeline)->Range(1 << 12, 1 << 16);

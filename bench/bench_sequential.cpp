@@ -1,7 +1,8 @@
 // E2 — Lemma 2.3: the sequential algorithm runs in O(n).
 //
 // Expected shape: ns/vertex roughly flat as n grows (linear time), across
-// cotree shapes (random, skewed, clique, caterpillar).
+// cotree shapes (random, skewed, clique, caterpillar). Driven through the
+// Solver facade; SolveResult::wall_ms times the backend run alone.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
@@ -24,20 +25,20 @@ void sequential_table() {
   bench::banner("E2: Lemma 2.3 — sequential O(n) minimum path cover",
                 "paper: linear time. Expect ns/vertex flat in n for every "
                 "family.");
+  const Solver solver(bench::paper_options(Backend::Sequential));
   util::Table t({"family", "n", "paths", "total_ms", "ns/vertex"});
   for (const char* family :
        {"random", "skewed", "clique", "caterpillar"}) {
     for (const std::size_t logn : {12u, 14u, 16u, 18u, 20u}) {
       const std::size_t n = std::size_t{1} << logn;
       const auto inst = make_instance(family, n, logn);
-      util::WallTimer timer;
-      const auto cover = core::min_path_cover_sequential(inst);
-      const double ms = timer.millis();
+      const SolveResult res = solver.solve(Instance::view(inst));
+      bench::require_ok(res);
       t.row({util::Table::S(family),
              util::Table::I(static_cast<long long>(n)),
-             util::Table::I(static_cast<long long>(cover.paths.size())),
-             util::Table::F(ms),
-             util::Table::F(ms * 1e6 / static_cast<double>(n))});
+             util::Table::I(static_cast<long long>(res.cover.size())),
+             util::Table::F(res.wall_ms),
+             util::Table::F(res.wall_ms * 1e6 / static_cast<double>(n))});
     }
   }
   t.print(std::cout);
@@ -49,8 +50,9 @@ void BM_sequential(benchmark::State& state) {
   cograph::RandomCotreeOptions opt;
   opt.seed = 42;
   const auto inst = cograph::random_cotree(n, opt);
+  const Solver solver(bench::paper_options(Backend::Sequential));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::min_path_cover_sequential(inst));
+    benchmark::DoNotOptimize(solver.solve(Instance::view(inst)));
   }
   state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
 }

@@ -4,17 +4,25 @@
 //                                                   O(n log n) work
 //   this paper (contraction ranking):               O(log n), O(n)
 //
+// All three run through the Solver facade: Backend::NaiveParallel, and
+// Backend::Pram with the Wyllie vs Contract rank engines.
+//
 // Expected shape: on deep cotrees the step counts order as
 // optimal << lin94-profile << naive, with the gaps widening in n.
 #include <benchmark/benchmark.h>
 
-#include "baseline/naive_parallel.hpp"
 #include "bench_common.hpp"
 
 namespace {
 
 using namespace copath;
 using bench::log2z;
+
+Solver lin94_solver() {
+  SolveOptions opts = bench::paper_options(Backend::Pram);
+  opts.pipeline.rank_engine = par::RankEngine::Wyllie;
+  return Solver(opts);
+}
 
 void comparison_table() {
   bench::banner(
@@ -26,6 +34,9 @@ void comparison_table() {
       "optimal work/n stays flat. (At these sizes lin94's 2·log² n step "
       "count is still below the contraction ranker's c·log n — the time "
       "separation is asymptotic; see EXPERIMENTS.md.)");
+  const Solver naive(bench::paper_options(Backend::NaiveParallel));
+  const Solver lin94 = lin94_solver();
+  const Solver optimal(bench::paper_options(Backend::Pram));
   util::Table t({"family", "n", "naive_steps", "lin94_steps",
                  "optimal_steps", "naive/optimal", "lin94/optimal"});
   for (const char* family : {"caterpillar", "random"}) {
@@ -39,25 +50,20 @@ void comparison_table() {
         opt.seed = logn * 3;
         inst = cograph::random_cotree(n, opt);
       }
-      auto m_naive = bench::paper_machine(n);
-      (void)baseline::min_path_cover_naive_parallel(m_naive, inst);
-
-      core::PipelineOptions lin94;
-      lin94.rank_engine = par::RankEngine::Wyllie;
-      auto m_lin = bench::paper_machine(n);
-      (void)core::min_path_cover_pram(m_lin, inst, lin94);
-
-      auto m_opt = bench::paper_machine(n);
-      (void)core::min_path_cover_pram(m_opt, inst);
-
-      const auto ns = static_cast<double>(m_naive.stats().steps);
-      const auto ls = static_cast<double>(m_lin.stats().steps);
-      const auto os = static_cast<double>(m_opt.stats().steps);
+      const SolveResult r_naive =
+          bench::require_ok(naive.solve(Instance::view(inst)));
+      const SolveResult r_lin =
+          bench::require_ok(lin94.solve(Instance::view(inst)));
+      const SolveResult r_opt =
+          bench::require_ok(optimal.solve(Instance::view(inst)));
+      const auto ns = static_cast<double>(r_naive.stats.steps);
+      const auto ls = static_cast<double>(r_lin.stats.steps);
+      const auto os = static_cast<double>(r_opt.stats.steps);
       t.row({util::Table::S(family),
              util::Table::I(static_cast<long long>(n)),
-             util::Table::I(static_cast<long long>(m_naive.stats().steps)),
-             util::Table::I(static_cast<long long>(m_lin.stats().steps)),
-             util::Table::I(static_cast<long long>(m_opt.stats().steps)),
+             util::Table::I(static_cast<long long>(r_naive.stats.steps)),
+             util::Table::I(static_cast<long long>(r_lin.stats.steps)),
+             util::Table::I(static_cast<long long>(r_opt.stats.steps)),
              util::Table::F(ns / os), util::Table::F(ls / os)});
     }
   }
@@ -70,16 +76,14 @@ void comparison_table() {
     cograph::RandomCotreeOptions opt;
     opt.seed = logn;
     const auto inst = cograph::random_cotree(n, opt);
-    core::PipelineOptions lin94;
-    lin94.rank_engine = par::RankEngine::Wyllie;
-    auto m_lin = bench::paper_machine(n);
-    (void)core::min_path_cover_pram(m_lin, inst, lin94);
-    auto m_opt = bench::paper_machine(n);
-    (void)core::min_path_cover_pram(m_opt, inst);
+    const SolveResult r_lin =
+        bench::require_ok(lin94.solve(Instance::view(inst)));
+    const SolveResult r_opt =
+        bench::require_ok(optimal.solve(Instance::view(inst)));
     t2.row({util::Table::I(static_cast<long long>(n)),
-            util::Table::F(static_cast<double>(m_lin.stats().work) /
+            util::Table::F(static_cast<double>(r_lin.stats.work) /
                            static_cast<double>(n)),
-            util::Table::F(static_cast<double>(m_opt.stats().work) /
+            util::Table::F(static_cast<double>(r_opt.stats.work) /
                            static_cast<double>(n))});
   }
   t2.print(std::cout);
@@ -89,10 +93,9 @@ void comparison_table() {
 void BM_naive_deep(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto inst = cograph::caterpillar(n);
+  const Solver solver(bench::paper_options(Backend::NaiveParallel));
   for (auto _ : state) {
-    auto m = bench::paper_machine(n);
-    benchmark::DoNotOptimize(
-        baseline::min_path_cover_naive_parallel(m, inst));
+    benchmark::DoNotOptimize(solver.solve(Instance::view(inst)));
   }
 }
 BENCHMARK(BM_naive_deep)->Range(1 << 10, 1 << 14);
@@ -100,9 +103,9 @@ BENCHMARK(BM_naive_deep)->Range(1 << 10, 1 << 14);
 void BM_optimal_deep(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto inst = cograph::caterpillar(n);
+  const Solver solver(bench::paper_options(Backend::Pram));
   for (auto _ : state) {
-    auto m = bench::paper_machine(n);
-    benchmark::DoNotOptimize(core::min_path_cover_pram(m, inst));
+    benchmark::DoNotOptimize(solver.solve(Instance::view(inst)));
   }
 }
 BENCHMARK(BM_optimal_deep)->Range(1 << 10, 1 << 14);

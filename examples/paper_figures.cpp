@@ -13,8 +13,10 @@ int main() {
   const std::vector<std::uint8_t> bits{0, 0, 0, 0, 0, 1, 0, 1};
   const Cotree fig2 = cograph::or_instance(bits);
   std::cout << fig2.to_ascii();
-  pram::Machine m({pram::Policy::EREW, 1, 8});
-  const auto orres = core::or_via_path_cover(m, bits);
+  core::OrReductionOptions or_opt;
+  or_opt.policy = pram::Policy::EREW;
+  or_opt.processors = 8;
+  const auto orres = core::or_via_path_cover(bits, or_opt);
   std::cout << "minimum path cover: " << orres.path_cover_size << " (n+2="
             << bits.size() + 2 << ") => OR = " << orres.or_value << "\n"
             << "construction steps: " << orres.construction_steps
@@ -39,17 +41,27 @@ int main() {
   std::cout << "(vertex ids: a..f = 0..5; ids 6,7 are the two dummy "
                "vertices of the Case-2 join)\n";
 
-  core::ReferenceTrace trace;
-  const PathCover cover = core::min_path_cover_reference(fig10, &trace);
-  std::cout << "resulting Hamiltonian path: ";
-  for (std::size_t i = 0; i < cover.paths[0].size(); ++i) {
-    if (i) std::cout << " - ";
-    std::cout << fig10.name_of(cover.paths[0][i]);
+  // The same bracket pipeline through the Solver facade, on the host
+  // reference backend with trace collection and validation.
+  SolveOptions opts;
+  opts.backend = Backend::Reference;
+  opts.collect_trace = true;
+  opts.validate = true;
+  const Solver solver(opts);
+  const SolveResult res = solver.solve(Instance::view(fig10));
+  if (!res.ok) {
+    std::cerr << "solve failed: " << res.error << "\n";
+    return 1;
   }
-  std::cout << "\nrepair rounds used: " << trace.repair_rounds
+  std::cout << "resulting Hamiltonian path: ";
+  for (std::size_t i = 0; i < res.cover.paths[0].size(); ++i) {
+    if (i) std::cout << " - ";
+    std::cout << fig10.name_of(res.cover.paths[0][i]);
+  }
+  std::cout << "\nrepair rounds used: " << res.trace.repair_rounds
             << " (paper's Step 6 exchange)\n";
-  const auto rep = validate_path_cover(fig10, cover, true);
-  std::cout << "validated: " << (rep.ok ? "yes" : rep.error.c_str())
+  std::cout << "validated: "
+            << (res.validation.ok ? "yes" : res.validation.error.c_str())
             << "\n";
   return 0;
 }

@@ -1,7 +1,7 @@
-// Quickstart: build a cograph, compute a minimum path cover sequentially
-// and in parallel, and verify both.
+// Quickstart: build a cograph, solve it through the copath::Solver facade
+// on the sequential and PRAM backends, and inspect the structured result.
 //
-//   $ ./quickstart "(* (+ a b) (+ c d e))"
+//   $ ./example_quickstart "(* (+ a b) (+ c d e))"
 #include <iostream>
 
 #include "copath.hpp"
@@ -14,16 +14,15 @@ int main(int argc, char** argv) {
   //    normalizes it to the canonical cotree.
   const std::string expr =
       argc > 1 ? argv[1] : "(* (+ (* a b) c) (+ d e f))";
-  const Cotree t = Cotree::parse(expr);
+  Cotree t;
+  try {
+    t = Cotree::parse(expr);
+  } catch (const std::exception& e) {
+    std::cerr << "could not parse \"" << expr << "\":\n  " << e.what()
+              << "\n";
+    return 1;
+  }
   std::cout << "cotree: " << t.format() << "\n" << t.to_ascii() << "\n";
-
-  // 2. The minimum number of vertex-disjoint paths that cover the graph
-  //    (Lemma 2.4 machinery).
-  std::cout << "minimum path cover size: " << path_cover_size(t) << "\n";
-  std::cout << "has Hamiltonian path:  "
-            << (has_hamiltonian_path(t) ? "yes" : "no") << "\n";
-  std::cout << "has Hamiltonian cycle: "
-            << (has_hamiltonian_cycle(t) ? "yes" : "no") << "\n\n";
 
   const auto print_cover = [&](const char* label, const PathCover& c) {
     std::cout << label << " (" << c.paths.size() << " path(s)):\n";
@@ -38,24 +37,45 @@ int main(int argc, char** argv) {
     }
   };
 
-  // 3. Sequential O(n) algorithm (Lemma 2.3).
-  const PathCover seq = min_path_cover_sequential(t);
-  print_cover("sequential cover", seq);
+  // 2. One request/response call does it all: the cover, the exact minimum
+  //    (Lemma 2.4 machinery), the Hamiltonicity verdicts (the §1
+  //    corollary), and an independent validation report.
+  SolveOptions seq_opts;
+  seq_opts.backend = Backend::Sequential;  // Lemma 2.3, O(n)
+  seq_opts.validate = true;
+  const Solver sequential(seq_opts);
+  const SolveResult seq = sequential.solve(Instance::view(t));
+  if (!seq.ok) {
+    std::cerr << "solve failed: " << seq.error << "\n";
+    return 1;
+  }
+  std::cout << "minimum path cover size: " << seq.optimal_size << "\n";
+  std::cout << "has Hamiltonian path:  "
+            << (seq.hamiltonian_path ? "yes" : "no") << "\n";
+  std::cout << "has Hamiltonian cycle: "
+            << (seq.hamiltonian_cycle ? "yes" : "no") << "\n\n";
+  print_cover("sequential cover", seq.cover);
 
-  // 4. The paper's parallel algorithm (Theorem 5.3) on a simulated EREW
-  //    PRAM with n/log n processors; stats() carries the cost counters.
-  pram::Stats stats;
-  const PathCover par_cover = min_path_cover_parallel(t, /*workers=*/1,
-                                                      &stats);
-  print_cover("parallel cover", par_cover);
-  std::cout << "PRAM cost: " << stats << "\n";
+  // 3. Same request on the paper's parallel algorithm (Theorem 5.3): a
+  //    simulated EREW PRAM with n/log n processors; the result carries the
+  //    simulated cost counters.
+  SolveOptions par_opts;
+  par_opts.backend = Backend::Pram;
+  par_opts.validate = true;
+  const Solver parallel(par_opts);
+  const SolveResult par = parallel.solve(Instance::view(t));
+  if (!par.ok) {
+    std::cerr << "solve failed: " << par.error << "\n";
+    return 1;
+  }
+  print_cover("parallel cover", par.cover);
+  std::cout << "PRAM cost: " << par.stats << "\n";
 
-  // 5. Independent validation (vertex-disjointness, edges via the cotree
-  //    LCA oracle, minimality).
-  for (const auto* c : {&seq, &par_cover}) {
-    const auto rep = validate_path_cover(t, *c, /*require_minimum=*/true);
-    if (!rep.ok) {
-      std::cerr << "validation failed: " << rep.error << "\n";
+  // 4. Both covers were validated independently (vertex-disjointness,
+  //    edges via the cotree LCA oracle, minimality).
+  for (const SolveResult* res : {&seq, &par}) {
+    if (!res->validation.ok) {
+      std::cerr << "validation failed: " << res->validation.error << "\n";
       return 1;
     }
   }

@@ -4,8 +4,9 @@
 // Stations are grouped into segments; stations in different segments can
 // be wired adjacently on the ring (join), stations within a segment cannot
 // (union) — a complete multipartite compatibility graph, i.e. a cograph.
-// A Hamiltonian cycle is a valid token-ring visiting order; the paper's
-// machinery decides existence and constructs one.
+// A Hamiltonian cycle is a valid token-ring visiting order; the Solver
+// facade decides existence and constructs one in the same request. The
+// feasibility sweep at the end runs as one batch.
 #include <iostream>
 
 #include "copath.hpp"
@@ -18,23 +19,31 @@ int main() {
   std::cout << "network: complete multipartite with segments {4,3,3,2}, n="
             << net.vertex_count() << "\n";
 
-  if (!has_hamiltonian_cycle(net)) {
+  SolveOptions opts;
+  opts.want_hamiltonian_cycle = true;
+  Solver solver(opts);
+  const SolveResult res = solver.solve(Instance::view(net));
+  if (!res.ok) {
+    std::cerr << "solve failed: " << res.error << "\n";
+    return 1;
+  }
+  if (!res.hamiltonian_cycle) {
     std::cout << "no valid ring ordering exists\n";
     return 0;
   }
-  const auto ring = hamiltonian_cycle(net);
+  const auto& ring = *res.cycle;
   std::cout << "token ring order: ";
-  for (std::size_t i = 0; i < ring->size(); ++i) {
+  for (std::size_t i = 0; i < ring.size(); ++i) {
     if (i) std::cout << " -> ";
-    std::cout << 's' << (*ring)[i];
+    std::cout << 's' << ring[i];
   }
-  std::cout << " -> s" << (*ring)[0] << "\n";
+  std::cout << " -> s" << ring[0] << "\n";
 
   // Check every hop against the compatibility oracle.
   const cograph::CotreeAdjacency adj(net);
-  for (std::size_t i = 0; i < ring->size(); ++i) {
-    const VertexId a = (*ring)[i];
-    const VertexId b = (*ring)[(i + 1) % ring->size()];
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const VertexId a = ring[i];
+    const VertexId b = ring[(i + 1) % ring.size()];
     if (!adj.adjacent(a, b)) {
       std::cerr << "hop " << a << "->" << b << " is illegal!\n";
       return 1;
@@ -43,13 +52,26 @@ int main() {
   std::cout << "all hops verified against segment constraints\n\n";
 
   // Degrade the network: one segment grows until the ring must break
-  // (the paper's condition p(V) <= L(W) at the root split fails).
+  // (the paper's condition p(V) <= L(W) at the root split fails). The
+  // whole sweep is one solve_batch call over the shared thread pool.
   std::cout << "segment-0 size sweep (ring feasibility):\n";
+  std::vector<Cotree> sweep;
   for (std::size_t big = 4; big <= 12; ++big) {
-    const Cotree t = cograph::complete_multipartite({big, 3, 3, 2});
-    std::cout << "  {" << big << ",3,3,2}: "
-              << (has_hamiltonian_cycle(t) ? "ring OK" : "no ring")
-              << "  (min path cover = " << path_cover_size(t) << ")\n";
+    sweep.push_back(cograph::complete_multipartite({big, 3, 3, 2}));
+  }
+  std::vector<SolveRequest> reqs;
+  for (const auto& t : sweep) {
+    reqs.push_back(SolveRequest{Instance::view(t), std::nullopt, {}});
+  }
+  const auto results = solver.solve_batch(reqs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok) {
+      std::cerr << "sweep solve failed: " << results[i].error << "\n";
+      return 1;
+    }
+    std::cout << "  {" << 4 + i << ",3,3,2}: "
+              << (results[i].hamiltonian_cycle ? "ring OK" : "no ring")
+              << "  (min path cover = " << results[i].optimal_size << ")\n";
   }
   return 0;
 }

@@ -34,27 +34,35 @@ int main() {
   std::cout << "task compatibility cotree:\n"
             << program.to_ascii() << "\n";
 
-  const auto chains = path_cover_size(program);
-  std::cout << "minimum processor chains required: " << chains << "\n\n";
+  // One Solver request answers everything: the schedule, the chain count,
+  // the simulated EREW cost, and an independent validation report.
+  SolveOptions opts;
+  opts.backend = Backend::Pram;  // Theorem 5.3 on the simulated EREW PRAM
+  opts.validate = true;
+  const Solver solver(opts);
+  const SolveResult res = solver.solve(Instance::view(program));
+  if (!res.ok) {
+    std::cerr << "solve failed: " << res.error << "\n";
+    return 1;
+  }
 
-  pram::Stats stats;
-  const PathCover cover = min_path_cover_parallel(program, 1, &stats);
+  std::cout << "minimum processor chains required: " << res.optimal_size
+            << "\n\n";
   std::cout << "schedule (each line = one processor chain):\n";
-  for (std::size_t i = 0; i < cover.paths.size(); ++i) {
+  for (std::size_t i = 0; i < res.cover.paths.size(); ++i) {
     std::cout << "  chain " << i << ": ";
-    for (std::size_t j = 0; j < cover.paths[i].size(); ++j) {
+    for (std::size_t j = 0; j < res.cover.paths[i].size(); ++j) {
       if (j) std::cout << " -> ";
-      std::cout << program.name_of(cover.paths[i][j]);
+      std::cout << program.name_of(res.cover.paths[i][j]);
     }
     std::cout << "\n";
   }
-  std::cout << "\ncomputed on the EREW PRAM in " << stats.steps
-            << " steps / " << stats.work << " work ("
-            << "n = " << program.vertex_count() << ")\n";
+  std::cout << "\ncomputed on the EREW PRAM in " << res.stats.steps
+            << " steps / " << res.stats.work << " work ("
+            << "n = " << res.vertex_count << ")\n";
 
-  const auto rep = validate_path_cover(program, cover, true);
-  if (!rep.ok) {
-    std::cerr << "invalid schedule: " << rep.error << "\n";
+  if (!res.validation.ok) {
+    std::cerr << "invalid schedule: " << res.validation.error << "\n";
     return 1;
   }
   std::cout << "schedule validated.\n";

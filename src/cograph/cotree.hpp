@@ -40,7 +40,9 @@ enum class NodeKind : std::uint8_t {
     case NodeKind::Union: return '+';
     case NodeKind::Join: return '*';
   }
-  return '?';
+  // A NodeKind outside the enum is a corrupted tree, not a printable state.
+  util::check_failed("NodeKind is Leaf/Union/Join", __FILE__, __LINE__,
+                     "kind_char: invalid NodeKind value");
 }
 
 class CotreeBuilder;

@@ -5,16 +5,25 @@
 // (2003) 1541-1556). See README.md for the quickstart and DESIGN.md for the
 // system inventory.
 //
-// Public surface (namespaces re-exported below):
-//   cograph::Cotree / CotreeBuilder / parse-format     the input language
-//   cograph::Graph, recognize_cograph                  graph-side substrate
-//   core::min_path_cover_sequential                    Lemma 2.3, O(n)
-//   core::min_path_cover_parallel / _pram              Theorem 5.3, EREW
-//                                                      O(log n) / O(n) work
-//   core::path_cover_size, path_counts_pram            Lemma 2.4
-//   core::has_hamiltonian_path / _cycle, constructors  the §1 corollary
-//   core::validate_path_cover                          independent checker
-//   pram::Machine / Policy / Stats                     the PRAM simulator
+// Public surface:
+//   copath::Solver / Instance / SolveRequest /          THE entry point: one
+//     SolveOptions / SolveResult / CountResult          request/response API
+//                                                       over every backend,
+//                                                       with batch solving
+//   copath::Backend, core::BackendRegistry              engine selection and
+//                                                       plug-in registration
+//   cograph::Cotree / CotreeBuilder / parse-format      the input language
+//   cograph::Graph, recognize_cograph                   graph-side substrate
+//   pram::Machine / Policy / Stats                      the PRAM simulator
+//
+// Compatibility layer (free functions predating the Solver facade; they
+// delegate to the same engines and remain supported):
+//   core::min_path_cover_sequential                     Lemma 2.3, O(n)
+//   core::min_path_cover_parallel / _pram               Theorem 5.3, EREW
+//                                                       O(log n) / O(n) work
+//   core::path_cover_size, path_counts_pram             Lemma 2.4
+//   core::has_hamiltonian_path / _cycle, constructors   the §1 corollary
+//   core::validate_path_cover                           independent checker
 #pragma once
 
 #include "cograph/binarize.hpp"
@@ -22,6 +31,8 @@
 #include "cograph/families.hpp"
 #include "cograph/graph.hpp"
 #include "cograph/recognition.hpp"
+#include "copath_solver.hpp"
+#include "core/backend.hpp"
 #include "core/brackets.hpp"
 #include "core/count.hpp"
 #include "core/forest.hpp"
@@ -37,12 +48,16 @@
 namespace copath {
 
 // Convenience aliases so applications can stay inside `copath::`.
+// (Solver, Instance, SolveRequest, SolveOptions, SolveResult, CountResult,
+// and Backend already live in `copath::` via copath_solver.hpp.)
 using cograph::Cotree;
 using cograph::CotreeBuilder;
 using cograph::Graph;
 using cograph::NodeKind;
 using cograph::recognize_cograph;
 using cograph::VertexId;
+
+using core::BackendRegistry;
 
 using core::has_hamiltonian_cycle;
 using core::has_hamiltonian_path;

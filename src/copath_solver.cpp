@@ -1,0 +1,224 @@
+#include "copath_solver.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "cograph/binarize.hpp"
+#include "core/count.hpp"
+#include "core/hamiltonian.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace copath {
+
+// ---------------------------------------------------------------- Instance
+
+Instance Instance::cotree(cograph::Cotree t) {
+  Instance i;
+  i.source_ = std::move(t);
+  return i;
+}
+
+Instance Instance::text(std::string algebra) {
+  Instance i;
+  i.source_ = std::move(algebra);
+  i.cache_ = std::make_shared<ResolveCache>();
+  return i;
+}
+
+Instance Instance::graph(cograph::Graph g) {
+  Instance i;
+  i.source_ = std::move(g);
+  i.cache_ = std::make_shared<ResolveCache>();
+  return i;
+}
+
+Instance Instance::view(const cograph::Cotree& t) {
+  Instance i;
+  i.source_ = &t;
+  return i;
+}
+
+const cograph::Cotree& Instance::resolve() const {
+  if (const auto* borrowed = std::get_if<const cograph::Cotree*>(&source_)) {
+    return **borrowed;
+  }
+  if (const auto* owned = std::get_if<cograph::Cotree>(&source_)) {
+    return *owned;
+  }
+  COPATH_CHECK_MSG(cache_ != nullptr, "empty Instance passed to Solver");
+  // call_once makes the first resolution of a shared Instance race-free; a
+  // throwing resolution leaves the flag unset, so the error repeats on
+  // every attempt instead of poisoning later calls.
+  std::call_once(cache_->once, [this] {
+    if (const auto* algebra = std::get_if<std::string>(&source_)) {
+      cache_->tree = cograph::Cotree::parse(*algebra);
+      return;
+    }
+    const auto& g = std::get<cograph::Graph>(source_);
+    auto rec = cograph::recognize_cograph(g);
+    if (!rec.is_cograph()) {
+      std::ostringstream os;
+      os << "input graph is not a cograph; induced P4 witness:";
+      for (const auto v : rec.p4_witness) os << ' ' << v;
+      COPATH_CHECK_MSG(false, os.str());
+    }
+    cache_->tree = std::move(*rec.cotree);
+  });
+  return *cache_->tree;
+}
+
+// ------------------------------------------------------------------ Solver
+
+SolveResult Solver::solve_with(const Instance& inst,
+                               const std::string& label,
+                               const SolveOptions& opts) const {
+  SolveResult res;
+  res.label = label;
+  res.backend = opts.backend;
+  try {
+    const cograph::Cotree& t = inst.resolve();
+    const auto entry = core::BackendRegistry::instance().find(opts.backend);
+    COPATH_CHECK_MSG(entry != nullptr,
+                     "backend not registered: "
+                         << core::to_string(opts.backend));
+
+    core::BackendConfig cfg;
+    cfg.workers = opts.workers;
+    cfg.processors = opts.processors;
+    cfg.policy = opts.policy;
+    cfg.pipeline = opts.pipeline;
+    cfg.collect_trace = opts.collect_trace;
+
+    util::WallTimer timer;
+    core::BackendOutput out = entry->fn(t, cfg);
+    res.wall_ms = timer.millis();
+
+    res.vertex_count = t.vertex_count();
+    res.cover = std::move(out.cover);
+    res.stats = out.stats;
+    res.stats_valid = out.used_pram;
+    res.trace = std::move(out.trace);
+    res.trace_valid = out.traced;
+
+    if (opts.compute_verdicts) {
+      res.optimal_size = core::path_cover_size(t);
+      res.minimum =
+          static_cast<std::int64_t>(res.cover.size()) == res.optimal_size;
+      res.hamiltonian_path = res.optimal_size == 1;
+      res.hamiltonian_cycle = core::has_hamiltonian_cycle(t);
+      if (opts.want_hamiltonian_cycle && res.hamiltonian_cycle) {
+        res.cycle = core::hamiltonian_cycle(t);
+      }
+    } else {
+      res.optimal_size = -1;
+      if (opts.want_hamiltonian_cycle) {
+        res.cycle = core::hamiltonian_cycle(t);
+        res.hamiltonian_cycle = res.cycle.has_value();
+      }
+    }
+    if (opts.validate) {
+      res.validation = core::validate_path_cover(
+          t, res.cover, /*require_minimum=*/entry->exact);
+    }
+    res.ok = true;
+  } catch (const std::exception& e) {
+    res = SolveResult{};
+    res.label = label;
+    res.backend = opts.backend;
+    res.error = e.what();
+  }
+  return res;
+}
+
+SolveResult Solver::solve(const SolveRequest& req) const {
+  return solve_with(req.instance, req.label,
+                    req.options.value_or(defaults_));
+}
+
+std::vector<SolveResult> Solver::solve_batch(
+    std::span<const SolveRequest> reqs) {
+  std::vector<SolveResult> results(reqs.size());
+  if (reqs.empty()) return results;
+  if (pool_ == nullptr) {
+    const std::size_t workers = defaults_.batch_workers == 0
+                                    ? util::ThreadPool::default_workers()
+                                    : defaults_.batch_workers;
+    pool_ = std::make_unique<util::ThreadPool>(workers);
+  }
+  pool_->parallel_for(0, reqs.size(), [&](std::size_t i) {
+    SolveOptions opts = reqs[i].options.value_or(defaults_);
+    // One instance per pool worker: the per-instance machine runs inline.
+    opts.workers = 1;
+    results[i] = solve_with(reqs[i].instance, reqs[i].label, opts);
+  });
+  return results;
+}
+
+CountResult Solver::count(const SolveRequest& req) const {
+  const SolveOptions opts = req.options.value_or(defaults_);
+  CountResult res;
+  try {
+    const cograph::Cotree& t = req.instance.resolve();
+    res.vertex_count = t.vertex_count();
+
+    // Counting always runs the built-in Lemma 2.4 engines; the backend
+    // selects the PRAM contraction vs the host sweep (and must at least be
+    // registered, so misconfigurations fail here exactly as in solve()).
+    COPATH_CHECK_MSG(
+        core::BackendRegistry::instance().find(opts.backend) != nullptr,
+        "backend not registered: " << core::to_string(opts.backend));
+
+    auto bc = cograph::binarize(t);
+    const auto leaf_count = cograph::make_leftist(bc);
+    const auto root = static_cast<std::size_t>(bc.tree.root);
+
+    util::WallTimer timer;
+    if (core::uses_pram_machine(opts.backend)) {
+      core::BackendConfig cfg;
+      cfg.workers = opts.workers;
+      cfg.processors = opts.processors;
+      cfg.policy = opts.policy;
+      cfg = core::apply_backend_contract(opts.backend, cfg);
+      // The binarized tree has ~2n nodes; the paper budget follows it.
+      pram::Machine m(core::machine_config(2 * t.vertex_count(), cfg));
+      const auto p = core::path_counts_pram(m, bc, leaf_count);
+      res.path_cover_size = p[root];
+      res.stats = m.stats();
+      res.stats_valid = true;
+    } else {
+      const auto p = core::path_counts_host(bc, leaf_count);
+      res.path_cover_size = p[root];
+    }
+    res.wall_ms = timer.millis();
+    res.hamiltonian_path = res.path_cover_size == 1;
+    res.hamiltonian_cycle = core::has_hamiltonian_cycle(t);
+    res.ok = true;
+  } catch (const std::exception& e) {
+    res = CountResult{};
+    res.error = e.what();
+  }
+  return res;
+}
+
+}  // namespace copath
+
+namespace copath::core {
+
+// Compatibility wrapper: the historical convenience entry point now
+// delegates to the Solver facade (Backend::Parallel).
+PathCover min_path_cover_parallel(const cograph::Cotree& t,
+                                  std::size_t workers,
+                                  pram::Stats* stats_out) {
+  SolveOptions opts;
+  opts.backend = Backend::Parallel;
+  opts.workers = workers;
+  opts.compute_verdicts = false;  // cost parity with the historical entry
+  const Solver solver(opts);
+  SolveResult res = solver.solve(SolveRequest{Instance::view(t), {}, {}});
+  COPATH_CHECK_MSG(res.ok, "min_path_cover_parallel: " << res.error);
+  if (stats_out != nullptr) *stats_out = res.stats;
+  return std::move(res.cover);
+}
+
+}  // namespace copath::core

@@ -1,0 +1,216 @@
+// copath::Solver — the one-stop request/response facade over every path
+// cover engine in the library.
+//
+// A SolveRequest carries an Instance (a parsed cotree, cotree-algebra text,
+// or an edge-list graph routed through the cograph recognizer) plus
+// optional per-request SolveOptions overriding the solver's defaults. A
+// SolveResult bundles everything the engines can report: the cover, the
+// exact minimum (from the independently-tested counting recursion), the
+// Hamiltonian path/cycle verdicts, the pipeline stage trace, the simulated
+// PRAM cost, an optional independent validation report, and wall time.
+//
+//   copath::Solver solver;
+//   auto res = solver.solve({copath::Instance::text("(* (+ a b) c)")});
+//   // res.cover, res.optimal_size, res.hamiltonian_path, ...
+//
+// Backends dispatch through core::BackendRegistry (core/backend.hpp), so
+// new engines plug in without touching callers. Solver::solve_batch fans a
+// span of requests over one lazily-created util::ThreadPool that is reused
+// across calls — the high-throughput entry point; per-instance machines run
+// inline on the pool's workers so thread setup is paid once per Solver, not
+// once per instance.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cograph/cotree.hpp"
+#include "cograph/graph.hpp"
+#include "cograph/recognition.hpp"
+#include "core/backend.hpp"
+#include "core/path_cover.hpp"
+#include "core/pipeline.hpp"
+#include "pram/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace copath {
+
+using core::Backend;
+
+/// A problem instance in whichever form the caller has it. Resolution to a
+/// cotree (parsing text / recognizing a graph) is lazy and cached — batch
+/// pipelines pay it exactly once per instance, copies share the cache, and
+/// the first resolution is std::call_once-guarded so sharing one Instance
+/// across threads is safe.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// An already-built cotree (owned).
+  static Instance cotree(cograph::Cotree t);
+  /// Cotree-algebra text, e.g. "(* (+ a b) (+ c d e))".
+  static Instance text(std::string algebra);
+  /// An explicit graph; resolution routes through recognize_cograph and
+  /// fails (with the P4 witness in the error) unless it is a cograph.
+  static Instance graph(cograph::Graph g);
+  /// A non-owning view of a caller-held cotree (caller guarantees the
+  /// cotree outlives the Instance; no copy is made).
+  static Instance view(const cograph::Cotree& t);
+
+  [[nodiscard]] bool empty() const {
+    return std::holds_alternative<std::monostate>(source_);
+  }
+
+  /// The cotree form, materializing it on first use. Throws
+  /// util::CheckError on parse failure or when a graph is not a cograph.
+  [[nodiscard]] const cograph::Cotree& resolve() const;
+
+ private:
+  struct ResolveCache {
+    std::once_flag once;
+    std::optional<cograph::Cotree> tree;
+  };
+
+  std::variant<std::monostate, cograph::Cotree, std::string, cograph::Graph,
+               const cograph::Cotree*>
+      source_;
+  /// Created by the text/graph factories; shared by copies so resolution
+  /// happens once per logical instance.
+  std::shared_ptr<ResolveCache> cache_;
+};
+
+/// Per-solve knobs. Everything beyond `backend` is advisory for backends
+/// that do not use a PRAM machine.
+struct SolveOptions {
+  Backend backend = Backend::Sequential;
+  /// Physical worker threads for PRAM machines (1 = inline execution).
+  std::size_t workers = 1;
+  /// Virtual processor budget; 0 = the paper's n / log2(n).
+  std::size_t processors = 0;
+  /// Access discipline enforced by PRAM machines.
+  pram::Policy policy = pram::Policy::EREW;
+  /// Pipeline knobs (rank engine, repair cap) for PRAM backends.
+  core::PipelineOptions pipeline{};
+  /// Collect the per-stage PipelineTrace where supported.
+  bool collect_trace = false;
+  /// Run the independent validator on the produced cover (minimality is
+  /// required only for exact backends).
+  bool validate = false;
+  /// Construct the Hamiltonian cycle order when one exists.
+  bool want_hamiltonian_cycle = false;
+  /// Compute optimal_size / minimum / Hamiltonicity verdicts (two extra
+  /// O(n) host sweeps). Hot paths that only need the cover turn this off;
+  /// SolveResult::optimal_size is then -1 and the verdict flags stay false
+  /// (want_hamiltonian_cycle still works — the cycle attempt itself is the
+  /// verdict).
+  bool compute_verdicts = true;
+  /// Worker threads for solve_batch; 0 = hardware concurrency. Read from
+  /// the Solver's *defaults* when its pool is first created (per-request
+  /// overrides are ignored — the pool is shared across the whole batch and
+  /// reused for the Solver's lifetime).
+  std::size_t batch_workers = 0;
+};
+
+struct SolveRequest {
+  Instance instance;
+  /// Overrides the Solver's default options when set.
+  std::optional<SolveOptions> options;
+  /// Free-form tag copied into the result (batch bookkeeping).
+  std::string label;
+};
+
+/// Structured response. `ok` is false when the instance could not be
+/// resolved or the backend rejected it; `error` then carries the reason and
+/// every other field is default-initialized.
+struct SolveResult {
+  bool ok = false;
+  std::string error;
+  std::string label;
+  Backend backend = Backend::Sequential;
+
+  std::size_t vertex_count = 0;
+  core::PathCover cover;
+  /// The exact minimum path cover size (Lemma 2.4 counting recursion) —
+  /// independent of the backend, so heuristic covers can be scored.
+  /// -1 when options.compute_verdicts is off.
+  std::int64_t optimal_size = 0;
+  /// cover.size() == optimal_size (always true for exact backends).
+  bool minimum = false;
+  bool hamiltonian_path = false;
+  bool hamiltonian_cycle = false;
+  /// Set when options.want_hamiltonian_cycle and a cycle exists.
+  std::optional<std::vector<cograph::VertexId>> cycle;
+
+  /// Simulated PRAM cost (PRAM backends only; see stats_valid).
+  pram::Stats stats{};
+  bool stats_valid = false;
+  /// Pipeline stage trace (when options.collect_trace and supported).
+  core::PipelineTrace trace{};
+  bool trace_valid = false;
+  /// Independent validation (when options.validate).
+  core::ValidationReport validation{};
+
+  /// Wall time of the backend run alone (excludes instance resolution,
+  /// verdicts, and validation).
+  double wall_ms = 0.0;
+};
+
+/// Count-only response (Lemma 2.4 workloads: path cover size and the
+/// Hamiltonicity verdicts without reporting a cover).
+struct CountResult {
+  bool ok = false;
+  std::string error;
+  std::size_t vertex_count = 0;
+  std::int64_t path_cover_size = 0;
+  bool hamiltonian_path = false;
+  bool hamiltonian_cycle = false;
+  pram::Stats stats{};
+  bool stats_valid = false;
+  double wall_ms = 0.0;
+};
+
+class Solver {
+ public:
+  Solver() = default;
+  explicit Solver(SolveOptions defaults) : defaults_(std::move(defaults)) {}
+
+  [[nodiscard]] const SolveOptions& defaults() const { return defaults_; }
+
+  /// Solves one request. Does not throw: resolution/backend failures come
+  /// back as ok == false results with the reason in `error`.
+  [[nodiscard]] SolveResult solve(const SolveRequest& req) const;
+  /// Convenience: one instance, the solver's default options. The instance
+  /// is not copied, so its resolution cache benefits repeat calls.
+  [[nodiscard]] SolveResult solve(const Instance& inst) const {
+    return solve_with(inst, {}, defaults_);
+  }
+
+  /// Solves every request, fanning instances across one shared
+  /// util::ThreadPool (created lazily, reused across calls). Results are
+  /// positionally aligned with `reqs` and identical to per-request solve()
+  /// up to wall-clock fields. Per-instance PRAM machines are forced to
+  /// inline execution (workers = 1) — parallelism comes from the batch.
+  [[nodiscard]] std::vector<SolveResult> solve_batch(
+      std::span<const SolveRequest> reqs);
+
+  /// Count-only entry (Lemma 2.4): the minimum path cover size and the
+  /// Hamiltonicity verdicts. Always runs the built-in counting engines —
+  /// the backend (which must be registered) only selects the PRAM tree
+  /// contraction (machine cost reported) vs the host post-order sweep;
+  /// plug-in cover engines are not consulted here.
+  [[nodiscard]] CountResult count(const SolveRequest& req) const;
+
+ private:
+  SolveResult solve_with(const Instance& inst, const std::string& label,
+                         const SolveOptions& opts) const;
+
+  SolveOptions defaults_;
+  std::unique_ptr<util::ThreadPool> pool_;  // lazily built by solve_batch
+};
+
+}  // namespace copath

@@ -1,5 +1,7 @@
 #include "core/or_reduction.hpp"
 
+#include <algorithm>
+
 #include "cograph/binarize.hpp"
 #include "cograph/families.hpp"
 #include "core/count.hpp"
@@ -59,6 +61,13 @@ OrReductionResult or_via_path_cover(pram::Machine& m,
   res.or_value =
       res.path_cover_size < static_cast<std::int64_t>(n) + 2;
   return res;
+}
+
+OrReductionResult or_via_path_cover(const std::vector<std::uint8_t>& bits,
+                                    const OrReductionOptions& opt) {
+  pram::Machine m(pram::Machine::Config{
+      opt.policy, std::max<std::size_t>(1, opt.workers), opt.processors});
+  return or_via_path_cover(m, bits);
 }
 
 }  // namespace copath::core

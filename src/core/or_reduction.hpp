@@ -31,4 +31,18 @@ struct OrReductionResult {
 OrReductionResult or_via_path_cover(pram::Machine& m,
                                     const std::vector<std::uint8_t>& bits);
 
+/// Machine construction knobs for the self-contained overload below.
+struct OrReductionOptions {
+  pram::Policy policy = pram::Policy::Unchecked;
+  std::size_t workers = 1;
+  /// Virtual processors; 0 = one per element (maximal parallelism), the
+  /// unbounded-processor setting of Theorem 2.2.
+  std::size_t processors = 0;
+};
+
+/// Self-contained overload: builds the machine internally so callers
+/// (benches, examples) never wire up pram::Machine themselves.
+OrReductionResult or_via_path_cover(const std::vector<std::uint8_t>& bits,
+                                    const OrReductionOptions& opt = {});
+
 }  // namespace copath::core

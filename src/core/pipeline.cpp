@@ -1,7 +1,5 @@
 #include "core/pipeline.hpp"
 
-#include <cmath>
-
 #include "cograph/binarize.hpp"
 #include "core/count.hpp"
 #include "par/brackets.hpp"
@@ -710,19 +708,7 @@ PathCover min_path_cover_pram(Machine& m, const cograph::Cotree& t,
   return cover;
 }
 
-PathCover min_path_cover_parallel(const cograph::Cotree& t,
-                                  std::size_t workers,
-                                  pram::Stats* stats_out) {
-  const std::size_t n = t.vertex_count();
-  const std::size_t logn =
-      std::max<std::size_t>(1, static_cast<std::size_t>(std::log2(
-                                   static_cast<double>(std::max<std::size_t>(
-                                       2, n)))));
-  Machine m(Machine::Config{pram::Policy::EREW, workers,
-                            std::max<std::size_t>(1, n / logn)});
-  PathCover cover = min_path_cover_pram(m, t);
-  if (stats_out != nullptr) *stats_out = m.stats();
-  return cover;
-}
+// min_path_cover_parallel is defined in copath_solver.cpp as a thin
+// compatibility wrapper over the Solver facade (Backend::Parallel).
 
 }  // namespace copath::core

@@ -16,6 +16,40 @@ TEST(Parse, RoundTripsCanonicalForm) {
   EXPECT_EQ(t.size(), 10u);  // 6 leaves + 4 internal nodes
 }
 
+TEST(Parse, FormatRoundTripsAcrossFamiliesAndRandomTrees) {
+  // format() must be a fixed point of parse(): parse(format(t)) formats
+  // back to the identical canonical string, structure included.
+  std::vector<Cotree> trees;
+  trees.push_back(clique(7));
+  trees.push_back(independent_set(5));
+  trees.push_back(star(6));
+  trees.push_back(complete_multipartite({3, 2, 2}));
+  trees.push_back(threshold_graph({1, 0, 1, 1, 0}));
+  trees.push_back(caterpillar(15));
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    RandomCotreeOptions opt;
+    opt.seed = 1000 + seed;
+    opt.skew = (seed % 4) * 0.25;
+    trees.push_back(random_cotree(1 + (seed * 13) % 50, opt));
+  }
+  for (const auto& t : trees) {
+    const std::string text = t.format();
+    const Cotree re = Cotree::parse(text);
+    EXPECT_EQ(re.format(), text);
+    EXPECT_EQ(re.vertex_count(), t.vertex_count());
+    EXPECT_EQ(re.size(), t.size());
+    re.validate();
+  }
+}
+
+TEST(KindChar, CoversEveryKindAndRejectsCorruptValues) {
+  EXPECT_EQ(kind_char(NodeKind::Leaf), 'v');
+  EXPECT_EQ(kind_char(NodeKind::Union), '+');
+  EXPECT_EQ(kind_char(NodeKind::Join), '*');
+  // A value outside the enum is a corrupted tree: loud failure, not '?'.
+  EXPECT_THROW(kind_char(static_cast<NodeKind>(7)), util::CheckError);
+}
+
 TEST(Parse, SingleLeaf) {
   const Cotree t = Cotree::parse("x");
   EXPECT_EQ(t.vertex_count(), 1u);

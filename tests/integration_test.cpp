@@ -1,105 +1,107 @@
-// End-to-end flows across module boundaries: raw graph -> recognition ->
-// parallel cover -> validation; all algorithms agreeing on one instance;
-// property sweeps combining every engine.
+// End-to-end flows across module boundaries, driven through the
+// copath::Solver facade: raw graph -> recognition -> parallel cover ->
+// validation; all backends agreeing on one instance; property sweeps
+// combining every engine.
 #include <gtest/gtest.h>
 
-#include "baseline/brute_force.hpp"
-#include "baseline/naive_parallel.hpp"
-#include "cograph/families.hpp"
-#include "cograph/recognition.hpp"
-#include "core/count.hpp"
-#include "core/pipeline.hpp"
-#include "core/reference.hpp"
-#include "core/sequential.hpp"
+#include "copath.hpp"
 #include "util/rng.hpp"
 
 namespace copath {
 namespace {
 
-using cograph::Cotree;
-using cograph::Graph;
 using cograph::RandomCotreeOptions;
-using pram::Machine;
-using pram::Policy;
 
 TEST(Integration, RawGraphToParallelCover) {
   // A user starts from edges, not a cotree.
   Graph g(7);
   // join(K3, union(K2, 2 singletons)) built by hand.
-  for (const auto [u, v] : std::vector<std::pair<int, int>>{
+  for (const auto& [u, v] : std::vector<std::pair<int, int>>{
            {0, 1}, {0, 2}, {1, 2}, {3, 4}}) {
     g.add_edge(u, v);
   }
   for (int a = 0; a < 3; ++a)
     for (int b = 3; b < 7; ++b) g.add_edge(a, b);
   g.finalize();
-  const auto rec = cograph::recognize_cograph(g);
-  ASSERT_TRUE(rec.is_cograph());
-  Machine m({Policy::EREW, 1, 4});
-  const core::PathCover c = core::min_path_cover_pram(m, *rec.cotree);
-  const auto rep = core::validate_path_cover(*rec.cotree, c, true);
-  ASSERT_TRUE(rep.ok) << rep.error;
+
+  SolveOptions opts;
+  opts.backend = Backend::Pram;
+  opts.processors = 4;
+  opts.validate = true;
+  const Solver solver(opts);
+  const auto res = solver.solve(Instance::graph(g));
+  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.validation.ok) << res.validation.error;
   // Cover must also be valid for the *original* graph.
-  for (const auto& p : c.paths) {
+  for (const auto& p : res.cover.paths) {
     for (std::size_t i = 0; i + 1 < p.size(); ++i)
       ASSERT_TRUE(g.has_edge(p[i], p[i + 1]));
   }
 }
 
-TEST(Integration, AllAlgorithmsAgreeOnPathCount) {
+TEST(Integration, AllBackendsAgreeOnPathCount) {
   util::Rng rng(2718);
   for (int trial = 0; trial < 40; ++trial) {
     RandomCotreeOptions opt;
     opt.seed = 5550 + static_cast<unsigned>(trial);
     opt.skew = (trial % 4) * 0.3;
     const Cotree t = cograph::random_cotree(1 + rng.below(60), opt);
-    const auto want = core::path_cover_size(t);
+    const auto want = path_cover_size(t);
 
-    const auto seq = core::min_path_cover_sequential(t);
-    EXPECT_EQ(static_cast<std::int64_t>(seq.paths.size()), want);
-
-    const auto ref = core::min_path_cover_reference(t);
-    EXPECT_EQ(static_cast<std::int64_t>(ref.paths.size()), want);
-
-    Machine m1({Policy::EREW, 1, 8});
-    const auto pram_cover = core::min_path_cover_pram(m1, t);
-    EXPECT_EQ(static_cast<std::int64_t>(pram_cover.paths.size()), want);
-
-    Machine m2({Policy::EREW, 1, 8});
-    const auto naive = baseline::min_path_cover_naive_parallel(m2, t);
-    EXPECT_EQ(static_cast<std::int64_t>(naive.paths.size()), want);
+    for (const Backend b :
+         {Backend::Sequential, Backend::Reference, Backend::Pram,
+          Backend::NaiveParallel}) {
+      SolveOptions opts;
+      opts.backend = b;
+      opts.processors = 8;
+      const auto res = Solver(opts).solve(Instance::view(t));
+      ASSERT_TRUE(res.ok) << core::to_string(b) << ": " << res.error;
+      EXPECT_EQ(static_cast<std::int64_t>(res.cover.size()), want)
+          << core::to_string(b);
+    }
 
     if (t.vertex_count() <= 10) {
-      const Graph g = Graph::from_cotree(t);
-      EXPECT_EQ(baseline::min_path_cover_size_exact(g), want);
+      SolveOptions opts;
+      opts.backend = Backend::BruteForce;
+      const auto res = Solver(opts).solve(Instance::view(t));
+      ASSERT_TRUE(res.ok) << res.error;
+      EXPECT_EQ(static_cast<std::int64_t>(res.cover.size()), want);
     }
   }
 }
 
 TEST(Integration, ThresholdGraphPipelineFromCreationSequence) {
   util::Rng rng(31415);
+  SolveOptions opts;
+  opts.backend = Backend::Pram;
+  opts.processors = 8;
+  opts.validate = true;
+  const Solver solver(opts);
   for (int trial = 0; trial < 25; ++trial) {
     std::vector<std::uint8_t> bits(1 + rng.below(60));
     for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
-    const Cotree t = cograph::threshold_graph(bits);
-    Machine m({Policy::EREW, 1, 8});
-    const auto cover = core::min_path_cover_pram(m, t);
-    EXPECT_TRUE(core::validate_path_cover(t, cover, true).ok);
+    const auto res =
+        solver.solve(Instance::cotree(cograph::threshold_graph(bits)));
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.validation.ok) << res.validation.error;
   }
 }
 
 TEST(Integration, ComplementsAreConsistent) {
   // p(G) and p(co-G) both computable; complement of complement = identity.
   util::Rng rng(161);
+  SolveOptions opts;
+  opts.validate = true;
+  const Solver solver(opts);
   for (int trial = 0; trial < 20; ++trial) {
     RandomCotreeOptions opt;
     opt.seed = 7770 + static_cast<unsigned>(trial);
     const Cotree t = cograph::random_cotree(2 + rng.below(30), opt);
     const Cotree tc = t.complement();
-    const auto c1 = core::min_path_cover_sequential(tc);
-    EXPECT_TRUE(core::validate_path_cover(tc, c1, true).ok);
-    EXPECT_EQ(core::path_cover_size(tc.complement()),
-              core::path_cover_size(t));
+    const auto res = solver.solve(Instance::view(tc));
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.validation.ok) << res.validation.error;
+    EXPECT_EQ(path_cover_size(tc.complement()), path_cover_size(t));
   }
 }
 
@@ -108,13 +110,16 @@ TEST(Integration, LargeInstanceEndToEnd) {
   opt.seed = 424242;
   const std::size_t n = 20000;
   const Cotree t = cograph::random_cotree(n, opt);
-  Machine m({Policy::Unchecked, 1, n / 15});
-  const auto cover = core::min_path_cover_pram(m, t);
-  EXPECT_EQ(static_cast<std::int64_t>(cover.paths.size()),
-            core::path_cover_size(t));
-  EXPECT_EQ(cover.vertex_total(), n);
-  // Full validation (LCA-oracle edge checks) on the large instance too.
-  EXPECT_TRUE(core::validate_path_cover(t, cover, true).ok);
+  SolveOptions opts;
+  opts.backend = Backend::Pram;
+  opts.policy = pram::Policy::Unchecked;
+  opts.processors = n / 15;
+  opts.validate = true;  // full LCA-oracle validation at scale too
+  const auto res = Solver(opts).solve(Instance::view(t));
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(static_cast<std::int64_t>(res.cover.size()), res.optimal_size);
+  EXPECT_EQ(res.cover.vertex_total(), n);
+  EXPECT_TRUE(res.validation.ok) << res.validation.error;
 }
 
 TEST(Integration, EveryPolicyRunsThePipeline) {
@@ -122,12 +127,56 @@ TEST(Integration, EveryPolicyRunsThePipeline) {
   opt.seed = 999;
   const Cotree t = cograph::random_cotree(50, opt);
   for (const auto policy :
-       {Policy::EREW, Policy::CREW, Policy::CRCW_Arbitrary,
-        Policy::Unchecked}) {
-    Machine m({policy, 1, 8});
-    const auto cover = core::min_path_cover_pram(m, t);
-    EXPECT_TRUE(core::validate_path_cover(t, cover, true).ok)
-        << to_string(policy);
+       {pram::Policy::EREW, pram::Policy::CREW,
+        pram::Policy::CRCW_Arbitrary, pram::Policy::Unchecked}) {
+    SolveOptions opts;
+    opts.backend = Backend::Pram;
+    opts.policy = policy;
+    opts.processors = 8;
+    opts.validate = true;
+    const auto res = Solver(opts).solve(Instance::view(t));
+    ASSERT_TRUE(res.ok) << to_string(policy) << ": " << res.error;
+    EXPECT_TRUE(res.validation.ok) << to_string(policy);
+  }
+}
+
+TEST(Integration, BatchServesMixedWorkloadsAcrossFamilies) {
+  // A "production" mix: different families, sizes, input forms, and
+  // backends in one batch, validated end to end.
+  std::vector<Cotree> keep;
+  keep.push_back(cograph::clique(40));
+  keep.push_back(cograph::complete_bipartite(20, 11));
+  keep.push_back(cograph::caterpillar(61));
+  keep.push_back(cograph::threshold_graph({1, 0, 0, 1, 1, 0, 1, 0}));
+  RandomCotreeOptions opt;
+  opt.seed = 8888;
+  keep.push_back(cograph::random_cotree(120, opt));
+
+  std::vector<SolveRequest> reqs;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    SolveRequest req;
+    req.instance = Instance::view(keep[i]);
+    SolveOptions o;
+    o.backend = i % 2 == 0 ? Backend::Pram : Backend::Sequential;
+    o.validate = true;
+    req.options = o;
+    reqs.push_back(std::move(req));
+  }
+  reqs.push_back(SolveRequest{Instance::text("(* (+ a b) (+ c d))"),
+                              std::nullopt, "text"});
+  Graph g = Graph::from_cotree(cograph::star(6));
+  reqs.push_back(SolveRequest{Instance::graph(g), std::nullopt, "graph"});
+
+  SolveOptions defaults;
+  defaults.validate = true;
+  defaults.batch_workers = 2;
+  Solver solver(defaults);
+  const auto results = solver.solve_batch(reqs);
+  ASSERT_EQ(results.size(), reqs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << i << ": " << results[i].error;
+    EXPECT_TRUE(results[i].validation.ok) << results[i].validation.error;
+    EXPECT_TRUE(results[i].minimum);
   }
 }
 

@@ -1,8 +1,11 @@
 // Theorem 5.3: the PRAM pipeline — validity, minimality, EREW discipline
 // (the machine *checks* it), cost bounds, and engine/worker invariance.
+// The engine-level sweeps drive min_path_cover_pram on an explicit machine;
+// the behavioural tests go through the copath::Solver facade.
 #include <gtest/gtest.h>
 
 #include "cograph/families.hpp"
+#include "copath_solver.hpp"
 #include "core/count.hpp"
 #include "core/pipeline.hpp"
 #include "util/rng.hpp"
@@ -71,7 +74,12 @@ TEST(Pipeline, SingleVertexAndPairs) {
             2u);
 }
 
-TEST(Pipeline, FamiliesValidMinimal) {
+TEST(Pipeline, FamiliesValidMinimalThroughSolver) {
+  SolveOptions opts;
+  opts.backend = Backend::Pram;
+  opts.processors = 8;
+  opts.validate = true;
+  const Solver solver(opts);
   for (const auto& t :
        {cograph::clique(20), cograph::independent_set(11),
         cograph::star(10), cograph::complete_bipartite(7, 4),
@@ -80,10 +88,11 @@ TEST(Pipeline, FamiliesValidMinimal) {
         cograph::caterpillar(41, cograph::NodeKind::Join),
         cograph::caterpillar(40, cograph::NodeKind::Union),
         cograph::paper_fig10()}) {
-    Machine m({Policy::EREW, 1, 8});
-    const PathCover c = min_path_cover_pram(m, t);
-    const ValidationReport rep = validate_path_cover(t, c, true);
-    EXPECT_TRUE(rep.ok) << rep.error << " on " << t.format();
+    const SolveResult res = solver.solve(Instance::view(t));
+    ASSERT_TRUE(res.ok) << res.error << " on " << t.format();
+    EXPECT_TRUE(res.validation.ok)
+        << res.validation.error << " on " << t.format();
+    EXPECT_TRUE(res.minimum) << t.format();
   }
 }
 
@@ -93,12 +102,16 @@ TEST(Pipeline, WorkerCountDoesNotChangeResult) {
   const Cotree t = cograph::random_cotree(90, opt);
   std::vector<std::vector<VertexId>> first;
   for (const std::size_t workers : {1u, 2u, 4u}) {
-    Machine m({Policy::EREW, workers, 8});
-    const PathCover c = min_path_cover_pram(m, t);
+    SolveOptions opts;
+    opts.backend = Backend::Pram;
+    opts.processors = 8;
+    opts.workers = workers;
+    const SolveResult res = Solver(opts).solve(Instance::view(t));
+    ASSERT_TRUE(res.ok) << res.error;
     if (first.empty()) {
-      first = c.paths;
+      first = res.cover.paths;
     } else {
-      EXPECT_EQ(c.paths, first) << "workers=" << workers;
+      EXPECT_EQ(res.cover.paths, first) << "workers=" << workers;
     }
   }
 }
@@ -107,12 +120,16 @@ TEST(Pipeline, TraceReportsPlausibleNumbers) {
   RandomCotreeOptions opt;
   opt.seed = 7;
   const Cotree t = cograph::random_cotree(64, opt);
-  Machine m({Policy::EREW, 1, 8});
-  PipelineTrace trace;
-  const PathCover c = min_path_cover_pram(m, t, {}, &trace);
-  EXPECT_GT(trace.bracket_length, 3 * 64u - 1);
-  EXPECT_LE(trace.bracket_length, 7 * 64u);
-  EXPECT_EQ(trace.path_count, c.paths.size());
+  SolveOptions opts;
+  opts.backend = Backend::Pram;
+  opts.processors = 8;
+  opts.collect_trace = true;
+  const SolveResult res = Solver(opts).solve(Instance::view(t));
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.trace_valid);
+  EXPECT_GT(res.trace.bracket_length, 3 * 64u - 1);
+  EXPECT_LE(res.trace.bracket_length, 7 * 64u);
+  EXPECT_EQ(res.trace.path_count, res.cover.size());
 }
 
 TEST(Pipeline, ConvenienceWrapperReportsStats) {
