@@ -1,22 +1,31 @@
 // Shared helpers for the benchmark harness. All benches drive the library
 // through the copath::Solver facade — no pram::Machine wiring here.
+//
+// JSON mode: run any wired bench with `--json` and it writes one
+// BENCH_<name>.json next to the working directory — a flat record list
+// ({"bench": ..., "records": [{"section", ...fields}]}) so the perf
+// trajectory across PRs is machine-readable (CI or scripts can diff it).
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "copath.hpp"
+#include "util/math.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace copath::bench {
 
-inline std::size_t log2z(std::size_t n) {
-  std::size_t l = 0;
-  while ((std::size_t{1} << (l + 1)) <= n) ++l;
-  return l == 0 ? 1 : l;
-}
+inline std::size_t log2z(std::size_t n) { return util::floor_log2(n); }
 
 /// Solver options for the paper's setting: the chosen backend on an EREW
 /// machine with the P = n / log2 n budget (processors = 0 resolves to it).
@@ -51,5 +60,69 @@ inline const CountResult& require_ok(const CountResult& res) {
 inline void banner(const char* experiment, const char* claim) {
   std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
 }
+
+/// Machine-readable bench output. Construct one per bench binary with the
+/// bench's name; it consumes a `--json` argument from argv (so the flag
+/// never reaches benchmark::Initialize) and, when present, writes
+/// BENCH_<name>.json at destruction with every recorded row.
+class JsonReport {
+ public:
+  JsonReport(int* argc, char** argv, std::string name)
+      : name_(std::move(name)) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::string_view(argv[i]) == "--json") {
+        enabled_ = true;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { write(); }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// One record: a section tag plus numeric and string fields.
+  void row(const std::string& section,
+           std::initializer_list<std::pair<const char*, double>> nums,
+           std::initializer_list<std::pair<const char*, std::string>> strs =
+               {}) {
+    if (!enabled_) return;
+    std::ostringstream os;
+    // Full double precision: default ostream precision (6 digits) would
+    // corrupt large integral fields like n = 2^20.
+    os << std::setprecision(15);
+    os << "    {\"section\": \"" << section << '"';
+    for (const auto& [k, v] : nums) os << ", \"" << k << "\": " << v;
+    for (const auto& [k, v] : strs)
+      os << ", \"" << k << "\": \"" << v << '"';
+    os << '}';
+    records_.push_back(os.str());
+  }
+
+  void write() {
+    if (!enabled_ || written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path << " (" << records_.size()
+              << " records)\n";
+  }
+
+ private:
+  std::string name_;
+  bool enabled_ = false;
+  bool written_ = false;
+  std::vector<std::string> records_;
+};
 
 }  // namespace copath::bench

@@ -6,6 +6,7 @@
 //
 // Note: the host may have a single core; simulated steps/work are identical
 // for every worker count by construction — that is the point of the model.
+// Run with --json to write BENCH_pram_backend.json.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
@@ -13,6 +14,8 @@
 namespace {
 
 using namespace copath;
+
+bench::JsonReport* g_json = nullptr;
 
 core::BackendConfig probe_config(std::size_t n, bool checked,
                                  std::size_t workers) {
@@ -31,16 +34,33 @@ void backend_table() {
       "complexity claims rest on the simulated counts, not wall time.)");
   const std::size_t n = 1 << 18;
   util::Table t({"mode", "workers", "steps", "work", "wall_ms"});
+  const auto emit = [&](const char* mode, std::size_t workers,
+                        const core::ScanProbeResult& res) {
+    t.row({util::Table::S(mode),
+           util::Table::I(static_cast<long long>(workers)),
+           util::Table::I(static_cast<long long>(res.stats.steps)),
+           util::Table::I(static_cast<long long>(res.stats.work)),
+           util::Table::F(res.wall_ms)});
+    if (g_json != nullptr) {
+      g_json->row("backend_table",
+                  {{"n", static_cast<double>(n)},
+                   {"workers", static_cast<double>(workers)},
+                   {"steps", static_cast<double>(res.stats.steps)},
+                   {"work", static_cast<double>(res.stats.work)},
+                   {"wall_ms", res.wall_ms}},
+                  {{"mode", mode}});
+    }
+  };
   for (const bool checked : {false, true}) {
     for (const std::size_t workers : {1u, 2u, 4u}) {
-      const auto res = core::probe_scan_substrate(
-          n, probe_config(n, checked, workers));
-      t.row({util::Table::S(checked ? "EREW-checked" : "unchecked"),
-             util::Table::I(static_cast<long long>(workers)),
-             util::Table::I(static_cast<long long>(res.stats.steps)),
-             util::Table::I(static_cast<long long>(res.stats.work)),
-             util::Table::F(res.wall_ms)});
+      emit(checked ? "EREW-checked" : "unchecked", workers,
+           core::probe_scan_substrate(n, probe_config(n, checked, workers)));
     }
+  }
+  // The exec-layer escape hatch: the same scan on exec::Native (its stats
+  // count phases, not simulated cost — the wall-time column is the point).
+  for (const std::size_t workers : {1u, 2u}) {
+    emit("native", workers, core::probe_scan_native(n, workers));
   }
   t.print(std::cout);
   std::cout << std::endl;
@@ -71,7 +91,10 @@ BENCHMARK(BM_scan_checked)->Range(1 << 14, 1 << 18);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonReport json(&argc, argv, "pram_backend");
+  g_json = &json;
   backend_table();
+  json.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -14,6 +14,9 @@
 //                                                       plug-in registration
 //   cograph::Cotree / CotreeBuilder / parse-format      the input language
 //   cograph::Graph, recognize_cograph                   graph-side substrate
+//   exec::CheckedPram / exec::Native / exec::Traits     execution substrates
+//                                                       (checked simulator
+//                                                       vs direct memory)
 //   pram::Machine / Policy / Stats                      the PRAM simulator
 //
 // Compatibility layer (free functions predating the Solver facade; they
@@ -42,6 +45,8 @@
 #include "core/pipeline.hpp"
 #include "core/reference.hpp"
 #include "core/sequential.hpp"
+#include "exec/checked_pram.hpp"
+#include "exec/native.hpp"
 #include "pram/array.hpp"
 #include "pram/machine.hpp"
 

@@ -146,10 +146,22 @@ std::vector<SolveResult> Solver::solve_batch(
                                     : defaults_.batch_workers;
     pool_ = std::make_unique<util::ThreadPool>(workers);
   }
+  // Nested-parallelism guard: with R requests sharing W pool workers, a
+  // Native request may spawn at most floor(W / min(R, W)) threads of its
+  // own — full batches run sequential-per-request (budget 1), small
+  // batches of big instances still use the spare cores.
+  const std::size_t pool_workers = pool_->workers();
+  const std::size_t budget = std::max<std::size_t>(
+      1, pool_workers / std::min(reqs.size(), pool_workers));
   pool_->parallel_for(0, reqs.size(), [&](std::size_t i) {
     SolveOptions opts = reqs[i].options.value_or(defaults_);
-    // One instance per pool worker: the per-instance machine runs inline.
-    opts.workers = 1;
+    if (core::uses_native_executor(opts.backend)) {
+      opts.workers = std::min(opts.workers == 0 ? budget : opts.workers,
+                              budget);
+    } else {
+      // One instance per pool worker: the per-instance machine runs inline.
+      opts.workers = 1;
+    }
     results[i] = solve_with(reqs[i].instance, reqs[i].label, opts);
   });
   return results;
@@ -186,6 +198,16 @@ CountResult Solver::count(const SolveRequest& req) const {
       res.path_cover_size = p[root];
       res.stats = m.stats();
       res.stats_valid = true;
+    } else if (core::uses_native_executor(opts.backend)) {
+      core::BackendConfig cfg;
+      cfg.workers = opts.workers;
+      cfg.processors = opts.processors;
+      exec::Native ex(core::native_config(cfg));
+      const auto p = core::path_counts_exec(ex, bc, leaf_count);
+      res.path_cover_size = p[root];
+      // Native stats count phases, not simulated cost: stats_valid stays
+      // false, but the counters are handed back for inspection.
+      res.stats = ex.stats();
     } else {
       const auto p = core::path_counts_host(bc, leaf_count);
       res.path_cover_size = p[root];

@@ -88,7 +88,9 @@ class Instance {
 /// that do not use a PRAM machine.
 struct SolveOptions {
   Backend backend = Backend::Sequential;
-  /// Physical worker threads for PRAM machines (1 = inline execution).
+  /// Physical worker threads for PRAM machines (1 = inline execution). For
+  /// Backend::Native, 0 selects hardware concurrency; inside solve_batch
+  /// the value is clamped to the per-request budget (see solve_batch).
   std::size_t workers = 1;
   /// Virtual processor budget; 0 = the paper's n / log2(n).
   std::size_t processors = 0;
@@ -195,6 +197,10 @@ class Solver {
   /// positionally aligned with `reqs` and identical to per-request solve()
   /// up to wall-clock fields. Per-instance PRAM machines are forced to
   /// inline execution (workers = 1) — parallelism comes from the batch.
+  /// Native-executor requests instead receive a per-request thread budget
+  /// of floor(pool workers / concurrent requests) so a batch of Native
+  /// solves cannot oversubscribe the host with nested full-width pools
+  /// (results are identical for any worker count).
   [[nodiscard]] std::vector<SolveResult> solve_batch(
       std::span<const SolveRequest> reqs);
 

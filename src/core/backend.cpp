@@ -7,10 +7,13 @@
 #include "baseline/greedy.hpp"
 #include "baseline/naive_parallel.hpp"
 #include "cograph/graph.hpp"
+#include "core/pipeline_exec.hpp"
 #include "core/reference.hpp"
 #include "core/sequential.hpp"
+#include "exec/native.hpp"
 #include "par/scan.hpp"
 #include "pram/array.hpp"
+#include "util/math.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -25,6 +28,7 @@ const char* to_string(Backend b) {
     case Backend::Greedy: return "greedy";
     case Backend::NaiveParallel: return "naive-parallel";
     case Backend::Reference: return "reference";
+    case Backend::Native: return "native";
   }
   return "?";
 }
@@ -33,17 +37,14 @@ std::optional<Backend> backend_from_string(std::string_view s) {
   for (const Backend b :
        {Backend::Sequential, Backend::Parallel, Backend::Pram,
         Backend::BruteForce, Backend::Greedy, Backend::NaiveParallel,
-        Backend::Reference}) {
+        Backend::Reference, Backend::Native}) {
     if (s == to_string(b)) return b;
   }
   return std::nullopt;
 }
 
 std::size_t paper_processors(std::size_t n) {
-  std::size_t l = 0;
-  while ((std::size_t{1} << (l + 1)) <= std::max<std::size_t>(2, n)) ++l;
-  if (l == 0) l = 1;
-  return std::max<std::size_t>(1, n / l);
+  return std::max<std::size_t>(1, n / util::floor_log2(n));
 }
 
 pram::Machine::Config machine_config(std::size_t n, const BackendConfig& cfg) {
@@ -55,6 +56,15 @@ pram::Machine::Config machine_config(std::size_t n, const BackendConfig& cfg) {
 bool uses_pram_machine(Backend b) {
   return b == Backend::Parallel || b == Backend::Pram ||
          b == Backend::NaiveParallel;
+}
+
+bool uses_native_executor(Backend b) { return b == Backend::Native; }
+
+exec::Native::Config native_config(const BackendConfig& cfg) {
+  exec::Native::Config nc;
+  nc.workers = cfg.workers;      // 0 = hardware concurrency
+  nc.processors = cfg.processors;  // 0 = one block per worker
+  return nc;
 }
 
 BackendConfig apply_backend_contract(Backend b, BackendConfig cfg) {
@@ -84,6 +94,19 @@ BackendOutput run_parallel(const cograph::Cotree& t,
   // The historical min_path_cover_parallel contract: EREW, paper budget.
   // Worker count, trace flag, and pipeline knobs still pass through.
   return run_pram_pipeline(t, apply_backend_contract(Backend::Parallel, cfg));
+}
+
+BackendOutput run_native(const cograph::Cotree& t,
+                         const BackendConfig& cfg) {
+  BackendOutput out;
+  exec::Native ex(native_config(cfg));
+  out.cover = min_path_cover_exec(ex, t, cfg.pipeline,
+                                  cfg.collect_trace ? &out.trace : nullptr);
+  // Native stats count phases, not the simulator's cost model; hand them
+  // back for inspection but leave used_pram false so stats_valid stays off.
+  out.stats = ex.stats();
+  out.traced = cfg.collect_trace;
+  return out;
 }
 
 BackendOutput run_sequential(const cograph::Cotree& t,
@@ -147,6 +170,7 @@ BackendRegistry::BackendRegistry() {
   add(Backend::NaiveParallel, to_string(Backend::NaiveParallel),
       run_naive_parallel);
   add(Backend::Reference, to_string(Backend::Reference), run_reference);
+  add(Backend::Native, to_string(Backend::Native), run_native);
 }
 
 BackendRegistry& BackendRegistry::instance() {
@@ -203,6 +227,19 @@ ScanProbeResult probe_scan_substrate(std::size_t n,
   par::exclusive_scan(m, a);
   res.wall_ms = timer.millis();
   res.stats = m.stats();
+  res.checksum = a.host(n - 1);
+  return res;
+}
+
+ScanProbeResult probe_scan_native(std::size_t n, std::size_t workers) {
+  COPATH_CHECK(n > 0);
+  ScanProbeResult res;
+  exec::Native ex(exec::Native::Config{workers});
+  auto a = exec::make_array<std::int64_t>(ex, n, std::int64_t{1});
+  util::WallTimer timer;
+  par::exclusive_scan(ex, a);
+  res.wall_ms = timer.millis();
+  res.stats = ex.stats();
   res.checksum = a.host(n - 1);
   return res;
 }

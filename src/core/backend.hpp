@@ -22,6 +22,7 @@
 #include "cograph/cotree.hpp"
 #include "core/path_cover.hpp"
 #include "core/pipeline.hpp"
+#include "exec/native.hpp"
 #include "pram/machine.hpp"
 
 namespace copath::core {
@@ -47,6 +48,11 @@ enum class Backend : std::uint8_t {
   NaiveParallel,
   /// The host execution of the full bracket pipeline (differential oracle).
   Reference,
+  /// Theorem 5.3's pipeline on exec::Native — the same stage code as Pram
+  /// but on direct memory with thread-pool pfor: no conflict checking, no
+  /// write buffering, no per-step barriers. The production engine; covers
+  /// are identical to Backend::Pram (the differential suite enforces it).
+  Native,
 };
 
 [[nodiscard]] const char* to_string(Backend b);
@@ -55,7 +61,8 @@ enum class Backend : std::uint8_t {
 /// Machine/engine tuning knobs a backend receives. Backends ignore the
 /// fields that do not apply to them (Sequential ignores everything).
 struct BackendConfig {
-  /// Physical worker threads for the PRAM machine (1 = inline).
+  /// Physical worker threads for the PRAM machine (1 = inline). For
+  /// Backend::Native, 0 selects hardware concurrency.
   std::size_t workers = 1;
   /// Virtual processor budget; 0 selects the paper's n / log2(n).
   std::size_t processors = 0;
@@ -122,6 +129,15 @@ class BackendRegistry {
 /// report meaningful pram::Stats).
 [[nodiscard]] bool uses_pram_machine(Backend b);
 
+/// True for the built-in engines that execute on exec::Native. Their stats
+/// count phases, not the simulator's cost model (stats_valid stays false).
+[[nodiscard]] bool uses_native_executor(Backend b);
+
+/// exec::Native configuration a Native backend derives from `cfg`
+/// (workers == 0 resolves to hardware concurrency; the processor budget
+/// defaults to one block per worker — no instance-size tuning).
+[[nodiscard]] exec::Native::Config native_config(const BackendConfig& cfg);
+
 /// Applies per-backend fixed contracts to a config: Backend::Parallel pins
 /// the historical EREW + paper-budget machine whatever the caller asked
 /// for. Other backends pass through unchanged. Used by both the solve and
@@ -145,5 +161,10 @@ struct ScanProbeResult {
 };
 [[nodiscard]] ScanProbeResult probe_scan_substrate(std::size_t n,
                                                    const BackendConfig& cfg);
+
+/// The same scan probe on exec::Native (workers == 0 = hardware
+/// concurrency). stats count phases; wall_ms is the point.
+[[nodiscard]] ScanProbeResult probe_scan_native(std::size_t n,
+                                                std::size_t workers = 0);
 
 }  // namespace copath::core

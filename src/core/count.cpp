@@ -40,18 +40,7 @@ std::vector<std::int64_t> path_counts_host(
 std::vector<std::int64_t> path_counts_pram(
     pram::Machine& m, const cograph::BinarizedCotree& bc,
     const std::vector<std::int64_t>& leaf_count) {
-  const std::size_t n = bc.size();
-  COPATH_CHECK(leaf_count.size() == n);
-  std::vector<std::int64_t> leaf_value(n, 1);
-  std::vector<PathCountPolicy::NodeOp> ops(n, {0, 0});
-  for (std::size_t v = 0; v < n; ++v) {
-    if (bc.tree.left[v] == -1) continue;
-    ops[v].is_join = bc.is_join[v];
-    ops[v].l_right =
-        leaf_count[static_cast<std::size_t>(bc.tree.right[v])];
-  }
-  return par::tree_contract_eval<PathCountPolicy>(m, bc.tree, leaf_value,
-                                                  ops);
+  return path_counts_exec(m, bc, leaf_count);
 }
 
 std::int64_t path_cover_size(const cograph::Cotree& t) {

@@ -73,7 +73,29 @@ std::vector<std::int64_t> path_counts_host(
     const cograph::BinarizedCotree& bc,
     const std::vector<std::int64_t>& leaf_count);
 
-/// PRAM evaluation (Lemma 2.4): O(log n) steps, O(n) work, EREW.
+/// Executor evaluation (Lemma 2.4) — tree contraction over the max-plus
+/// affine family on any executor: O(log n) steps, O(n) work, EREW on the
+/// checked simulator; memory-speed on exec::Native.
+template <typename E>
+std::vector<std::int64_t> path_counts_exec(
+    E& m, const cograph::BinarizedCotree& bc,
+    const std::vector<std::int64_t>& leaf_count) {
+  const std::size_t n = bc.size();
+  COPATH_CHECK(leaf_count.size() == n);
+  std::vector<std::int64_t> leaf_value(n, 1);
+  std::vector<PathCountPolicy::NodeOp> ops(n, {0, 0});
+  for (std::size_t v = 0; v < n; ++v) {
+    if (bc.tree.left[v] == -1) continue;
+    ops[v].is_join = bc.is_join[v];
+    ops[v].l_right =
+        leaf_count[static_cast<std::size_t>(bc.tree.right[v])];
+  }
+  return par::tree_contract_eval<PathCountPolicy>(m, bc.tree, leaf_value,
+                                                  ops);
+}
+
+/// PRAM evaluation (Lemma 2.4): the checked-simulator instantiation of
+/// path_counts_exec.
 std::vector<std::int64_t> path_counts_pram(
     pram::Machine& m, const cograph::BinarizedCotree& bc,
     const std::vector<std::int64_t>& leaf_count);

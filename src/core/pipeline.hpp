@@ -15,10 +15,13 @@
 //   7  dummy bypass             pointer jumping along dummy chains
 //   8  report paths             inorder positions + host assembly
 //
-// All shared-memory work inside runs on the supplied pram::Machine, so
-// machine.stats() after the call gives the step/work counts that the
-// benchmarks compare against the paper's bounds. With Policy::EREW every
-// stage is additionally *checked* for access-discipline violations.
+// The stage code itself is generic over the execution substrate
+// (core/pipeline_exec.hpp, exec/exec.hpp): min_path_cover_pram below is its
+// checked-simulator instantiation — machine.stats() after the call gives
+// the step/work counts the benchmarks compare against the paper's bounds,
+// and with Policy::EREW every stage is additionally *checked* for
+// access-discipline violations. Backend::Native runs the identical stages
+// on exec::Native (direct memory, no simulation) at production speed.
 #pragma once
 
 #include "cograph/cotree.hpp"

@@ -1,0 +1,95 @@
+// exec::CheckedPram — the PRAM simulator as an executor.
+//
+// A thin adapter that owns a pram::Machine and forwards the executor
+// surface to it verbatim, so programs running through CheckedPram get
+// exactly the simulator's semantics: deferred writes committed at the
+// end-of-step barrier, access-discipline enforcement (PramViolation on an
+// EREW/CREW/CRCW breach), and step/work statistics identical bit-for-bit
+// to driving the machine directly.
+//
+// pram::Machine itself is also given a Traits specialization here, so
+// legacy call sites (tests, benches) that pass a machine straight into the
+// generic par/ primitives keep compiling without an adapter object.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "pram/array.hpp"
+#include "pram/machine.hpp"
+
+namespace copath::exec {
+
+/// The simulator is the executor: Machine already exposes step /
+/// blocked_step / pfor / pfor_steps / processors / stats, and pram::Array
+/// is constructed from a Machine&.
+template <>
+struct Traits<pram::Machine> {
+  using Ctx = pram::Ctx;
+  template <typename T>
+  using Array = pram::Array<T>;
+
+  template <typename T, typename... Args>
+  static Array<T> make(pram::Machine& m, Args&&... args) {
+    return Array<T>(m, std::forward<Args>(args)...);
+  }
+};
+
+class CheckedPram {
+ public:
+  using Config = pram::Machine::Config;
+
+  CheckedPram() = default;
+  explicit CheckedPram(Config cfg) : machine_(cfg) {}
+
+  /// The underlying simulator (host inspection, policy queries, ...).
+  [[nodiscard]] pram::Machine& machine() { return machine_; }
+  [[nodiscard]] const pram::Machine& machine() const { return machine_; }
+
+  // --- Executor surface (forwarded verbatim) ---------------------------
+
+  template <typename Body>
+  void step(std::size_t procs, Body&& body) {
+    machine_.step(procs, std::forward<Body>(body));
+  }
+  template <typename Body>
+  void blocked_step(std::size_t procs, Body&& body) {
+    machine_.blocked_step(procs, std::forward<Body>(body));
+  }
+  template <typename Body>
+  void pfor(std::size_t items, Body&& body) {
+    machine_.pfor(items, std::forward<Body>(body));
+  }
+  [[nodiscard]] std::size_t pfor_steps(std::size_t items) const {
+    return machine_.pfor_steps(items);
+  }
+  [[nodiscard]] std::size_t processors() const {
+    return machine_.processors();
+  }
+  void set_processors(std::size_t p) { machine_.set_processors(p); }
+  [[nodiscard]] const pram::Stats& stats() const { return machine_.stats(); }
+  void reset_stats() { machine_.reset_stats(); }
+
+ private:
+  pram::Machine machine_;
+};
+
+template <>
+struct Traits<CheckedPram> {
+  using Ctx = pram::Ctx;
+  template <typename T>
+  using Array = pram::Array<T>;
+
+  template <typename T, typename... Args>
+  static Array<T> make(CheckedPram& ex, Args&&... args) {
+    return Array<T>(ex.machine(), std::forward<Args>(args)...);
+  }
+};
+
+static_assert(Executor<pram::Machine>);
+static_assert(Executor<CheckedPram>);
+
+}  // namespace copath::exec

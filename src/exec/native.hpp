@@ -1,0 +1,271 @@
+// exec::Native — the production executor: the same step/pfor programs the
+// checked PRAM simulator certifies, run at memory speed.
+//
+// Storage is a plain std::vector per array; get/put are direct loads and
+// stores (bounds-checked only in debug builds); there is no conflict
+// metadata, no write buffering, and no per-element accounting. `pfor` and
+// `step` run the body over a util::ThreadPool in one Brent-blocked pass —
+// one contiguous block per worker — with a sequential fast path when the
+// phase is smaller than `Config::grain` (forking threads for a few hundred
+// elements costs more than the loop).
+//
+// Soundness: Native may only run step bodies that are EREW-clean — no cell
+// touched by two processors in a phase, no processor reading a cell after
+// writing it. The CheckedPram executor *proves* that property for every
+// program in this library (the test suite runs them under Policy::EREW), and
+// for such programs direct writes are race-free and value-identical to the
+// simulator's deferred-write semantics. Programs relying on concurrent-write
+// resolution (CRCW) or on the end-of-step barrier for cross-processor
+// visibility are outside the contract.
+//
+// Stats semantics (see DESIGN.md): Native counts phases, not the paper's
+// cost model. Each step/blocked_step charges 1 step and `procs` work; pfor
+// charges the Brent bound ceil(items / processors()) steps and `items`
+// work. Blocked-step bodies' per-processor cost returns are ignored, and
+// reads/writes stay 0 (nothing is instrumented). Use CheckedPram when the
+// simulated step/work counts are the point.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "pram/stats.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/thread_pool.hpp"
+
+namespace copath::exec {
+
+class Native {
+ public:
+  struct Config {
+    /// Worker threads (1 = sequential, no threads spawned; 0 = hardware
+    /// concurrency).
+    std::size_t workers = 1;
+    /// Virtual processor count reported to the blocked primitives (selects
+    /// their block counts) and used for the Brent step accounting; 0 means
+    /// "one block per worker", the natural native schedule.
+    std::size_t processors = 0;
+    /// Phases smaller than this run sequentially on the calling thread.
+    std::size_t grain = 2048;
+  };
+
+  /// Per-processor context. Carries only identity — Native arrays do not
+  /// consult it, so access compiles down to the raw indexing.
+  class Ctx {
+   public:
+    [[nodiscard]] std::uint64_t proc() const { return proc_; }
+    [[nodiscard]] std::size_t worker() const { return worker_; }
+
+   private:
+    friend class Native;
+    explicit Ctx(std::size_t worker) : worker_(worker) {}
+    std::uint64_t proc_ = 0;
+    std::size_t worker_;
+  };
+
+  template <typename T>
+  class Array {
+   public:
+    using value_type = T;
+
+    Array(Native& ex, std::size_t n, T init = T{}) : data_(n, init) {
+      ex.add_cells(static_cast<std::int64_t>(n));
+      ex_ = &ex;
+    }
+    Array(Native& ex, std::vector<T> data) : data_(std::move(data)) {
+      ex.add_cells(static_cast<std::int64_t>(data_.size()));
+      ex_ = &ex;
+    }
+
+    Array(Array&& other) noexcept
+        : data_(std::move(other.data_)), ex_(other.ex_) {
+      other.ex_ = nullptr;
+    }
+    Array(const Array&) = delete;
+    Array& operator=(const Array&) = delete;
+    Array& operator=(Array&&) = delete;
+
+    ~Array() {
+      if (ex_ != nullptr)
+        ex_->add_cells(-static_cast<std::int64_t>(data_.size()));
+    }
+
+    [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+    // --- Step access: direct loads/stores ------------------------------
+
+    [[nodiscard]] T get(Ctx&, std::size_t i) const {
+      COPATH_DCHECK(i < data_.size());
+      return data_[i];
+    }
+    void put(Ctx&, std::size_t i, T value) {
+      COPATH_DCHECK(i < data_.size());
+      data_[i] = std::move(value);
+    }
+
+    // --- Host access (same surface as pram::Array) ---------------------
+
+    [[nodiscard]] const T& host(std::size_t i) const {
+      COPATH_DCHECK(i < data_.size());
+      return data_[i];
+    }
+    [[nodiscard]] T& host(std::size_t i) {
+      COPATH_DCHECK(i < data_.size());
+      return data_[i];
+    }
+    [[nodiscard]] std::span<const T> host_span() const { return data_; }
+    [[nodiscard]] std::span<T> host_span() { return data_; }
+    [[nodiscard]] std::vector<T> to_vector() const { return data_; }
+
+   private:
+    std::vector<T> data_;
+    Native* ex_;
+  };
+
+  Native() : Native(Config{}) {}
+  explicit Native(Config cfg)
+      : grain_(cfg.grain == 0 ? 1 : cfg.grain),
+        pool_(cfg.workers == 0 ? util::ThreadPool::default_workers()
+                               : cfg.workers) {
+    processors_ = cfg.processors == 0 ? pool_.workers() : cfg.processors;
+  }
+
+  Native(const Native&) = delete;
+  Native& operator=(const Native&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return pool_.workers(); }
+
+  /// Blocks-per-phase budget for the blocked primitives (mirrors
+  /// pram::Machine::processors; 0 never occurs — it resolves at
+  /// construction).
+  [[nodiscard]] std::size_t processors() const { return processors_; }
+  void set_processors(std::size_t p) {
+    processors_ = p == 0 ? pool_.workers() : p;
+  }
+
+  [[nodiscard]] const pram::Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = pram::Stats{}; }
+
+  /// One parallel phase: body(ctx, p) for every p in [0, procs). Bodies
+  /// must be EREW-clean (see the header comment); writes are visible
+  /// immediately, and the call returns only when every processor finished.
+  template <typename Body>
+  void step(std::size_t procs, Body&& body) {
+    if (procs == 0) return;
+    charge(1, procs, procs);
+    run(procs, std::forward<Body>(body));
+  }
+
+  /// Blocked phase: each processor handles a whole block of work, so the
+  /// grain fast path (which counts *indices*, not work) does not apply —
+  /// any multi-block phase goes to the pool. The per-processor cost
+  /// returned by the body is ignored (Native stats count phases).
+  template <typename Body>
+  void blocked_step(std::size_t procs, Body&& body) {
+    if (procs == 0) return;
+    charge(1, procs, procs);
+    run_blocked(procs, [&body](Ctx& c, std::size_t p) { (void)body(c, p); });
+  }
+
+  /// Brent-scheduled loop: body(ctx, i) for every i in [0, items), in one
+  /// pass over the pool (the chunking *is* the Brent schedule — there are
+  /// no intermediate barriers, which EREW-clean bodies cannot observe).
+  template <typename Body>
+  void pfor(std::size_t items, Body&& body) {
+    if (items == 0) return;
+    // Brent accounting: the schedule never runs more than processors()
+    // logical processors per charged step.
+    charge(pfor_steps(items), items, std::min(items, processors_));
+    run(items, std::forward<Body>(body));
+  }
+
+  /// Brent bound pfor(items) is charged: ceil(items / processors()).
+  [[nodiscard]] std::size_t pfor_steps(std::size_t items) const {
+    return items == 0 ? 0 : util::ceil_div(items, processors_);
+  }
+
+ private:
+  template <typename T>
+  friend class Array;
+
+  void add_cells(std::int64_t delta) {
+    stats_.cells = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(stats_.cells) + delta);
+  }
+
+  void charge(std::uint64_t steps, std::uint64_t work,
+              std::uint64_t procs) {
+    stats_.steps += steps;
+    stats_.work += work;
+    if (procs > stats_.max_processors) stats_.max_processors = procs;
+  }
+
+  template <typename Body>
+  void run(std::size_t count, Body&& body) {
+    if (count < grain_ || pool_.workers() == 1) {
+      run_inline(count, body);
+      return;
+    }
+    run_pool(count, body);
+  }
+
+  /// Blocked phases skip the grain check: `count` is the number of blocks,
+  /// each worth ~n/count elements of sequential work.
+  template <typename Body>
+  void run_blocked(std::size_t count, Body&& body) {
+    if (count < 2 || pool_.workers() == 1) {
+      run_inline(count, body);
+      return;
+    }
+    run_pool(count, body);
+  }
+
+  template <typename Body>
+  void run_inline(std::size_t count, Body& body) {
+    Ctx ctx(0);
+    for (std::size_t p = 0; p < count; ++p) {
+      ctx.proc_ = p;
+      body(ctx, p);
+    }
+  }
+
+  template <typename Body>
+  void run_pool(std::size_t count, Body& body) {
+    pool_.parallel_blocks(
+        0, count,
+        [&body](std::size_t worker, std::size_t lo, std::size_t hi) {
+          Ctx ctx(worker);
+          for (std::size_t p = lo; p < hi; ++p) {
+            ctx.proc_ = p;
+            body(ctx, p);
+          }
+        });
+  }
+
+  std::size_t processors_;
+  std::size_t grain_;
+  util::ThreadPool pool_;
+  pram::Stats stats_{};
+};
+
+template <>
+struct Traits<Native> {
+  using Ctx = Native::Ctx;
+  template <typename T>
+  using Array = Native::Array<T>;
+
+  template <typename T, typename... Args>
+  static Array<T> make(Native& ex, Args&&... args) {
+    return Array<T>(ex, std::forward<Args>(args)...);
+  }
+};
+
+static_assert(Executor<Native>);
+
+}  // namespace copath::exec

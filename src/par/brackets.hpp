@@ -27,8 +27,6 @@
 #include <vector>
 
 #include "par/scan.hpp"
-#include "pram/array.hpp"
-#include "pram/machine.hpp"
 
 namespace copath::par {
 
@@ -50,11 +48,11 @@ inline std::vector<std::int64_t> match_brackets_seq(
   return match;
 }
 
-/// PRAM bracket matcher. `sign` is the input; `match` (same size) receives
-/// partner positions or -1.
-inline void match_brackets(pram::Machine& m,
-                           const pram::Array<std::int8_t>& sign,
-                           pram::Array<std::int64_t>& match) {
+/// Parallel bracket matcher (generic over the executor). `sign` is the
+/// input; `match` (same size) receives partner positions or -1.
+template <typename E>
+void match_brackets(E& m, const exec::ArrayOf<E, std::int8_t>& sign,
+                    exec::ArrayOf<E, std::int64_t>& match) {
   const std::size_t n = sign.size();
   COPATH_CHECK(match.size() == n);
   if (n == 0) return;
@@ -64,11 +62,11 @@ inline void match_brackets(pram::Machine& m,
   fill(m, match, std::int64_t{-1});
 
   // ---- Phase 1: block-local stack matching --------------------------
-  pram::Array<std::int64_t> uc_pos(m, n, -1);  // unmatched closes, segmented
-  pram::Array<std::int64_t> uo_pos(m, n, -1);  // unmatched opens, segmented
-  pram::Array<std::int64_t> c_cnt(m, blocks, 0);
-  pram::Array<std::int64_t> o_cnt(m, blocks, 0);
-  m.blocked_step(blocks, [&](pram::Ctx& c, std::size_t b) -> std::uint64_t {
+  auto uc_pos = exec::make_array<std::int64_t>(m, n, std::int64_t{-1});  // unmatched closes, segmented
+  auto uo_pos = exec::make_array<std::int64_t>(m, n, std::int64_t{-1});  // unmatched opens, segmented
+  auto c_cnt = exec::make_array<std::int64_t>(m, blocks, std::int64_t{0});
+  auto o_cnt = exec::make_array<std::int64_t>(m, blocks, std::int64_t{0});
+  m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
     const std::size_t lo = std::min(n, b * bsz);
     const std::size_t hi = std::min(n, lo + bsz);
     std::vector<std::int64_t> stack;  // processor-local memory
@@ -109,15 +107,15 @@ inline void match_brackets(pram::Machine& m,
     level_off[lv + 1] = level_off[lv] + (p2 >> lv);
   const std::size_t tree_sz = level_off[levels + 1];
 
-  pram::Array<std::int64_t> tc(m, tree_sz, 0);  // closes per node
-  pram::Array<std::int64_t> to(m, tree_sz, 0);  // opens per node
-  pram::Array<std::int64_t> tk(m, tree_sz, 0);  // k (levels >= 1)
-  m.pfor(blocks, [&](pram::Ctx& c, std::size_t b) {
+  auto tc = exec::make_array<std::int64_t>(m, tree_sz, std::int64_t{0});  // closes per node
+  auto to = exec::make_array<std::int64_t>(m, tree_sz, std::int64_t{0});  // opens per node
+  auto tk = exec::make_array<std::int64_t>(m, tree_sz, std::int64_t{0});  // k (levels >= 1)
+  m.pfor(blocks, [&](auto& c, std::size_t b) {
     tc.put(c, b, c_cnt.get(c, b));
     to.put(c, b, o_cnt.get(c, b));
   });
   for (std::size_t lv = 1; lv <= levels; ++lv) {
-    m.pfor(p2 >> lv, [&](pram::Ctx& c, std::size_t v) {
+    m.pfor(p2 >> lv, [&](auto& c, std::size_t v) {
       const std::size_t l = level_off[lv - 1] + 2 * v;
       const std::size_t r = l + 1;
       const std::int64_t cl = tc.get(c, l);
@@ -133,7 +131,7 @@ inline void match_brackets(pram::Machine& m,
   }
 
   // ---- Phase 3: slot bases (exclusive scan of k over all nodes) ------
-  pram::Array<std::int64_t> base(m, tree_sz, 0);
+  auto base = exec::make_array<std::int64_t>(m, tree_sz, std::int64_t{0});
   copy(m, tk, base);
   const std::int64_t last_k = tk.host(tree_sz - 1);
   exclusive_scan(m, base);
@@ -153,11 +151,11 @@ inline void match_brackets(pram::Machine& m,
   };
   // Per (level r, node u at level r): the tuple describing u's merge into
   // its parent. Two parity substeps keep parent reads exclusive.
-  pram::Array<Tup> tup(m, tree_sz);
+  auto tup = exec::make_array<Tup>(m, tree_sz);
   for (const std::size_t parity : {std::size_t{0}, std::size_t{1}}) {
     for (std::size_t r = 0; r < levels; ++r) {
       const std::size_t cnt = (p2 >> r) / 2;
-      m.pfor(cnt, [&](pram::Ctx& c, std::size_t half) {
+      m.pfor(cnt, [&](auto& c, std::size_t half) {
         const std::size_t u_local = 2 * half + parity;
         const std::size_t u = level_off[r] + u_local;
         const std::size_t sib = level_off[r] + (u_local ^ 1);
@@ -182,8 +180,8 @@ inline void match_brackets(pram::Machine& m,
     static constexpr Tup identity() { return Tup{}; }
     Tup operator()(const Tup& a, const Tup& b) const { return b.set ? b : a; }
   };
-  pram::Array<Tup> mat(m, levels * p2);
-  m.pfor(levels * p2, [&](pram::Ctx& c, std::size_t pos) {
+  auto mat = exec::make_array<Tup>(m, levels * p2);
+  m.pfor(levels * p2, [&](auto& c, std::size_t pos) {
     const std::size_t r = pos / p2;
     const std::size_t b = pos % p2;
     if ((b & ((std::size_t{1} << r) - 1)) == 0) {
@@ -195,9 +193,9 @@ inline void match_brackets(pram::Machine& m,
   inclusive_scan(m, mat, TakeSet{});
 
   // ---- Phase 5: per-block staircase walks ----------------------------
-  pram::Array<std::int64_t> slot_close(m, total_matched, -1);
-  pram::Array<std::int64_t> slot_open(m, total_matched, -1);
-  m.blocked_step(blocks, [&](pram::Ctx& c, std::size_t b) -> std::uint64_t {
+  auto slot_close = exec::make_array<std::int64_t>(m, total_matched, std::int64_t{-1});
+  auto slot_open = exec::make_array<std::int64_t>(m, total_matched, std::int64_t{-1});
+  m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
     std::uint64_t cost = 1;
     // Close side: indices j in [0, a) transform as j -> j + delta; matched
     // sets are prefixes.
@@ -247,7 +245,7 @@ inline void match_brackets(pram::Machine& m,
   });
 
   // ---- Phase 6: pair through the slots --------------------------------
-  m.pfor(total_matched, [&](pram::Ctx& c, std::size_t s) {
+  m.pfor(total_matched, [&](auto& c, std::size_t s) {
     const std::int64_t cp = slot_close.get(c, s);
     const std::int64_t op = slot_open.get(c, s);
     if (cp < 0 || op < 0) return;  // unfilled slot (k over-allocated: never

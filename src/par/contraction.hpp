@@ -29,14 +29,12 @@
 
 #include "par/bintree.hpp"
 #include "par/euler.hpp"
-#include "pram/array.hpp"
-#include "pram/machine.hpp"
 
 namespace copath::par {
 
-template <typename P>
+template <typename P, typename E>
 std::vector<typename P::Value> tree_contract_eval(
-    pram::Machine& m, const BinTree& t,
+    E& m, const BinTree& t,
     const std::vector<typename P::Value>& leaf_value,
     const std::vector<typename P::NodeOp>& node_op,
     RankEngine engine = RankEngine::Contract) {
@@ -58,19 +56,19 @@ std::vector<typename P::Value> tree_contract_eval(
   const EulerNumbers nums = euler_numbers(m, t, engine);
 
   // Mutable tree state.
-  pram::Array<NodeId> parent(m, t.parent);
-  pram::Array<NodeId> l_child(m, t.left);
-  pram::Array<NodeId> r_child(m, t.right);
-  pram::Array<Func> func(m, n, P::identity());
-  pram::Array<NodeOp> op(m, node_op);
-  pram::Array<Value> val(m, leaf_value);
+  auto parent = exec::make_array<NodeId>(m, t.parent);
+  auto l_child = exec::make_array<NodeId>(m, t.left);
+  auto r_child = exec::make_array<NodeId>(m, t.right);
+  auto func = exec::make_array<Func>(m, n, P::identity());
+  auto op = exec::make_array<NodeOp>(m, node_op);
+  auto val = exec::make_array<Value>(m, leaf_value);
   // side[v]: 0 = left child of its parent, 1 = right child.
   std::vector<std::uint8_t> side_init(n, 0);
   for (std::size_t v = 0; v < n; ++v) {
     if (t.right[v] != kNull)
       side_init[static_cast<std::size_t>(t.right[v])] = 1;
   }
-  pram::Array<std::uint8_t> side(m, std::move(side_init));
+  auto side = exec::make_array<std::uint8_t>(m, std::move(side_init));
 
   // Leaf list ordered by leaf number (two buffers, ping-pong compaction).
   std::size_t leaf_count = 0;
@@ -82,39 +80,39 @@ std::vector<typename P::Value> tree_contract_eval(
       leaves_init[static_cast<std::size_t>(nums.leafnum[v])] =
           static_cast<NodeId>(v);
   }
-  pram::Array<NodeId> leaves_a(m, std::move(leaves_init));
-  pram::Array<NodeId> leaves_b(m, leaf_count);
+  auto leaves_a = exec::make_array<NodeId>(m, std::move(leaves_init));
+  auto leaves_b = exec::make_array<NodeId>(m, leaf_count);
 
   // Rake event log, indexed by the raked leaf.
-  pram::Array<NodeId> ev_q(m, n, kNull);
-  pram::Array<NodeId> ev_s(m, n, kNull);
-  pram::Array<Value> ev_x(m, n, Value{});
-  pram::Array<Func> ev_hs(m, n, P::identity());
-  pram::Array<std::uint8_t> ev_side(m, n, 0);
+  auto ev_q = exec::make_array<NodeId>(m, n, kNull);
+  auto ev_s = exec::make_array<NodeId>(m, n, kNull);
+  auto ev_x = exec::make_array<Value>(m, n, Value{});
+  auto ev_hs = exec::make_array<Func>(m, n, P::identity());
+  auto ev_side = exec::make_array<std::uint8_t>(m, n, std::uint8_t{0});
   // Per-round segments of raked leaves, in substep order (left rakes carry
   // ev_side 0, right rakes 1; both live in the same segment).
-  pram::Array<NodeId> log_leaf(m, n, kNull);
+  auto log_leaf = exec::make_array<NodeId>(m, n, kNull);
   std::vector<std::size_t> round_offset{0};
 
-  pram::Array<std::uint8_t> side_snap(m, leaf_count, 0);
+  auto side_snap = exec::make_array<std::uint8_t>(m, leaf_count, std::uint8_t{0});
 
   bool use_a = true;
   std::size_t logged = 0;
   while (leaf_count > 1) {
-    pram::Array<NodeId>& leaves = use_a ? leaves_a : leaves_b;
-    pram::Array<NodeId>& next_leaves = use_a ? leaves_b : leaves_a;
+    auto& leaves = use_a ? leaves_a : leaves_b;
+    auto& next_leaves = use_a ? leaves_b : leaves_a;
     const std::size_t odd = leaf_count / 2;
 
     // Snapshot the sides of the odd leaves (they are stable across both
     // substeps; see the EREW analysis in the header comment).
-    m.pfor(odd, [&](pram::Ctx& c, std::size_t j) {
+    m.pfor(odd, [&](auto& c, std::size_t j) {
       const NodeId l = leaves.get(c, 2 * j + 1);
       side_snap.put(c, j, side.get(c, static_cast<std::size_t>(l)));
       log_leaf.put(c, logged + j, l);
     });
 
     for (const std::uint8_t substep : {std::uint8_t{0}, std::uint8_t{1}}) {
-      m.pfor(odd, [&](pram::Ctx& c, std::size_t j) {
+      m.pfor(odd, [&](auto& c, std::size_t j) {
         if (side_snap.get(c, j) != substep) return;
         const auto l =
             static_cast<std::size_t>(leaves.get(c, 2 * j + 1));
@@ -155,7 +153,7 @@ std::vector<typename P::Value> tree_contract_eval(
 
     // Compact to the even-numbered leaves.
     const std::size_t remaining = leaf_count - odd;
-    m.pfor(remaining, [&](pram::Ctx& c, std::size_t j) {
+    m.pfor(remaining, [&](auto& c, std::size_t j) {
       next_leaves.put(c, j, leaves.get(c, 2 * j));
     });
     logged += odd;
@@ -165,14 +163,14 @@ std::vector<typename P::Value> tree_contract_eval(
   }
 
   // Expansion: replay rounds in reverse (right rakes before left rakes).
-  m.pfor(n, [&](pram::Ctx& c, std::size_t v) {
+  m.pfor(n, [&](auto& c, std::size_t v) {
     if (nums.leafnum[v] >= 0) val.put(c, v, leaf_value[v]);
   });
   for (std::size_t r = round_offset.size() - 1; r-- > 0;) {
     const std::size_t lo = round_offset[r];
     const std::size_t hi = round_offset[r + 1];
     for (const std::uint8_t substep : {std::uint8_t{1}, std::uint8_t{0}}) {
-      m.pfor(hi - lo, [&](pram::Ctx& c, std::size_t k) {
+      m.pfor(hi - lo, [&](auto& c, std::size_t k) {
         const auto l = static_cast<std::size_t>(log_leaf.get(c, lo + k));
         if (ev_side.get(c, l) != substep) return;
         const auto q = static_cast<std::size_t>(ev_q.get(c, l));

@@ -11,6 +11,9 @@
 // successors of their children's `up` items so no cell is read twice in a
 // step — and positions come from list ranking. All derived numbers are
 // prefix sums over position-indexed indicator arrays.
+//
+// Generic over the executor (exec/exec.hpp): run it on exec::CheckedPram
+// for the proven EREW bounds, on exec::Native for production speed.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +22,6 @@
 #include "par/bintree.hpp"
 #include "par/list_ranking.hpp"
 #include "par/scan.hpp"
-#include "pram/array.hpp"
-#include "pram/machine.hpp"
 
 namespace copath::par {
 
@@ -48,8 +49,9 @@ struct EulerNumbers {
   std::int64_t tour_length = 0;
 };
 
-inline EulerNumbers euler_numbers(pram::Machine& m, const BinTree& t,
-                                  RankEngine engine = RankEngine::Contract) {
+template <typename E>
+EulerNumbers euler_numbers(E& m, const BinTree& t,
+                           RankEngine engine = RankEngine::Contract) {
   const std::size_t n = t.size();
   EulerNumbers out;
   out.pre.assign(n, 0);
@@ -77,13 +79,13 @@ inline EulerNumbers euler_numbers(pram::Machine& m, const BinTree& t,
   const auto up = [](std::int64_t c) { return 2 * c + 1; };
 
   // Load the tree into shared memory (input tape).
-  pram::Array<NodeId> left(m, t.left);
-  pram::Array<NodeId> right(m, t.right);
+  auto left = exec::make_array<NodeId>(m, t.left);
+  auto right = exec::make_array<NodeId>(m, t.right);
 
-  pram::Array<NodeId> succ(m, items, kNull);
+  auto succ = exec::make_array<NodeId>(m, items, kNull);
   // Each node computes the successor of its own `down` item and the
   // successors of its children's `up` items (exclusive by construction).
-  m.pfor(n, [&](pram::Ctx& c, std::size_t v) {
+  m.pfor(n, [&](auto& c, std::size_t v) {
     const NodeId l = left.get(c, v);
     const NodeId r = right.get(c, v);
     if (v != root) {
@@ -115,7 +117,7 @@ inline EulerNumbers euler_numbers(pram::Machine& m, const BinTree& t,
   });
 
   // Positions from ranks (rank = distance to tour tail).
-  pram::Array<std::int64_t> rank(m, items, 0);
+  auto rank = exec::make_array<std::int64_t>(m, items, std::int64_t{0});
   if (engine == RankEngine::Contract) {
     list_rank_contract(m, succ, rank);
   } else {
@@ -124,9 +126,9 @@ inline EulerNumbers euler_numbers(pram::Machine& m, const BinTree& t,
   const std::int64_t tour_len = static_cast<std::int64_t>(2 * (n - 1));
   out.tour_length = tour_len;
 
-  pram::Array<std::int64_t> dpos(m, n, -1);
-  pram::Array<std::int64_t> upos(m, n, -1);
-  m.pfor(n, [&](pram::Ctx& c, std::size_t v) {
+  auto dpos = exec::make_array<std::int64_t>(m, n, std::int64_t{-1});
+  auto upos = exec::make_array<std::int64_t>(m, n, std::int64_t{-1});
+  m.pfor(n, [&](auto& c, std::size_t v) {
     if (v == root) return;
     const auto vi = static_cast<std::int64_t>(v);
     dpos.put(c, v,
@@ -136,12 +138,12 @@ inline EulerNumbers euler_numbers(pram::Machine& m, const BinTree& t,
   });
 
   // Position-indexed indicators.
-  pram::Array<std::int64_t> delta(m, static_cast<std::size_t>(tour_len), 0);
-  pram::Array<std::int64_t> downs(m, static_cast<std::size_t>(tour_len), 0);
-  pram::Array<std::int64_t> ups(m, static_cast<std::size_t>(tour_len), 0);
-  pram::Array<std::int64_t> leafdowns(m, static_cast<std::size_t>(tour_len),
-                                      0);
-  m.pfor(n, [&](pram::Ctx& c, std::size_t v) {
+  const auto tlen = static_cast<std::size_t>(tour_len);
+  auto delta = exec::make_array<std::int64_t>(m, tlen, std::int64_t{0});
+  auto downs = exec::make_array<std::int64_t>(m, tlen, std::int64_t{0});
+  auto ups = exec::make_array<std::int64_t>(m, tlen, std::int64_t{0});
+  auto leafdowns = exec::make_array<std::int64_t>(m, tlen, std::int64_t{0});
+  m.pfor(n, [&](auto& c, std::size_t v) {
     if (v == root) return;
     const auto dp = static_cast<std::size_t>(dpos.get(c, v));
     const auto upp = static_cast<std::size_t>(upos.get(c, v));
@@ -158,14 +160,14 @@ inline EulerNumbers euler_numbers(pram::Machine& m, const BinTree& t,
   inclusive_scan(m, leafdowns);
 
   // Gather per-node numbers.
-  pram::Array<std::int64_t> pre(m, n, 0);
-  pram::Array<std::int64_t> post(m, n, 0);
-  pram::Array<std::int64_t> depth(m, n, 0);
-  pram::Array<std::int64_t> leaves(m, n, 0);
-  pram::Array<std::int64_t> subtree(m, n, 0);
-  pram::Array<std::int64_t> leafnum(m, n, -1);
-  pram::Array<std::int64_t> firstleaf(m, n, 0);
-  m.pfor(n, [&](pram::Ctx& c, std::size_t v) {
+  auto pre = exec::make_array<std::int64_t>(m, n, std::int64_t{0});
+  auto post = exec::make_array<std::int64_t>(m, n, std::int64_t{0});
+  auto depth = exec::make_array<std::int64_t>(m, n, std::int64_t{0});
+  auto leaves = exec::make_array<std::int64_t>(m, n, std::int64_t{0});
+  auto subtree = exec::make_array<std::int64_t>(m, n, std::int64_t{0});
+  auto leafnum = exec::make_array<std::int64_t>(m, n, std::int64_t{-1});
+  auto firstleaf = exec::make_array<std::int64_t>(m, n, std::int64_t{0});
+  m.pfor(n, [&](auto& c, std::size_t v) {
     if (v == root) return;  // root handled on the host below (its values
                             // would share cells with the last tour item)
     const bool leaf = left.get(c, v) == kNull && right.get(c, v) == kNull;
@@ -193,9 +195,9 @@ inline EulerNumbers euler_numbers(pram::Machine& m, const BinTree& t,
   // up(left(v)) + 1 when v has a left child, at down(v) + 1 otherwise, and
   // at slot 0 for a left-childless root. Events are pairwise distinct.
   const std::size_t ev_len = static_cast<std::size_t>(tour_len) + 1;
-  pram::Array<std::int64_t> events(m, ev_len, 0);
-  pram::Array<std::int64_t> ev_of(m, n, 0);
-  m.pfor(n, [&](pram::Ctx& c, std::size_t v) {
+  auto events = exec::make_array<std::int64_t>(m, ev_len, std::int64_t{0});
+  auto ev_of = exec::make_array<std::int64_t>(m, n, std::int64_t{0});
+  m.pfor(n, [&](auto& c, std::size_t v) {
     const NodeId l = left.get(c, v);
     std::int64_t ev;
     if (l != kNull) {
@@ -209,7 +211,7 @@ inline EulerNumbers euler_numbers(pram::Machine& m, const BinTree& t,
     events.put(c, static_cast<std::size_t>(ev), 1);
   });
   inclusive_scan(m, events);
-  m.pfor(n, [&](pram::Ctx& c, std::size_t v) {
+  m.pfor(n, [&](auto& c, std::size_t v) {
     out.in[v] =
         events.get(c, static_cast<std::size_t>(ev_of.get(c, v))) - 1;
   });

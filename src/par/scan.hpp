@@ -1,11 +1,12 @@
 // Work-optimal EREW prefix sums (Lemma 5.1(2) of the paper) and friends.
 //
-// All functions are PRAM programs: they only touch memory through
-// pram::Array inside machine steps, so running them on a checked machine
-// proves they respect the EREW contract, and the machine's stats() yield
-// their step/work counts.
+// All functions are executor programs (exec/exec.hpp): they only touch
+// memory through executor arrays inside phases, so running them on the
+// checked PRAM executor proves they respect the EREW contract and yields
+// their step/work counts, while the Native executor runs the identical
+// code at memory speed.
 //
-// Scheduling: with the machine configured for P processors, an n-element
+// Scheduling: with the executor configured for P processors, an n-element
 // scan runs in O(n/P + log n) steps and O(n + P) work — the classic
 // three-phase blocked scan (sequential block reduce, Blelloch scan of the P
 // block sums, sequential block re-sweep). With P = n / log2 n this is the
@@ -15,40 +16,35 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/checked_pram.hpp"
 #include "par/ops.hpp"
-#include "pram/array.hpp"
-#include "pram/machine.hpp"
+#include "util/math.hpp"
 
 namespace copath::par {
 
 namespace detail {
 
-inline std::size_t ceil_div(std::size_t a, std::size_t b) {
-  return (a + b - 1) / b;
-}
-
-inline std::size_t next_pow2(std::size_t v) {
-  std::size_t p = 1;
-  while (p < v) p <<= 1;
-  return p;
-}
+using util::ceil_div;
+using util::next_pow2;
 
 /// Number of blocks (= virtual processors for the blocked phases) the
-/// machine's configuration implies for an n-element primitive.
-inline std::size_t block_count(const pram::Machine& m, std::size_t n) {
-  const std::size_t p = m.processors() == 0 ? n : m.processors();
+/// executor's configuration implies for an n-element primitive.
+template <typename E>
+std::size_t block_count(const E& ex, std::size_t n) {
+  const std::size_t p = ex.processors() == 0 ? n : ex.processors();
   return std::min(n, p);
 }
 
 /// In-place Blelloch exclusive scan over a pow2-padded scratch array.
 /// Steps: 2 log2(m), work O(m).
-template <typename T, typename Op>
-void blelloch_exclusive_pow2(pram::Machine& m, pram::Array<T>& t, Op op) {
+template <typename E, typename A, typename Op>
+void blelloch_exclusive_pow2(E& m, A& t, Op op) {
+  using T = typename A::value_type;
   const std::size_t size = t.size();
   // Up-sweep (reduce).
   for (std::size_t stride = 2; stride <= size; stride <<= 1) {
     const std::size_t count = size / stride;
-    m.pfor(count, [&](pram::Ctx& c, std::size_t j) {
+    m.pfor(count, [&](auto& c, std::size_t j) {
       const std::size_t hi = (j + 1) * stride - 1;
       const std::size_t lo = hi - stride / 2;
       t.put(c, hi, op(t.get(c, lo), t.get(c, hi)));
@@ -58,7 +54,7 @@ void blelloch_exclusive_pow2(pram::Machine& m, pram::Array<T>& t, Op op) {
   // Down-sweep.
   for (std::size_t stride = size; stride >= 2; stride >>= 1) {
     const std::size_t count = size / stride;
-    m.pfor(count, [&](pram::Ctx& c, std::size_t j) {
+    m.pfor(count, [&](auto& c, std::size_t j) {
       const std::size_t hi = (j + 1) * stride - 1;
       const std::size_t lo = hi - stride / 2;
       const T left = t.get(c, lo);
@@ -76,16 +72,18 @@ void blelloch_exclusive_pow2(pram::Machine& m, pram::Array<T>& t, Op op) {
 
 /// In-place exclusive prefix scan of `a` under `op`. a[i] becomes
 /// op(a[0], ..., a[i-1]) (identity for i = 0).
-template <typename T, typename Op = Plus<T>>
-void exclusive_scan(pram::Machine& m, pram::Array<T>& a, Op op = Op{}) {
+template <typename E, typename A, typename Op = Plus<typename A::value_type>>
+void exclusive_scan(E& m, A& a, Op op = Op{}) {
+  using T = typename A::value_type;
   const std::size_t n = a.size();
   if (n == 0) return;
   const std::size_t blocks = detail::block_count(m, n);
   const std::size_t block = detail::ceil_div(n, blocks);
 
-  pram::Array<T> sums(m, detail::next_pow2(blocks), Op::identity());
+  auto sums =
+      exec::make_array<T>(m, detail::next_pow2(blocks), Op::identity());
   // Phase 1: each processor reduces its contiguous block.
-  m.blocked_step(blocks, [&](pram::Ctx& c, std::size_t b) -> std::uint64_t {
+  m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
     const std::size_t lo = std::min(n, b * block);
     const std::size_t hi = std::min(n, lo + block);
     T acc = Op::identity();
@@ -96,7 +94,7 @@ void exclusive_scan(pram::Machine& m, pram::Array<T>& a, Op op = Op{}) {
   // Phase 2: exclusive scan of the block sums.
   detail::blelloch_exclusive_pow2(m, sums, op);
   // Phase 3: each processor re-sweeps its block with its offset.
-  m.blocked_step(blocks, [&](pram::Ctx& c, std::size_t b) -> std::uint64_t {
+  m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
     const std::size_t lo = std::min(n, b * block);
     const std::size_t hi = std::min(n, lo + block);
     T acc = sums.get(c, b);
@@ -110,15 +108,17 @@ void exclusive_scan(pram::Machine& m, pram::Array<T>& a, Op op = Op{}) {
 }
 
 /// In-place inclusive prefix scan: a[i] becomes op(a[0], ..., a[i]).
-template <typename T, typename Op = Plus<T>>
-void inclusive_scan(pram::Machine& m, pram::Array<T>& a, Op op = Op{}) {
+template <typename E, typename A, typename Op = Plus<typename A::value_type>>
+void inclusive_scan(E& m, A& a, Op op = Op{}) {
+  using T = typename A::value_type;
   const std::size_t n = a.size();
   if (n == 0) return;
   const std::size_t blocks = detail::block_count(m, n);
   const std::size_t block = detail::ceil_div(n, blocks);
 
-  pram::Array<T> sums(m, detail::next_pow2(blocks), Op::identity());
-  m.blocked_step(blocks, [&](pram::Ctx& c, std::size_t b) -> std::uint64_t {
+  auto sums =
+      exec::make_array<T>(m, detail::next_pow2(blocks), Op::identity());
+  m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
     const std::size_t lo = std::min(n, b * block);
     const std::size_t hi = std::min(n, lo + block);
     T acc = Op::identity();
@@ -127,7 +127,7 @@ void inclusive_scan(pram::Machine& m, pram::Array<T>& a, Op op = Op{}) {
     return hi - lo;
   });
   detail::blelloch_exclusive_pow2(m, sums, op);
-  m.blocked_step(blocks, [&](pram::Ctx& c, std::size_t b) -> std::uint64_t {
+  m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
     const std::size_t lo = std::min(n, b * block);
     const std::size_t hi = std::min(n, lo + block);
     T acc = sums.get(c, b);
@@ -140,14 +140,16 @@ void inclusive_scan(pram::Machine& m, pram::Array<T>& a, Op op = Op{}) {
 }
 
 /// Reduction of `a` under `op`.
-template <typename T, typename Op = Plus<T>>
-T reduce(pram::Machine& m, const pram::Array<T>& a, Op op = Op{}) {
+template <typename E, typename A, typename Op = Plus<typename A::value_type>>
+typename A::value_type reduce(E& m, const A& a, Op op = Op{}) {
+  using T = typename A::value_type;
   const std::size_t n = a.size();
   if (n == 0) return Op::identity();
   const std::size_t blocks = detail::block_count(m, n);
   const std::size_t block = detail::ceil_div(n, blocks);
-  pram::Array<T> sums(m, detail::next_pow2(blocks), Op::identity());
-  m.blocked_step(blocks, [&](pram::Ctx& c, std::size_t b) -> std::uint64_t {
+  auto sums =
+      exec::make_array<T>(m, detail::next_pow2(blocks), Op::identity());
+  m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
     const std::size_t lo = std::min(n, b * block);
     const std::size_t hi = std::min(n, lo + block);
     T acc = Op::identity();
@@ -158,7 +160,7 @@ T reduce(pram::Machine& m, const pram::Array<T>& a, Op op = Op{}) {
   // Tree reduce over the pow2 scratch.
   for (std::size_t stride = 2; stride <= sums.size(); stride <<= 1) {
     const std::size_t count = sums.size() / stride;
-    m.pfor(count, [&](pram::Ctx& c, std::size_t j) {
+    m.pfor(count, [&](auto& c, std::size_t j) {
       const std::size_t hi = (j + 1) * stride - 1;
       const std::size_t lo = hi - stride / 2;
       sums.put(c, hi, op(sums.get(c, lo), sums.get(c, hi)));
@@ -171,10 +173,11 @@ T reduce(pram::Machine& m, const pram::Array<T>& a, Op op = Op{}) {
 /// segment; within each segment a[i] becomes op over the segment prefix.
 /// Implemented as an ordinary scan over (flag, value) pairs with the
 /// standard segmented-combine, which stays associative.
-template <typename T, typename Op = Plus<T>>
-void segmented_inclusive_scan(pram::Machine& m, pram::Array<T>& a,
-                              const pram::Array<std::uint8_t>& flag,
+template <typename E, typename A, typename Op = Plus<typename A::value_type>>
+void segmented_inclusive_scan(E& m, A& a,
+                              const exec::ArrayOf<E, std::uint8_t>& flag,
                               Op op = Op{}) {
+  using T = typename A::value_type;
   const std::size_t n = a.size();
   COPATH_CHECK(flag.size() == n);
   if (n == 0) return;
@@ -191,16 +194,17 @@ void segmented_inclusive_scan(pram::Machine& m, pram::Array<T>& a,
                   static_cast<std::uint8_t>(lhs.reset | rhs.reset)};
     }
   };
-  pram::Array<Pair> pairs(m, n);
-  m.pfor(n, [&](pram::Ctx& c, std::size_t i) {
+  auto pairs = exec::make_array<Pair>(m, n);
+  m.pfor(n, [&](auto& c, std::size_t i) {
     pairs.put(c, i, Pair{a.get(c, i), flag.get(c, i)});
   });
   // Inline inclusive scan over Pair with SegOp (blocked, as above).
   const std::size_t blocks = detail::block_count(m, n);
   const std::size_t block = detail::ceil_div(n, blocks);
   SegOp seg{op};
-  pram::Array<Pair> sums(m, detail::next_pow2(blocks), SegOp::identity());
-  m.blocked_step(blocks, [&](pram::Ctx& c, std::size_t b) -> std::uint64_t {
+  auto sums =
+      exec::make_array<Pair>(m, detail::next_pow2(blocks), SegOp::identity());
+  m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
     const std::size_t lo = std::min(n, b * block);
     const std::size_t hi = std::min(n, lo + block);
     Pair acc = SegOp::identity();
@@ -209,7 +213,7 @@ void segmented_inclusive_scan(pram::Machine& m, pram::Array<T>& a,
     return hi - lo;
   });
   detail::blelloch_exclusive_pow2(m, sums, seg);
-  m.blocked_step(blocks, [&](pram::Ctx& c, std::size_t b) -> std::uint64_t {
+  m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
     const std::size_t lo = std::min(n, b * block);
     const std::size_t hi = std::min(n, lo + block);
     Pair acc = sums.get(c, b);
@@ -224,14 +228,15 @@ void segmented_inclusive_scan(pram::Machine& m, pram::Array<T>& a,
 /// Stable compaction: copies the indices i with keep[i] != 0 into `out`
 /// (which must have capacity >= number of kept items) and returns how many
 /// were kept. O(n/P + log n) steps, O(n) work.
-template <typename Index>
-std::size_t compact_indices(pram::Machine& m,
-                            const pram::Array<std::uint8_t>& keep,
-                            pram::Array<Index>& out) {
+template <typename E, typename AOut>
+std::size_t compact_indices(E& m,
+                            const exec::ArrayOf<E, std::uint8_t>& keep,
+                            AOut& out) {
+  using Index = typename AOut::value_type;
   const std::size_t n = keep.size();
   if (n == 0) return 0;
-  pram::Array<std::int64_t> pos(m, n);
-  m.pfor(n, [&](pram::Ctx& c, std::size_t i) {
+  auto pos = exec::make_array<std::int64_t>(m, n);
+  m.pfor(n, [&](auto& c, std::size_t i) {
     pos.put(c, i, keep.get(c, i) != 0 ? 1 : 0);
   });
   exclusive_scan(m, pos);
@@ -239,7 +244,7 @@ std::size_t compact_indices(pram::Machine& m,
       static_cast<std::size_t>(pos.host(n - 1)) +
       (keep.host(n - 1) != 0 ? 1u : 0u);
   COPATH_CHECK(out.size() >= total);
-  m.pfor(n, [&](pram::Ctx& c, std::size_t i) {
+  m.pfor(n, [&](auto& c, std::size_t i) {
     if (keep.get(c, i) != 0)
       out.put(c, static_cast<std::size_t>(pos.get(c, i)),
               static_cast<Index>(i));
@@ -248,17 +253,17 @@ std::size_t compact_indices(pram::Machine& m,
 }
 
 /// Convenience: parallel fill.
-template <typename T>
-void fill(pram::Machine& m, pram::Array<T>& a, T value) {
-  m.pfor(a.size(), [&](pram::Ctx& c, std::size_t i) { a.put(c, i, value); });
+template <typename E, typename A>
+void fill(E& m, A& a, typename A::value_type value) {
+  m.pfor(a.size(), [&](auto& c, std::size_t i) { a.put(c, i, value); });
 }
 
 /// Convenience: parallel copy (same length).
-template <typename T>
-void copy(pram::Machine& m, const pram::Array<T>& src, pram::Array<T>& dst) {
+template <typename E, typename A>
+void copy(E& m, const A& src, A& dst) {
   COPATH_CHECK(src.size() == dst.size());
   m.pfor(src.size(),
-         [&](pram::Ctx& c, std::size_t i) { dst.put(c, i, src.get(c, i)); });
+         [&](auto& c, std::size_t i) { dst.put(c, i, src.get(c, i)); });
 }
 
 }  // namespace copath::par

@@ -26,6 +26,8 @@ namespace copath::pram {
 template <typename T>
 class Array : private detail::ArrayBase {
  public:
+  using value_type = T;
+
   /// Allocates `n` cells initialized to `init` on `machine`.
   Array(Machine& machine, std::size_t n, T init = T{})
       : detail::ArrayBase(machine), data_(n, init) {

@@ -1,0 +1,32 @@
+// Small integer helpers shared by the parallel primitives and executors.
+//
+// These used to be copy-pasted per header (par/scan.hpp, par/brackets.hpp);
+// they live here so every layer agrees on the same rounding conventions.
+#pragma once
+
+#include <cstddef>
+
+namespace copath::util {
+
+/// ceil(a / b) for b > 0.
+[[nodiscard]] inline constexpr std::size_t ceil_div(std::size_t a,
+                                                    std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Smallest power of two >= v (next_pow2(0) == 1).
+[[nodiscard]] inline constexpr std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// floor(log2(max(2, n))) with a floor of 1 — the "log n" of the paper's
+/// n / log n processor budget.
+[[nodiscard]] inline constexpr std::size_t floor_log2(std::size_t n) {
+  std::size_t l = 0;
+  while ((std::size_t{1} << (l + 1)) <= (n < 2 ? 2 : n)) ++l;
+  return l == 0 ? 1 : l;
+}
+
+}  // namespace copath::util

@@ -57,7 +57,14 @@ INSTANTIATE_TEST_SUITE_P(
                       Shape{30, 4, 1, par::RankEngine::Wyllie},
                       Shape{90, 16, 1, par::RankEngine::Contract},
                       Shape{90, 16, 2, par::RankEngine::Contract},
-                      Shape{150, 8, 4, par::RankEngine::Contract}),
+                      Shape{150, 8, 4, par::RankEngine::Contract},
+                      // procs = 0: every pfor is ONE maximally parallel
+                      // checked step — no cross-item access can hide in
+                      // Brent chunking. This is exactly the EREW-clean
+                      // property exec::Native's direct one-pass execution
+                      // relies on (see exec/native.hpp).
+                      Shape{60, 0, 1, par::RankEngine::Contract},
+                      Shape{60, 0, 2, par::RankEngine::Wyllie}),
     [](const ::testing::TestParamInfo<Shape>& info) {
       return "n" + std::to_string(info.param.n) + "_p" +
              std::to_string(info.param.procs) + "_w" +

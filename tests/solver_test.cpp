@@ -35,7 +35,7 @@ TEST(Registry, AllBuiltinsRegisteredWithRoundTrippingNames) {
   for (const Backend b :
        {Backend::Sequential, Backend::Parallel, Backend::Pram,
         Backend::BruteForce, Backend::Greedy, Backend::NaiveParallel,
-        Backend::Reference}) {
+        Backend::Reference, Backend::Native}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), b), ids.end())
         << core::to_string(b);
     const auto entry = reg.find(b);
@@ -78,7 +78,7 @@ TEST(Solve, EveryBackendOnEveryFamily) {
   for (const Backend b :
        {Backend::Sequential, Backend::Parallel, Backend::Pram,
         Backend::BruteForce, Backend::Greedy, Backend::NaiveParallel,
-        Backend::Reference}) {
+        Backend::Reference, Backend::Native}) {
     for (const auto& t : family_instances()) {
       if (b == Backend::BruteForce && t.vertex_count() > 14) continue;
       SolveOptions opts;
@@ -299,7 +299,8 @@ TEST(Count, MatchesSolveAcrossBackendsAndReportsPramCost) {
     RandomCotreeOptions gopt;
     gopt.seed = 300 + static_cast<unsigned>(trial);
     const Cotree t = cograph::random_cotree(1 + rng.below(70), gopt);
-    for (const Backend b : {Backend::Sequential, Backend::Pram}) {
+    for (const Backend b :
+         {Backend::Sequential, Backend::Pram, Backend::Native}) {
       SolveOptions opts;
       opts.backend = b;
       const Solver solver(opts);
