@@ -1,0 +1,152 @@
+#include "cograph/canonical.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "util/math.hpp"
+
+namespace copath::cograph {
+namespace {
+
+constexpr std::uint64_t kLeafHash = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kUnionSeed = 0x2545f4914f6cdd1dull;
+constexpr std::uint64_t kJoinSeed = 0x94d049bb133111ebull;
+
+// Children are pre-sorted, so hash_mix's order sensitivity makes the hash
+// of a child list order-free exactly on the canonical order.
+using util::hash_mix;
+
+}  // namespace
+
+CanonicalForm canonical_form(const Cotree& t) {
+  CanonicalForm out;
+  const std::size_t n = t.size();
+  if (n == 0) {
+    out.key = "()";
+    return out;
+  }
+
+  // Children-before-parents order: reverse of a DFS preorder.
+  std::vector<NodeId> order;
+  order.reserve(n);
+  {
+    std::vector<NodeId> stack{t.root()};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      for (const NodeId c : t.children(v)) stack.push_back(c);
+    }
+    std::reverse(order.begin(), order.end());
+  }
+
+  std::vector<std::uint64_t> hash(n, 0);
+  // Per-node children in canonical order, flat CSR (one allocation, not n):
+  // node v's sorted children live in sorted[off[v], off[v+1]).
+  std::vector<std::size_t> off(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    off[v + 1] = off[v] + t.child_count(static_cast<NodeId>(v));
+  }
+  std::vector<NodeId> sorted(off[n]);
+  const auto kids = [&](NodeId v) {
+    const auto u = static_cast<std::size_t>(v);
+    return std::span<NodeId>(sorted.data() + off[u],
+                             sorted.data() + off[u + 1]);
+  };
+
+  // Label-free total order on subtrees: by hash, ties broken by an explicit
+  // structural walk (kind, then child count, then children pairwise in
+  // canonical order). The walk uses its own stack — sibling subtrees can be
+  // arbitrarily deep — and only runs on hash ties, i.e. almost always on
+  // genuinely isomorphic subtrees, where it terminates by exhausting them.
+  const auto less = [&](NodeId a, NodeId b) -> bool {
+    if (hash[static_cast<std::size_t>(a)] !=
+        hash[static_cast<std::size_t>(b)]) {
+      return hash[static_cast<std::size_t>(a)] <
+             hash[static_cast<std::size_t>(b)];
+    }
+    std::vector<std::pair<NodeId, NodeId>> st{{a, b}};
+    while (!st.empty()) {
+      const auto [x, y] = st.back();
+      st.pop_back();
+      if (x == y) continue;
+      const auto kx = static_cast<int>(t.kind(x));
+      const auto ky = static_cast<int>(t.kind(y));
+      if (kx != ky) return kx < ky;
+      if (t.is_leaf(x)) continue;  // leaves are interchangeable
+      const auto cx = kids(x);
+      const auto cy = kids(y);
+      if (cx.size() != cy.size()) return cx.size() < cy.size();
+      // Lexicographic: the leftmost differing child pair decides, so push
+      // pairs in reverse (leftmost on top).
+      for (std::size_t i = cx.size(); i-- > 0;) st.emplace_back(cx[i], cy[i]);
+    }
+    return false;  // structurally equal
+  };
+
+  for (const NodeId v : order) {
+    const auto u = static_cast<std::size_t>(v);
+    if (t.is_leaf(v)) {
+      hash[u] = kLeafHash;
+      continue;
+    }
+    const auto c = kids(v);
+    std::copy(t.children(v).begin(), t.children(v).end(), c.begin());
+    std::sort(c.begin(), c.end(), less);
+    std::uint64_t h =
+        t.kind(v) == NodeKind::Union ? kUnionSeed : kJoinSeed;
+    h = hash_mix(h, static_cast<std::uint64_t>(c.size()));
+    for (const NodeId ch : c) h = hash_mix(h, hash[static_cast<std::size_t>(ch)]);
+    hash[u] = h;
+  }
+  out.hash = hash[static_cast<std::size_t>(t.root())];
+
+  // Emit the canonical string and number leaves left-to-right in canonical
+  // child order (iterative: the tree can be Θ(n) deep).
+  const std::size_t vertices = t.vertex_count();
+  out.to_canonical.assign(vertices, kNull);
+  out.from_canonical.assign(vertices, kNull);
+  out.key.reserve(4 * n);
+  VertexId next = 0;
+  const auto emit_leaf = [&](NodeId leaf) {
+    out.key += 'v';
+    const VertexId orig = t.vertex_of(leaf);
+    out.to_canonical[static_cast<std::size_t>(orig)] = next;
+    out.from_canonical[static_cast<std::size_t>(next)] = orig;
+    ++next;
+  };
+  if (t.is_leaf(t.root())) {
+    emit_leaf(t.root());
+    return out;
+  }
+  struct Frame {
+    NodeId v;
+    std::size_t idx;
+  };
+  std::vector<Frame> st;
+  out.key += '(';
+  out.key += kind_char(t.kind(t.root()));
+  st.push_back(Frame{t.root(), 0});
+  while (!st.empty()) {
+    Frame& f = st.back();
+    const auto c = kids(f.v);
+    if (f.idx == c.size()) {
+      out.key += ')';
+      st.pop_back();
+      continue;
+    }
+    const NodeId child = c[f.idx++];
+    out.key += ' ';
+    if (t.is_leaf(child)) {
+      emit_leaf(child);
+    } else {
+      out.key += '(';
+      out.key += kind_char(t.kind(child));
+      st.push_back(Frame{child, 0});  // invalidates f; loop re-fetches
+    }
+  }
+  return out;
+}
+
+}  // namespace copath::cograph

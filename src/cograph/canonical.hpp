@@ -1,0 +1,59 @@
+// Canonical form of a cotree modulo commutativity and leaf relabeling.
+//
+// The paper's cotree is unique for a cograph only up to the order of each
+// internal node's children (+ and * are commutative) and the identity of
+// the leaves. Many distinct inputs — permuted algebra text, relabeled
+// graphs, repeated batch entries — therefore resolve to the *same* tree in
+// that quotient. `canonical_form` computes a representative of the
+// equivalence class:
+//
+//  * `key`   — the canonical algebra string with anonymous leaves and every
+//              child list sorted by a label-free total order on subtrees.
+//              Two cotrees have equal keys iff they are isomorphic modulo
+//              commutativity and relabeling (the string *is* the class).
+//  * `hash`  — a 64-bit structural hash of `key`'s tree, computed
+//              bottom-up (cheap shard/bucket index; `key` is the
+//              collision-proof check).
+//  * `to_canonical` / `from_canonical` — mutually inverse vertex
+//              permutations between this cotree's vertex ids and the
+//              canonical tree's leaf slots (leaves numbered left-to-right
+//              in the canonical child order). `from_canonical` is a graph
+//              isomorphism from the canonical cograph onto this one, so a
+//              path cover computed on any member of the class transfers to
+//              any other member by composing the two maps.
+//
+// This is what makes result memoization sound: the service layer keys its
+// cache on (hash, key) and stores covers in canonical leaf slots; a hit on
+// a permuted or relabeled twin is replayed through that instance's own
+// `from_canonical`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cograph/cotree.hpp"
+
+namespace copath::cograph {
+
+struct CanonicalForm {
+  /// 64-bit structural hash of the canonical tree (bottom-up, order-free
+  /// per child list). Equal for every member of the equivalence class.
+  std::uint64_t hash = 0;
+  /// The canonical algebra string, e.g. "(* v (+ v v))" — children sorted,
+  /// leaves anonymized. The full equality key (collision check).
+  std::string key;
+  /// to_canonical[v] = canonical leaf slot of this cotree's vertex v.
+  std::vector<VertexId> to_canonical;
+  /// from_canonical[s] = this cotree's vertex at canonical slot s
+  /// (inverse of to_canonical; an isomorphism canonical -> this graph).
+  std::vector<VertexId> from_canonical;
+};
+
+/// Computes the canonical form. O(n log n): one bottom-up hashing pass plus
+/// a comparison sort of every child list (ties broken by a structural
+/// subtree comparison, so the order is total and deterministic even under
+/// hash collisions).
+[[nodiscard]] CanonicalForm canonical_form(const Cotree& t);
+
+}  // namespace copath::cograph

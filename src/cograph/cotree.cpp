@@ -61,10 +61,14 @@ Cotree Cotree::parse(std::string_view text) {
       ++i;
     }
   };
+  std::size_t depth = 0;
   const std::function<NodeId()> parse_expr = [&]() -> NodeId {
     skip_ws();
     COPATH_CHECK_MSG(i < text.size(), "unexpected end of cotree expression");
     if (text[i] == '(') {
+      COPATH_CHECK_MSG(++depth <= kMaxParseDepth,
+                       "cotree expression nests deeper than "
+                           << kMaxParseDepth);
       ++i;
       skip_ws();
       COPATH_CHECK_MSG(i < text.size() &&
@@ -80,6 +84,7 @@ Cotree Cotree::parse(std::string_view text) {
       }
       COPATH_CHECK_MSG(i < text.size(), "missing ')' in cotree expression");
       ++i;  // consume ')'
+      --depth;
       COPATH_CHECK_MSG(!kids.empty(), "empty '(…)' in cotree expression");
       if (kids.size() == 1) return kids[0];
       return b.node(k, kids);

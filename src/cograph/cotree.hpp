@@ -28,6 +28,14 @@ using NodeId = std::int32_t;
 using VertexId = std::int32_t;
 inline constexpr NodeId kNull = -1;
 
+/// Parser nesting bound: '(' depth beyond this throws util::CheckError
+/// instead of overflowing the recursive-descent stack (adversarial input
+/// defense; legitimate cotrees this deep should be built via CotreeBuilder
+/// or from_parts, which do not recurse). 512 keeps the parser's and the
+/// builder's recursion comfortably inside an 8 MB stack even with ASan
+/// redzones inflating the frames (measured: ~1.5-2k ASan frames overflow).
+inline constexpr std::size_t kMaxParseDepth = 512;
+
 enum class NodeKind : std::uint8_t {
   Leaf,
   Union,  // 0-node: disjoint union of the children's cographs
@@ -93,7 +101,10 @@ class Cotree {
 
   /// Parses the cotree algebra, e.g. "(* (+ (* a b) c) (+ d e f))".
   /// Leaves are identifiers; '+' is union, '*' is join. Nested same-kind
-  /// expressions are normalized.
+  /// expressions are normalized. Malformed input — including expressions
+  /// nested deeper than kMaxParseDepth, which would otherwise turn
+  /// recursive descent into a stack overflow on adversarial bytes — throws
+  /// util::CheckError; parse never crashes on arbitrary input.
   static Cotree parse(std::string_view text);
 
   /// Inverse of parse (canonical spacing, vertex names preserved).

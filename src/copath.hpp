@@ -10,6 +10,15 @@
 //     SolveOptions / SolveResult / CountResult          request/response API
 //                                                       over every backend,
 //                                                       with batch solving
+//   copath::Service, service::ResultCache               concurrent serving:
+//                                                       async submit() with
+//                                                       a canonical memo
+//                                                       cache, duplicate
+//                                                       coalescing, bounded
+//                                                       backpressure
+//   cograph::canonical_form / CanonicalForm             cotree identity
+//                                                       modulo commutativity
+//                                                       and relabeling
 //   copath::Backend, core::BackendRegistry              engine selection and
 //                                                       plug-in registration
 //   cograph::Cotree / CotreeBuilder / parse-format      the input language
@@ -30,6 +39,7 @@
 #pragma once
 
 #include "cograph/binarize.hpp"
+#include "cograph/canonical.hpp"
 #include "cograph/cotree.hpp"
 #include "cograph/families.hpp"
 #include "cograph/graph.hpp"
@@ -49,12 +59,17 @@
 #include "exec/native.hpp"
 #include "pram/array.hpp"
 #include "pram/machine.hpp"
+#include "service/result_cache.hpp"
+#include "service/service.hpp"
+#include "util/mpmc_queue.hpp"
 
 namespace copath {
 
 // Convenience aliases so applications can stay inside `copath::`.
 // (Solver, Instance, SolveRequest, SolveOptions, SolveResult, CountResult,
 // and Backend already live in `copath::` via copath_solver.hpp.)
+using cograph::canonical_form;
+using cograph::CanonicalForm;
 using cograph::Cotree;
 using cograph::CotreeBuilder;
 using cograph::Graph;

@@ -16,6 +16,7 @@ namespace copath {
 Instance Instance::cotree(cograph::Cotree t) {
   Instance i;
   i.source_ = std::move(t);
+  i.canon_ = std::make_shared<CanonCache>();
   return i;
 }
 
@@ -23,6 +24,7 @@ Instance Instance::text(std::string algebra) {
   Instance i;
   i.source_ = std::move(algebra);
   i.cache_ = std::make_shared<ResolveCache>();
+  i.canon_ = std::make_shared<CanonCache>();
   return i;
 }
 
@@ -30,12 +32,14 @@ Instance Instance::graph(cograph::Graph g) {
   Instance i;
   i.source_ = std::move(g);
   i.cache_ = std::make_shared<ResolveCache>();
+  i.canon_ = std::make_shared<CanonCache>();
   return i;
 }
 
 Instance Instance::view(const cograph::Cotree& t) {
   Instance i;
   i.source_ = &t;
+  i.canon_ = std::make_shared<CanonCache>();
   return i;
 }
 
@@ -66,6 +70,15 @@ const cograph::Cotree& Instance::resolve() const {
     cache_->tree = std::move(*rec.cotree);
   });
   return *cache_->tree;
+}
+
+const cograph::CanonicalForm& Instance::canonical() const {
+  COPATH_CHECK_MSG(canon_ != nullptr, "empty Instance has no canonical form");
+  // Same discipline as resolve(): a throwing canonicalization (really: a
+  // throwing resolve) leaves the flag unset so the error repeats.
+  std::call_once(canon_->once,
+                 [this] { canon_->form = cograph::canonical_form(resolve()); });
+  return *canon_->form;
 }
 
 // ------------------------------------------------------------------ Solver

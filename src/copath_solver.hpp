@@ -29,6 +29,7 @@
 #include <variant>
 #include <vector>
 
+#include "cograph/canonical.hpp"
 #include "cograph/cotree.hpp"
 #include "cograph/graph.hpp"
 #include "cograph/recognition.hpp"
@@ -70,10 +71,21 @@ class Instance {
   /// util::CheckError on parse failure or when a graph is not a cograph.
   [[nodiscard]] const cograph::Cotree& resolve() const;
 
+  /// The canonical form (commutative-normalized key, structural hash, leaf
+  /// permutations — see cograph/canonical.hpp), materialized on first use
+  /// and shared by copies, so memoizing layers pay canonicalization once
+  /// per logical instance. Resolves the instance first; throws like
+  /// resolve() on bad input.
+  [[nodiscard]] const cograph::CanonicalForm& canonical() const;
+
  private:
   struct ResolveCache {
     std::once_flag once;
     std::optional<cograph::Cotree> tree;
+  };
+  struct CanonCache {
+    std::once_flag once;
+    std::optional<cograph::CanonicalForm> form;
   };
 
   std::variant<std::monostate, cograph::Cotree, std::string, cograph::Graph,
@@ -82,6 +94,9 @@ class Instance {
   /// Created by the text/graph factories; shared by copies so resolution
   /// happens once per logical instance.
   std::shared_ptr<ResolveCache> cache_;
+  /// Created by every factory; shared by copies (canonicalization once per
+  /// logical instance).
+  std::shared_ptr<CanonCache> canon_;
 };
 
 /// Per-solve knobs. Everything beyond `backend` is advisory for backends

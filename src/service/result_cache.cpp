@@ -1,0 +1,152 @@
+#include "service/result_cache.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/math.hpp"
+
+namespace copath::service {
+namespace {
+
+/// Folds the options fingerprint into the shard/bucket hash with the same
+/// mixer the canonicalizer uses (util::hash_mix).
+std::uint64_t hash_string(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h = util::hash_mix(h, static_cast<std::uint64_t>(c));
+  }
+  return h;
+}
+
+void remap_vertices(std::vector<cograph::VertexId>& path,
+                    const std::vector<cograph::VertexId>& map) {
+  for (auto& v : path) {
+    COPATH_DCHECK(v >= 0 && static_cast<std::size_t>(v) < map.size());
+    v = map[static_cast<std::size_t>(v)];
+  }
+}
+
+SolveResult remap_result(SolveResult res,
+                         const std::vector<cograph::VertexId>& map) {
+  for (auto& path : res.cover.paths) remap_vertices(path, map);
+  if (res.cycle.has_value()) remap_vertices(*res.cycle, map);
+  return res;
+}
+
+}  // namespace
+
+std::string options_fingerprint(const SolveOptions& opts) {
+  std::ostringstream os;
+  os << "b=" << static_cast<int>(opts.backend)
+     << ";p=" << opts.processors
+     << ";pol=" << static_cast<int>(opts.policy)
+     << ";re=" << static_cast<int>(opts.pipeline.rank_engine)
+     << ";rr=" << opts.pipeline.max_repair_rounds
+     << ";tr=" << opts.collect_trace
+     << ";val=" << opts.validate
+     << ";hc=" << opts.want_hamiltonian_cycle
+     << ";verd=" << opts.compute_verdicts;
+  return os.str();
+}
+
+CacheKey make_cache_key(const cograph::CanonicalForm& form,
+                        const SolveOptions& opts) {
+  CacheKey key;
+  key.canon_key = form.key;
+  key.opts_key = options_fingerprint(opts);
+  key.hash = hash_string(form.hash, key.opts_key);
+  return key;
+}
+
+SolveResult to_canonical_space(SolveResult res,
+                               const cograph::CanonicalForm& form) {
+  res.label.clear();
+  return remap_result(std::move(res), form.to_canonical);
+}
+
+SolveResult from_canonical_space(SolveResult res,
+                                 const cograph::CanonicalForm& form) {
+  return remap_result(std::move(res), form.from_canonical);
+}
+
+ResultCache::ResultCache(Config cfg) {
+  const std::size_t shards = std::max<std::size_t>(1, cfg.shards);
+  const std::size_t capacity = std::max(cfg.capacity, shards);
+  per_shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const SolveResult> ResultCache::lookup(const CacheKey& key) {
+  Shard& sh = shard_for(key.hash);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto bucket = sh.by_hash.find(key.hash);
+  if (bucket != sh.by_hash.end()) {
+    for (const auto it : bucket->second) {
+      if (it->key == key) {
+        sh.lru.splice(sh.lru.begin(), sh.lru, it);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->result;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void ResultCache::insert(const CacheKey& key,
+                         std::shared_ptr<const SolveResult> canonical_result) {
+  Shard& sh = shard_for(key.hash);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto& bucket = sh.by_hash[key.hash];
+  for (const auto it : bucket) {
+    if (it->key == key) {
+      // Refresh (coalesced duplicates can double-insert harmlessly).
+      it->result = std::move(canonical_result);
+      sh.lru.splice(sh.lru.begin(), sh.lru, it);
+      return;
+    }
+  }
+  if (sh.lru.size() >= per_shard_capacity_) {
+    const auto victim = std::prev(sh.lru.end());
+    auto vb = sh.by_hash.find(victim->key.hash);
+    auto& vec = vb->second;
+    vec.erase(std::find(vec.begin(), vec.end(), victim));
+    if (vec.empty()) sh.by_hash.erase(vb);
+    sh.lru.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  sh.lru.push_front(Entry{key, std::move(canonical_result)});
+  sh.by_hash[key.hash].push_back(sh.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    total += sh->lru.size();
+  }
+  return total;
+}
+
+void ResultCache::clear() {
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->lru.clear();
+    sh->by_hash.clear();
+  }
+}
+
+}  // namespace copath::service

@@ -1,0 +1,138 @@
+// Sharded, thread-safe memo cache of SolveResults keyed by canonical form.
+//
+// Two requests hit the same entry iff their instances are isomorphic modulo
+// commutativity and leaf relabeling (identical `CanonicalForm::key`) AND
+// their result-affecting solve options agree (identical options
+// fingerprint). Entries store the result in *canonical leaf slots*
+// (`to_canonical_space`), so one stored cover serves every member of the
+// equivalence class: a hit is replayed through the requesting instance's
+// own `from_canonical` permutation, which is a graph isomorphism — the
+// replayed cover is valid and of identical (minimum) size by construction.
+//
+// Concurrency: N mutex-striped shards selected by the canonical hash; a
+// lookup/insert locks exactly one shard. Within a shard, entries live on an
+// LRU list with per-shard capacity; the hash-indexed map holds collision
+// buckets and every probe compares the full key (canonical string +
+// options fingerprint), so a 64-bit hash collision costs a miss, never a
+// wrong answer. Hit/miss/insertion/eviction counters are process-cheap
+// atomics readable at any time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cograph/canonical.hpp"
+#include "copath_solver.hpp"
+
+namespace copath::service {
+
+/// Full cache identity: the canonical hash routes to a shard/bucket, the
+/// two strings are the collision-proof equality check.
+struct CacheKey {
+  std::uint64_t hash = 0;
+  std::string canon_key;
+  std::string opts_key;
+
+  [[nodiscard]] bool operator==(const CacheKey& o) const {
+    return hash == o.hash && canon_key == o.canon_key &&
+           opts_key == o.opts_key;
+  }
+};
+
+/// Serializes the option fields that change the *content* of a SolveResult
+/// (backend, machine discipline, pipeline knobs, requested extras). Worker
+/// and batch-worker counts are excluded on purpose: engines produce
+/// identical results for every physical worker count, so caching across
+/// them is sound and desirable.
+[[nodiscard]] std::string options_fingerprint(const SolveOptions& opts);
+
+/// Builds the key for an instance's canonical form under `opts`.
+[[nodiscard]] CacheKey make_cache_key(const cograph::CanonicalForm& form,
+                                      const SolveOptions& opts);
+
+/// Rewrites the result's vertex ids (cover paths, Hamiltonian cycle) from
+/// the instance's ids into canonical leaf slots. The stored form.
+[[nodiscard]] SolveResult to_canonical_space(
+    SolveResult res, const cograph::CanonicalForm& form);
+
+/// Inverse: rewrites a canonical-space result into the vertex ids of the
+/// instance described by `form`. Applied on every cache hit.
+[[nodiscard]] SolveResult from_canonical_space(
+    SolveResult res, const cograph::CanonicalForm& form);
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+class ResultCache {
+ public:
+  struct Config {
+    /// Mutex stripes; clamped to >= 1.
+    std::size_t shards = 8;
+    /// Total entry budget across shards (per-shard LRU of
+    /// ceil(capacity / shards)); clamped to >= shards.
+    std::size_t capacity = 4096;
+  };
+
+  // (Delegation instead of `Config cfg = {}`: GCC cannot evaluate a nested
+  // aggregate's default member initializers in a default argument while the
+  // enclosing class is incomplete.)
+  ResultCache() : ResultCache(Config{}) {}
+  explicit ResultCache(Config cfg);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The stored canonical-space result (shared, immutable), refreshing its
+  /// LRU position; nullptr on miss. Counts a hit or a miss. Returning a
+  /// shared_ptr keeps the shard's critical section O(1) — callers copy (or
+  /// remap) outside the lock.
+  [[nodiscard]] std::shared_ptr<const SolveResult> lookup(
+      const CacheKey& key);
+
+  /// Stores (or refreshes) `canonical_result` under `key`, evicting the
+  /// shard's least-recently-used entry when the shard is full. The result
+  /// must already be in canonical space with its label cleared.
+  void insert(const CacheKey& key,
+              std::shared_ptr<const SolveResult> canonical_result);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const SolveResult> result;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>>
+        by_hash;
+  };
+
+  Shard& shard_for(std::uint64_t hash) {
+    return *shards_[static_cast<std::size_t>(hash) % shards_.size()];
+  }
+
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace copath::service

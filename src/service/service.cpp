@@ -1,0 +1,218 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "core/backend.hpp"
+#include "util/thread_pool.hpp"
+
+namespace copath {
+namespace {
+
+/// Separator for the in-flight map key (cannot occur in either component:
+/// canonical keys use "(+* v)" characters, fingerprints are ASCII k=v).
+constexpr char kKeySep = '\x1f';
+
+SolveResult failure(const std::string& label, Backend backend,
+                    std::string error) {
+  SolveResult res;
+  res.label = label;
+  res.backend = backend;
+  res.error = std::move(error);
+  return res;
+}
+
+}  // namespace
+
+Service::Service(Options opts)
+    : opts_(std::move(opts)),
+      solver_(opts_.solve),
+      cache_(opts_.cache),
+      queue_(opts_.queue_capacity) {
+  const std::size_t workers = opts_.workers == 0
+                                  ? util::ThreadPool::default_workers()
+                                  : opts_.workers;
+  // The solve_batch rule: W service workers share the host, so a Native
+  // request may spawn at most floor(hardware / W) threads of its own.
+  native_budget_ = std::max<std::size_t>(
+      1, util::ThreadPool::default_workers() / workers);
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { shutdown(); }
+
+void Service::shutdown() {
+  queue_.close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+SolveOptions Service::effective_options(const SolveRequest& req) const {
+  SolveOptions opts = req.options.value_or(opts_.solve);
+  if (core::uses_native_executor(opts.backend)) {
+    opts.workers = std::min(opts.workers == 0 ? native_budget_ : opts.workers,
+                            native_budget_);
+  } else {
+    // Per-request PRAM machines run inline on their service worker.
+    opts.workers = 1;
+  }
+  return opts;
+}
+
+std::future<SolveResult> Service::submit(SolveRequest req) {
+  Job job;
+  job.req = std::move(req);
+  auto fut = job.promise.get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.push(job)) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(failure(job.req.label,
+                                  effective_options(job.req).backend,
+                                  "service is shut down"));
+  }
+  return fut;
+}
+
+void Service::worker_loop() {
+  while (auto job = queue_.pop()) {
+    process(std::move(*job));
+  }
+}
+
+void Service::process(Job job) {
+  const std::string label = job.req.label;
+  const SolveOptions opts = effective_options(job.req);
+
+  // Resolve + canonicalize up front; bad instances fail structurally here
+  // and never reach the cache or an engine.
+  // Every branch below must end in set_value: an exception escaping a
+  // worker would std::terminate the process (std::thread) and strand any
+  // parked waiters, so plug-in backends throwing non-standard exceptions
+  // and allocation failures are caught and turned into structured results.
+  const cograph::CanonicalForm* form = nullptr;
+  if (opts_.use_cache) {
+    try {
+      form = &job.req.instance.canonical();
+    } catch (const std::exception& e) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      job.promise.set_value(failure(label, opts.backend, e.what()));
+      return;
+    } catch (...) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      job.promise.set_value(
+          failure(label, opts.backend, "non-standard exception"));
+      return;
+    }
+  }
+
+  if (!opts_.use_cache) {
+    SolveResult res;
+    try {
+      const SolveRequest exec_req{std::move(job.req.instance), opts, label};
+      res = solver_.solve(exec_req);
+    } catch (...) {  // solve() catches std::exception; plug-ins may not
+      res = failure(label, opts.backend, "non-standard exception");
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(std::move(res));
+    return;
+  }
+
+  const service::CacheKey key = service::make_cache_key(*form, opts);
+  if (const auto hit = cache_.lookup(key)) {
+    SolveResult res;
+    try {
+      // The deep copy happens here, outside the shard lock.
+      res = service::from_canonical_space(SolveResult(*hit), *form);
+      res.label = label;
+    } catch (...) {
+      res = failure(label, opts.backend, "failed to materialize cache hit");
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(std::move(res));
+    return;
+  }
+
+  // Coalescing: if a twin (same canonical key AND options) is already being
+  // solved, park on it — the computing worker fulfills us from its result.
+  const std::string flight_key = key.canon_key + kKeySep + key.opts_key;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    const auto it = inflight_.find(flight_key);
+    if (it != inflight_.end()) {
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      it->second.waiters.push_back(Waiter{std::move(job.promise),
+                                          std::move(job.req.instance),
+                                          label});
+      return;
+    }
+    inflight_.emplace(flight_key, InFlight{});
+  }
+
+  SolveResult res;
+  std::shared_ptr<const SolveResult> canonical;
+  try {
+    // Moving the instance is safe: `form` points into the shared canonical
+    // cache the moved instance keeps alive for the rest of this scope.
+    const SolveRequest exec_req{std::move(job.req.instance), opts, label};
+    res = solver_.solve(exec_req);
+    if (res.ok) {
+      canonical = std::make_shared<const SolveResult>(
+          service::to_canonical_space(res, *form));
+      cache_.insert(key, canonical);
+    }
+  } catch (...) {
+    // A throwing plug-in engine or a failed store must still release the
+    // in-flight entry and answer every parked waiter below.
+    res = failure(label, opts.backend, "non-standard exception");
+    canonical = nullptr;
+  }
+
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    const auto it = inflight_.find(flight_key);
+    waiters = std::move(it->second.waiters);
+    inflight_.erase(it);
+  }
+  for (auto& w : waiters) {
+    SolveResult wres;
+    try {
+      if (res.ok && canonical != nullptr) {
+        // The waiter's instance shares the canonical class but not
+        // necessarily the leaf ids: replay through *its* permutation.
+        wres = service::from_canonical_space(SolveResult(*canonical),
+                                             w.instance.canonical());
+      } else {
+        wres = res;
+      }
+      wres.label = std::move(w.label);
+    } catch (...) {
+      wres = failure({}, opts.backend, "failed to materialize result");
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    w.promise.set_value(std::move(wres));
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  job.promise.set_value(std::move(res));
+}
+
+Service::Stats Service::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.cache = cache_.stats();
+  // The service performs exactly one probe per cache-enabled request, so
+  // the cache's own counters ARE the request-level hit/miss numbers.
+  s.cache_hits = s.cache.hits;
+  s.cache_misses = s.cache.misses;
+  return s;
+}
+
+}  // namespace copath

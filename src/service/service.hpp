@@ -1,0 +1,135 @@
+// copath::Service — the concurrent, cache-aware front-end over Solver.
+//
+// Where Solver::solve_batch is a synchronous fan-out over a span the caller
+// already holds, Service is the traffic-serving shape: requests arrive one
+// at a time from many threads, `submit()` hands back a std::future
+// immediately, and a fixed pool of solver workers drains a bounded MPMC
+// queue. Three mechanisms turn repeated/permuted traffic into cheap
+// traffic:
+//
+//  * Canonical memo cache — every request is canonicalized
+//    (cograph/canonical.hpp) and looked up in a sharded ResultCache; a hit
+//    replays the stored canonical-space result through the requesting
+//    instance's own leaf permutation and never touches a solve engine.
+//  * In-flight coalescing — a request whose (canonical key, options) twin
+//    is *currently being solved* parks on that computation instead of
+//    starting its own; when the twin finishes, every parked waiter is
+//    fulfilled from the one result. Concurrent identical requests compute
+//    once.
+//  * Backpressure — the submit queue is bounded; producers block in
+//    submit() when solvers fall behind, so bursts cost latency, not
+//    memory.
+//
+// Failures stay structured: a bad instance resolves to an ok == false
+// SolveResult on the future, exactly like Solver. Results for cache hits
+// and coalesced twins are bitwise-identical to a direct solve for repeated
+// instances, and isomorphism-equivalent (valid cover of the same minimum
+// size, identical verdicts) for permuted/relabeled ones — see
+// DESIGN.md §6 for the soundness argument.
+//
+//   copath::Service svc;
+//   auto f1 = svc.submit({copath::Instance::text("(* (+ a b) c)")});
+//   auto f2 = svc.submit({copath::Instance::text("(* c (+ b a))")});  // hit
+//   SolveResult r1 = f1.get(), r2 = f2.get();
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "copath_solver.hpp"
+#include "service/result_cache.hpp"
+#include "util/mpmc_queue.hpp"
+
+namespace copath {
+
+class Service {
+ public:
+  struct Options {
+    /// Default solve options for requests that carry none. Per-request
+    /// worker counts are clamped to the per-worker thread budget (the
+    /// solve_batch rule: no nested oversubscription).
+    SolveOptions solve{};
+    /// Solver worker threads draining the queue; 0 = hardware concurrency.
+    std::size_t workers = 0;
+    /// Bound of the submit queue — the backpressure knob. submit() blocks
+    /// while the queue holds this many undispatched requests.
+    std::size_t queue_capacity = 256;
+    /// Master switch for the memo cache AND in-flight coalescing (off =
+    /// every request computes; the differential-test baseline).
+    bool use_cache = true;
+    service::ResultCache::Config cache{};
+  };
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    /// Futures fulfilled (hits + misses computed + coalesced + failures).
+    std::uint64_t completed = 0;
+    /// Mirrors of cache.hits / cache.misses (one probe per cache-enabled
+    /// request, so the cache counters are the request-level numbers).
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    /// Requests fulfilled by parking on an in-flight twin computation.
+    std::uint64_t coalesced = 0;
+    service::CacheStats cache{};
+  };
+
+  Service() : Service(Options{}) {}
+  explicit Service(Options opts);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Enqueues a request and returns the future of its result. Blocks while
+  /// the queue is full (backpressure). After shutdown() the future resolves
+  /// immediately to a structured "service is shut down" failure.
+  [[nodiscard]] std::future<SolveResult> submit(SolveRequest req);
+
+  /// Stops intake, drains every already-queued request, joins the workers.
+  /// Idempotent; called by the destructor. Not safe to race with itself.
+  void shutdown();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const Options& options() const { return opts_; }
+  [[nodiscard]] std::size_t workers() const { return threads_.size(); }
+
+ private:
+  struct Job {
+    SolveRequest req;
+    std::promise<SolveResult> promise;
+  };
+  /// A request parked on an in-flight twin. Keeps its own Instance (moved,
+  /// cheap) so fulfillment can replay through that instance's canonical
+  /// permutation.
+  struct Waiter {
+    std::promise<SolveResult> promise;
+    Instance instance;
+    std::string label;
+  };
+  struct InFlight {
+    std::vector<Waiter> waiters;
+  };
+
+  void worker_loop();
+  void process(Job job);
+  [[nodiscard]] SolveOptions effective_options(const SolveRequest& req) const;
+
+  Options opts_;
+  std::size_t native_budget_ = 1;
+  Solver solver_;
+  service::ResultCache cache_;
+  util::MpmcQueue<Job> queue_;
+  std::mutex inflight_mu_;
+  std::unordered_map<std::string, InFlight> inflight_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::vector<std::thread> threads_;  // last member: workers see a built *this
+};
+
+}  // namespace copath

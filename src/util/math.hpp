@@ -5,8 +5,20 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace copath::util {
+
+/// Order-sensitive 64-bit hash combiner (splitmix-style finalization).
+/// Shared by the cotree canonicalizer and the result cache so the cache's
+/// extended keys stay in the same hash family as the canonical hashes they
+/// refine.
+[[nodiscard]] inline constexpr std::uint64_t hash_mix(std::uint64_t h,
+                                                      std::uint64_t v) {
+  std::uint64_t x = h ^ (v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4));
+  x *= 0xbf58476d1ce4e5b9ull;
+  return x ^ (x >> 29);
+}
 
 /// ceil(a / b) for b > 0.
 [[nodiscard]] inline constexpr std::size_t ceil_div(std::size_t a,

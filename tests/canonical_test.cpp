@@ -1,0 +1,135 @@
+// cograph::canonical_form — the soundness surface the memo cache stands
+// on. Metamorphic identity: every member of an instance's equivalence
+// class (shuffled children, relabeled leaves, re-parsed text) produces the
+// identical canonical key and hash. Discrimination: non-isomorphic family
+// pairs produce distinct keys. Isomorphism: the leaf permutations are
+// mutually inverse and `from_canonical` maps canonical adjacency onto the
+// original graph's adjacency exactly.
+#include <gtest/gtest.h>
+
+#include "copath.hpp"
+#include "testing.hpp"
+#include "util/rng.hpp"
+
+namespace copath {
+namespace {
+
+TEST(Canonical, EmptyAndSingletonForms) {
+  const auto empty = canonical_form(Cotree{});
+  EXPECT_EQ(empty.key, "()");
+  EXPECT_TRUE(empty.to_canonical.empty());
+
+  const auto leaf = canonical_form(Cotree::parse("x"));
+  EXPECT_EQ(leaf.key, "v");
+  ASSERT_EQ(leaf.to_canonical.size(), 1u);
+  EXPECT_EQ(leaf.to_canonical[0], 0);
+  EXPECT_EQ(leaf.from_canonical[0], 0);
+  EXPECT_NE(leaf.hash, empty.hash);
+}
+
+TEST(Canonical, MetamorphicTwinsShareKeyAndHash) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Cotree t =
+        testing::random_cotree(1 + rng.below(80), 5000 + trial);
+    const auto base = canonical_form(t);
+
+    // The two permutations are mutually inverse bijections.
+    ASSERT_EQ(base.to_canonical.size(), t.vertex_count());
+    ASSERT_EQ(base.from_canonical.size(), t.vertex_count());
+    for (std::size_t v = 0; v < t.vertex_count(); ++v) {
+      const auto slot = base.to_canonical[v];
+      ASSERT_GE(slot, 0);
+      ASSERT_LT(static_cast<std::size_t>(slot), t.vertex_count());
+      EXPECT_EQ(base.from_canonical[static_cast<std::size_t>(slot)],
+                static_cast<VertexId>(v));
+    }
+
+    util::Rng twin_rng(900 + trial);
+    const Cotree shuffled = testing::shuffle_children(t, twin_rng);
+    const Cotree relabeled = testing::random_relabel(t, twin_rng);
+    const Cotree both = testing::random_twin(t, twin_rng);
+    const Cotree reparsed = Cotree::parse(t.format());
+    for (const Cotree* twin : {&shuffled, &relabeled, &both, &reparsed}) {
+      const auto f = canonical_form(*twin);
+      EXPECT_EQ(f.key, base.key) << "trial " << trial;
+      EXPECT_EQ(f.hash, base.hash) << "trial " << trial;
+    }
+
+    // Idempotence: the canonical key *is* a cotree expression, and its
+    // canonical form is itself.
+    const auto again = canonical_form(Cotree::parse(base.key));
+    EXPECT_EQ(again.key, base.key);
+    EXPECT_EQ(again.hash, base.hash);
+  }
+}
+
+TEST(Canonical, NonIsomorphicFamilyPairsAreDistinct) {
+  std::vector<Cotree> fams = testing::small_families();
+  // A few near-miss pairs on top of the classic list.
+  fams.push_back(cograph::complete_bipartite(4, 4));
+  fams.push_back(cograph::complete_bipartite(2, 6));
+  fams.push_back(cograph::threshold_graph({1, 0, 1}));
+  fams.push_back(cograph::threshold_graph({0, 1, 1}));
+  std::vector<CanonicalForm> forms;
+  forms.reserve(fams.size());
+  for (const auto& t : fams) forms.push_back(canonical_form(t));
+  for (std::size_t i = 0; i < forms.size(); ++i) {
+    for (std::size_t j = i + 1; j < forms.size(); ++j) {
+      EXPECT_NE(forms[i].key, forms[j].key) << i << " vs " << j;
+      EXPECT_NE(forms[i].hash, forms[j].hash) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Canonical, ComplementChangesTheClass) {
+  // K_{3,3} and its complement (two disjoint triangles) are not
+  // isomorphic; the canonical form must separate them.
+  const Cotree t = cograph::complete_bipartite(3, 3);
+  EXPECT_NE(canonical_form(t).key, canonical_form(t.complement()).key);
+}
+
+TEST(Canonical, FromCanonicalIsAGraphIsomorphism) {
+  util::Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Cotree t =
+        testing::random_cotree(2 + rng.below(28), 7100 + trial);
+    const auto form = canonical_form(t);
+    // The canonical key is itself a cotree expression: parse it to get the
+    // canonical representative and compare adjacency through the map.
+    const Cotree canon = Cotree::parse(form.key);
+    ASSERT_EQ(canon.vertex_count(), t.vertex_count());
+    const cograph::CotreeAdjacency orig(t);
+    const cograph::CotreeAdjacency mapped(canon);
+    const auto n = t.vertex_count();
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        EXPECT_EQ(mapped.adjacent(static_cast<VertexId>(a),
+                                  static_cast<VertexId>(b)),
+                  orig.adjacent(form.from_canonical[a],
+                                form.from_canonical[b]))
+            << "trial " << trial << " slots " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(Canonical, InstanceExposesTheFormLazilyAndShared) {
+  const Instance a = Instance::text("(* (+ a b) (+ c d e))");
+  const Instance c = Instance::text("(* (+ e d c) (+ b a))");
+  EXPECT_EQ(a.canonical().key, c.canonical().key);
+  EXPECT_EQ(a.canonical().hash, c.canonical().hash);
+  // Copies share the materialized form.
+  const Instance a2 = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(&a2.canonical(), &a.canonical());
+
+  const Instance empty;
+  EXPECT_THROW((void)empty.canonical(), util::CheckError);
+  const Instance bad = Instance::text("(* oops");
+  EXPECT_THROW((void)bad.canonical(), util::CheckError);
+  // The error repeats instead of poisoning the shared cache.
+  EXPECT_THROW((void)bad.canonical(), util::CheckError);
+}
+
+}  // namespace
+}  // namespace copath

@@ -1,7 +1,8 @@
 // The exec layer: Native-vs-Pram differential equivalence (covers, minima,
 // Hamiltonicity) across generator families and random batches, CheckedPram
 // contract preservation (EREW violations still throw, stats bit-for-bit),
-// and the Native executor's primitive-level correctness.
+// and the Native executor's primitive-level correctness. Instances come
+// from the shared property-test harness (tests/testing.hpp).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,35 +11,17 @@
 #include "copath.hpp"
 #include "par/brackets.hpp"
 #include "par/list_ranking.hpp"
+#include "testing.hpp"
 #include "util/rng.hpp"
 
 namespace copath {
 namespace {
 
-using cograph::RandomCotreeOptions;
 using exec::CheckedPram;
 using exec::Native;
 
 std::vector<cograph::Cotree> family_instances() {
-  std::vector<cograph::Cotree> out;
-  out.push_back(cograph::clique(64));
-  out.push_back(cograph::independent_set(41));
-  out.push_back(cograph::star(50));
-  out.push_back(cograph::complete_bipartite(17, 9));
-  out.push_back(cograph::complete_multipartite({9, 7, 5, 3}));
-  out.push_back(cograph::threshold_graph(
-      {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1}));
-  out.push_back(cograph::caterpillar(83));
-  out.push_back(cograph::caterpillar(48, cograph::NodeKind::Union));
-  out.push_back(cograph::paper_fig10());
-  out.push_back(cograph::or_instance({0, 1, 0, 0, 1, 0}));
-  for (const unsigned seed : {7u, 19u, 23u}) {
-    RandomCotreeOptions opt;
-    opt.seed = seed;
-    opt.skew = (seed % 3) * 0.3;
-    out.push_back(cograph::random_cotree(60 + seed, opt));
-  }
-  return out;
+  return testing::large_families();
 }
 
 // ---------------------------------------------------------------- Native
@@ -202,11 +185,7 @@ TEST(NativeBackend, RandomBatchOf120MatchesPramInstanceByInstance) {
   std::vector<cograph::Cotree> keep;
   keep.reserve(120);
   for (unsigned i = 0; i < 120; ++i) {
-    RandomCotreeOptions gopt;
-    gopt.seed = 424200 + i;
-    gopt.skew = (i % 4) * 0.25;
-    gopt.mean_arity = 2.0 + (i % 5) * 0.4;
-    keep.push_back(cograph::random_cotree(1 + (i * 13) % 150, gopt));
+    keep.push_back(testing::random_cotree(1 + (i * 13) % 150, 424200 + i));
   }
   std::vector<SolveRequest> reqs(keep.size());
   for (std::size_t i = 0; i < keep.size(); ++i) {

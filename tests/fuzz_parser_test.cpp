@@ -1,0 +1,111 @@
+// Fuzz-style adversarial parser coverage: random byte mutations of valid
+// cotree-algebra text, and raw byte soup, must either parse to a valid
+// cotree or throw util::CheckError — never crash, hang, or leak. The CI
+// ASan/UBSan job runs this suite with leak detection on, which is where
+// the "never leak" half of the contract is enforced; the depth-cap test
+// pins the recursive-descent hardening (kMaxParseDepth) that keeps
+// adversarial nesting from overflowing the stack.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "copath.hpp"
+#include "testing.hpp"
+#include "util/rng.hpp"
+
+namespace copath {
+namespace {
+
+/// Applies `count` random byte edits (replace / insert / delete, full
+/// 0..255 byte range so non-ASCII and NULs are covered).
+std::string mutate(std::string text, std::size_t count, util::Rng& rng) {
+  for (std::size_t m = 0; m < count; ++m) {
+    const auto op = rng.below(3);
+    const auto byte = static_cast<char>(rng.below(256));
+    if (text.empty() || op == 0) {
+      text.insert(text.begin() +
+                      static_cast<std::ptrdiff_t>(rng.below(text.size() + 1)),
+                  byte);
+    } else if (op == 1) {
+      text[rng.below(text.size())] = byte;
+    } else {
+      text.erase(text.begin() +
+                 static_cast<std::ptrdiff_t>(rng.below(text.size())));
+    }
+  }
+  return text;
+}
+
+/// The fuzz oracle: parse either yields a cotree satisfying every
+/// structural invariant (validate() re-checks the paper's properties), or
+/// throws util::CheckError. Any other outcome — another exception type
+/// escapes, a crash, a sanitizer report — fails the run.
+void expect_parses_or_rejects(const std::string& text) {
+  try {
+    const Cotree t = Cotree::parse(text);
+    t.validate();
+    // A parsed tree must survive the format round trip inside the class.
+    EXPECT_EQ(canonical_form(Cotree::parse(t.format())).key,
+              canonical_form(t).key);
+  } catch (const util::CheckError&) {
+    // Structured rejection is the other acceptable outcome.
+  }
+}
+
+TEST(FuzzParser, MutatedValidAlgebraParsesOrThrowsCheckError) {
+  util::Rng rng(20260726);
+  for (unsigned trial = 0; trial < 400; ++trial) {
+    const Cotree t =
+        testing::random_cotree(1 + rng.below(40), 17000 + trial);
+    const std::string valid = t.format();
+    const std::string text = mutate(valid, 1 + rng.below(8), rng);
+    expect_parses_or_rejects(text);
+  }
+}
+
+TEST(FuzzParser, RawByteSoupParsesOrThrowsCheckError) {
+  util::Rng rng(424242);
+  // Biased soup: half structural characters so bracket-shaped prefixes are
+  // actually reached, half arbitrary bytes.
+  const std::string alphabet = "(()))**++ vab\t\n";
+  for (unsigned trial = 0; trial < 400; ++trial) {
+    std::string text;
+    const std::size_t len = rng.below(64);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (rng.chance(0.5)) {
+        text += alphabet[rng.below(alphabet.size())];
+      } else {
+        text += static_cast<char>(rng.below(256));
+      }
+    }
+    expect_parses_or_rejects(text);
+  }
+}
+
+TEST(FuzzParser, NestingBeyondTheDepthCapIsRejectedNotOverflowed) {
+  // A legitimate-looking expression nested past kMaxParseDepth: the parser
+  // must throw CheckError at the cap instead of blowing the stack.
+  std::string deep;
+  for (std::size_t d = 0; d <= cograph::kMaxParseDepth; ++d) {
+    deep += d % 2 == 0 ? "(* x " : "(+ x ";
+  }
+  deep += 'y';
+  deep.append(cograph::kMaxParseDepth + 1, ')');
+  EXPECT_THROW((void)Cotree::parse(deep), util::CheckError);
+
+  // One level *under* the cap still parses (the cap is not reachable by
+  // accident on realistic input).
+  std::string ok;
+  const std::size_t depth = 200;
+  for (std::size_t d = 0; d < depth; ++d) {
+    ok += d % 2 == 0 ? "(* x " : "(+ x ";
+  }
+  ok += 'y';
+  ok.append(depth, ')');
+  const Cotree t = Cotree::parse(ok);
+  t.validate();
+  EXPECT_EQ(t.vertex_count(), depth + 1);
+}
+
+}  // namespace
+}  // namespace copath

@@ -1,32 +1,20 @@
 // The copath::Solver facade: every registered backend on the generator
 // families, structured results, graph/text/cotree input routing, the
 // backend registry, count-only solves, and batch-vs-single equality.
+// Instances come from the shared property-test harness (tests/testing.hpp).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
 #include "copath.hpp"
+#include "testing.hpp"
 #include "util/rng.hpp"
 
 namespace copath {
 namespace {
 
-using cograph::RandomCotreeOptions;
-
 std::vector<cograph::Cotree> family_instances() {
-  std::vector<cograph::Cotree> out;
-  out.push_back(cograph::clique(9));
-  out.push_back(cograph::independent_set(7));
-  out.push_back(cograph::star(8));
-  out.push_back(cograph::complete_bipartite(5, 3));
-  out.push_back(cograph::complete_multipartite({4, 3, 2}));
-  out.push_back(cograph::threshold_graph({1, 0, 1, 1, 0, 0, 1}));
-  out.push_back(cograph::caterpillar(13));
-  out.push_back(cograph::paper_fig10());
-  RandomCotreeOptions opt;
-  opt.seed = 77;
-  out.push_back(cograph::random_cotree(14, opt));
-  return out;
+  return testing::small_families();
 }
 
 TEST(Registry, AllBuiltinsRegisteredWithRoundTrippingNames) {
@@ -108,9 +96,7 @@ TEST(Solve, EveryBackendOnEveryFamily) {
 }
 
 TEST(Solve, StructuredResultsCarryStatsAndTrace) {
-  RandomCotreeOptions gopt;
-  gopt.seed = 5;
-  const Cotree t = cograph::random_cotree(80, gopt);
+  const Cotree t = testing::random_cotree(80, 5);
   SolveOptions opts;
   opts.backend = Backend::Pram;
   opts.collect_trace = true;
@@ -135,9 +121,7 @@ TEST(Solve, StructuredResultsCarryStatsAndTrace) {
 }
 
 TEST(Solve, PramOptionsAreHonored) {
-  RandomCotreeOptions gopt;
-  gopt.seed = 12;
-  const Cotree t = cograph::random_cotree(100, gopt);
+  const Cotree t = testing::random_cotree(100, 12);
   // Explicit processor budget changes the simulated step count.
   SolveOptions wide;
   wide.backend = Backend::Pram;
@@ -186,9 +170,8 @@ TEST(Solve, GraphRoutingSweepAcrossRandomCographs) {
   util::Rng rng(99);
   const Solver solver;
   for (int trial = 0; trial < 25; ++trial) {
-    RandomCotreeOptions gopt;
-    gopt.seed = 9000 + static_cast<unsigned>(trial);
-    const Cotree t = cograph::random_cotree(2 + rng.below(40), gopt);
+    const Cotree t = testing::random_cotree(
+        2 + rng.below(40), 9000 + static_cast<unsigned>(trial));
     const auto res = solver.solve(Instance::graph(Graph::from_cotree(t)));
     ASSERT_TRUE(res.ok) << res.error;
     EXPECT_EQ(static_cast<std::int64_t>(res.cover.size()),
@@ -249,9 +232,7 @@ TEST(Solve, HamiltonianCycleConstructionOnRequest) {
 }
 
 TEST(Solve, VerdictOptOutSkipsTheHostSweepsButKeepsTheCover) {
-  RandomCotreeOptions gopt;
-  gopt.seed = 21;
-  const Cotree t = cograph::random_cotree(60, gopt);
+  const Cotree t = testing::random_cotree(60, 21);
   SolveOptions opts;
   opts.compute_verdicts = false;
   const auto res = Solver(opts).solve(Instance::view(t));
@@ -276,9 +257,7 @@ TEST(Solve, VerdictOptOutSkipsTheHostSweepsButKeepsTheCover) {
 TEST(Count, ParallelBackendKeepsItsFixedContract) {
   // Backend::Parallel means "EREW, paper budget" on both entry points —
   // conflicting options are overridden, exactly as on the solve path.
-  RandomCotreeOptions gopt;
-  gopt.seed = 33;
-  const Cotree t = cograph::random_cotree(100, gopt);
+  const Cotree t = testing::random_cotree(100, 33);
   SolveOptions loose;
   loose.backend = Backend::Parallel;
   loose.policy = pram::Policy::CRCW_Arbitrary;
@@ -296,9 +275,8 @@ TEST(Count, ParallelBackendKeepsItsFixedContract) {
 TEST(Count, MatchesSolveAcrossBackendsAndReportsPramCost) {
   util::Rng rng(4242);
   for (int trial = 0; trial < 15; ++trial) {
-    RandomCotreeOptions gopt;
-    gopt.seed = 300 + static_cast<unsigned>(trial);
-    const Cotree t = cograph::random_cotree(1 + rng.below(70), gopt);
+    const Cotree t = testing::random_cotree(
+        1 + rng.below(70), 300 + static_cast<unsigned>(trial));
     for (const Backend b :
          {Backend::Sequential, Backend::Pram, Backend::Native}) {
       SolveOptions opts;
@@ -324,10 +302,7 @@ TEST(Batch, MatchesSingleSolveOn120Instances) {
   std::vector<Cotree> keep;  // own the cotrees the requests view
   keep.reserve(120);
   for (unsigned i = 0; i < 120; ++i) {
-    RandomCotreeOptions gopt;
-    gopt.seed = 100000 + i;
-    gopt.skew = (i % 5) * 0.2;
-    keep.push_back(cograph::random_cotree(1 + (i * 7) % 120, gopt));
+    keep.push_back(testing::random_cotree(1 + (i * 7) % 120, 100000 + i));
   }
   for (unsigned i = 0; i < 120; ++i) {
     SolveRequest req;

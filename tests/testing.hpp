@@ -1,0 +1,157 @@
+// The shared property-test harness for the copath suites.
+//
+// Before this header existed every suite grew its own ad-hoc generators;
+// canonicalization and the service layer need *metamorphic* inputs — the
+// same cograph presented as a shuffled, relabeled, or re-parsed twin — so
+// the generators live here once and every suite draws from the same pool:
+//
+//  * family sweeps            the classic instances (cliques, stars,
+//                             thresholds, the paper's figures) at the two
+//                             scales the suites historically used
+//  * random_cotree(n, seed)   size-parameterized random instances; shape
+//                             knobs (skew, arity) are derived from the seed
+//                             so a seed sweep covers shallow/deep/bushy
+//                             trees without per-call tuning
+//  * random_relabel           an isomorphic twin: vertex ids permuted
+//                             uniformly (different graph labels, same
+//                             structure)
+//  * shuffle_children         a commutative twin: every internal node's
+//                             child order permuted (the *same* graph —
+//                             + and * are commutative)
+//  * random_permutation       the raw ingredient, exposed for tests that
+//                             need the permutation itself
+//
+// Everything is deterministic in the caller-supplied seed/Rng.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "copath.hpp"
+#include "util/rng.hpp"
+
+namespace copath::testing {
+
+/// Uniform random permutation of [0, n) (Fisher–Yates).
+inline std::vector<cograph::VertexId> random_permutation(std::size_t n,
+                                                         util::Rng& rng) {
+  std::vector<cograph::VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = n; i-- > 1;) {
+    std::swap(perm[i], perm[rng.below(i + 1)]);
+  }
+  return perm;
+}
+
+/// Rebuilds `t` through CotreeBuilder, optionally permuting vertex ids
+/// (`perm`: original id -> new id) and/or visiting every internal node's
+/// children in a random order. Names are dropped (twins are anonymous).
+inline cograph::Cotree rebuild_cotree(
+    const cograph::Cotree& t,
+    const std::vector<cograph::VertexId>* perm = nullptr,
+    util::Rng* shuffle = nullptr) {
+  if (t.size() == 0) return {};
+  cograph::CotreeBuilder b;
+  const std::function<cograph::NodeId(cograph::NodeId)> rec =
+      [&](cograph::NodeId v) -> cograph::NodeId {
+    if (t.is_leaf(v)) {
+      const cograph::VertexId orig = t.vertex_of(v);
+      return b.leaf_with_vertex(
+          perm == nullptr ? orig
+                          : (*perm)[static_cast<std::size_t>(orig)]);
+    }
+    std::vector<cograph::NodeId> kids(t.children(v).begin(),
+                                      t.children(v).end());
+    if (shuffle != nullptr) {
+      for (std::size_t i = kids.size(); i-- > 1;) {
+        std::swap(kids[i], kids[shuffle->below(i + 1)]);
+      }
+    }
+    std::vector<cograph::NodeId> built;
+    built.reserve(kids.size());
+    for (const cograph::NodeId c : kids) built.push_back(rec(c));
+    return b.node(t.kind(v), built);
+  };
+  return std::move(b).build(rec(t.root()));
+}
+
+/// An isomorphic twin: vertex ids permuted uniformly at random.
+inline cograph::Cotree random_relabel(const cograph::Cotree& t,
+                                      util::Rng& rng) {
+  const auto perm = random_permutation(t.vertex_count(), rng);
+  return rebuild_cotree(t, &perm, nullptr);
+}
+
+/// A commutative twin: same vertices, every child list shuffled. This is
+/// the *same graph* — only the cotree presentation changes.
+inline cograph::Cotree shuffle_children(const cograph::Cotree& t,
+                                        util::Rng& rng) {
+  return rebuild_cotree(t, nullptr, &rng);
+}
+
+/// Both at once: shuffled children AND relabeled vertices (the fully
+/// adversarial member of the canonical equivalence class).
+inline cograph::Cotree random_twin(const cograph::Cotree& t,
+                                   util::Rng& rng) {
+  const auto perm = random_permutation(t.vertex_count(), rng);
+  return rebuild_cotree(t, &perm, &rng);
+}
+
+/// Size-parameterized random cotree. Shape knobs are derived from the
+/// seed: a seed sweep alone covers balanced and skewed, binary and bushy
+/// trees (skew in {0, .25, .5, .75}, mean arity in [2.0, 3.6]).
+inline cograph::Cotree random_cotree(std::size_t vertices,
+                                     std::uint64_t seed) {
+  std::uint64_t s = seed;
+  const std::uint64_t d = util::splitmix64(s);
+  cograph::RandomCotreeOptions opt;
+  opt.seed = seed;
+  opt.skew = static_cast<double>(d % 4) * 0.25;
+  opt.mean_arity = 2.0 + static_cast<double>((d >> 8) % 5) * 0.4;
+  opt.join_root_probability = 0.5;
+  return cograph::random_cotree(vertices, opt);
+}
+
+/// The small classic-family sweep (historically the solver suite's list;
+/// every instance is BruteForce-sized except clique(9) by gating on
+/// vertex_count in the caller).
+inline std::vector<cograph::Cotree> small_families() {
+  std::vector<cograph::Cotree> out;
+  out.push_back(cograph::clique(9));
+  out.push_back(cograph::independent_set(7));
+  out.push_back(cograph::star(8));
+  out.push_back(cograph::complete_bipartite(5, 3));
+  out.push_back(cograph::complete_multipartite({4, 3, 2}));
+  out.push_back(cograph::threshold_graph({1, 0, 1, 1, 0, 0, 1}));
+  out.push_back(cograph::caterpillar(13));
+  out.push_back(cograph::paper_fig10());
+  out.push_back(random_cotree(14, 77));
+  return out;
+}
+
+/// The larger family sweep (historically the exec suite's list): the same
+/// families at stress sizes plus the paper's OR instance and three random
+/// shapes.
+inline std::vector<cograph::Cotree> large_families() {
+  std::vector<cograph::Cotree> out;
+  out.push_back(cograph::clique(64));
+  out.push_back(cograph::independent_set(41));
+  out.push_back(cograph::star(50));
+  out.push_back(cograph::complete_bipartite(17, 9));
+  out.push_back(cograph::complete_multipartite({9, 7, 5, 3}));
+  out.push_back(cograph::threshold_graph(
+      {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1}));
+  out.push_back(cograph::caterpillar(83));
+  out.push_back(cograph::caterpillar(48, cograph::NodeKind::Union));
+  out.push_back(cograph::paper_fig10());
+  out.push_back(cograph::or_instance({0, 1, 0, 0, 1, 0}));
+  for (const std::uint64_t seed : {7u, 19u, 23u}) {
+    out.push_back(random_cotree(60 + static_cast<std::size_t>(seed), seed));
+  }
+  return out;
+}
+
+}  // namespace copath::testing
