@@ -84,30 +84,35 @@ BinarizedCotree binarize(const Cotree& t) {
   }
   out.tree.root = result[static_cast<std::size_t>(t.root())];
   out.tree.parent[static_cast<std::size_t>(out.tree.root)] = -1;
+#ifndef NDEBUG
+  // Constructor self-check (O(n) + scratch): debug builds only — binarize
+  // sits on the serving hot path and its output shape is enforced by the
+  // test suite.
   out.validate();
+#endif
   return out;
 }
 
 std::vector<std::int64_t> make_leftist(BinarizedCotree& bc) {
   const std::size_t n = bc.size();
   std::vector<std::int64_t> leaf_count(n, 0);
-  // Iterative post-order leaf counting...
-  std::vector<std::int32_t> order;
-  order.reserve(n);
-  std::vector<std::int32_t> stack{bc.tree.root};
+  // Iterative post-order leaf counting: entries encode node * 2 + phase
+  // (0 = expand children, 1 = fold), so no order array is materialized.
+  std::vector<std::int32_t> stack;
+  stack.reserve(64);
+  stack.push_back(bc.tree.root * 2);
   while (!stack.empty()) {
-    const std::int32_t v = stack.back();
+    const std::int32_t item = stack.back();
     stack.pop_back();
-    order.push_back(v);
-    if (bc.tree.left[static_cast<std::size_t>(v)] != -1)
-      stack.push_back(bc.tree.left[static_cast<std::size_t>(v)]);
-    if (bc.tree.right[static_cast<std::size_t>(v)] != -1)
-      stack.push_back(bc.tree.right[static_cast<std::size_t>(v)]);
-  }
-  for (std::size_t i = order.size(); i-- > 0;) {
-    const auto v = static_cast<std::size_t>(order[i]);
+    const auto v = static_cast<std::size_t>(item / 2);
     if (bc.tree.left[v] == -1) {
       leaf_count[v] = 1;
+      continue;
+    }
+    if (item % 2 == 0) {
+      stack.push_back(item + 1);
+      stack.push_back(bc.tree.left[v] * 2);
+      stack.push_back(bc.tree.right[v] * 2);
     } else {
       leaf_count[v] = leaf_count[static_cast<std::size_t>(bc.tree.left[v])] +
                       leaf_count[static_cast<std::size_t>(bc.tree.right[v])];

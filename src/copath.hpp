@@ -45,6 +45,7 @@
 #include "cograph/graph.hpp"
 #include "cograph/recognition.hpp"
 #include "copath_solver.hpp"
+#include "core/adaptive.hpp"
 #include "core/backend.hpp"
 #include "core/brackets.hpp"
 #include "core/count.hpp"

@@ -1,12 +1,15 @@
 #include "copath_solver.hpp"
 
+#include <atomic>
 #include <sstream>
 #include <utility>
 
 #include "cograph/binarize.hpp"
+#include "core/adaptive.hpp"
 #include "core/count.hpp"
 #include "core/hamiltonian.hpp"
 #include "util/check.hpp"
+#include "util/thread_budget.hpp"
 #include "util/timer.hpp"
 
 namespace copath {
@@ -102,11 +105,13 @@ SolveResult Solver::solve_with(const Instance& inst,
     cfg.policy = opts.policy;
     cfg.pipeline = opts.pipeline;
     cfg.collect_trace = opts.collect_trace;
+    cfg.cost_model = opts.cost_model;
 
     util::WallTimer timer;
     core::BackendOutput out = entry->fn(t, cfg);
     res.wall_ms = timer.millis();
 
+    res.routed = out.routed.value_or(opts.backend);
     res.vertex_count = t.vertex_count();
     res.cover = std::move(out.cover);
     res.stats = out.stats;
@@ -139,6 +144,7 @@ SolveResult Solver::solve_with(const Instance& inst,
     res = SolveResult{};
     res.label = label;
     res.backend = opts.backend;
+    res.routed = opts.backend;
     res.error = e.what();
   }
   return res;
@@ -159,23 +165,36 @@ std::vector<SolveResult> Solver::solve_batch(
                                     : defaults_.batch_workers;
     pool_ = std::make_unique<util::ThreadPool>(workers);
   }
-  // Nested-parallelism guard: with R requests sharing W pool workers, a
-  // Native request may spawn at most floor(W / min(R, W)) threads of its
-  // own — full batches run sequential-per-request (budget 1), small
-  // batches of big instances still use the spare cores.
+  // Nested-parallelism guard: with R requests sharing W pool workers, the
+  // native-capable requests divide the W threads through a budgeter —
+  // ceil-distributed so remainders go to the earliest starters, and
+  // rebalanced as requests complete so a straggler tail inherits the
+  // freed cores. Full batches run sequential-per-request (budget 1);
+  // small batches of big instances use every spare core.
   const std::size_t pool_workers = pool_->workers();
-  const std::size_t budget = std::max<std::size_t>(
-      1, pool_workers / std::min(reqs.size(), pool_workers));
+  util::ThreadBudgeter budgeter(pool_workers);
+  // Requests that have not yet claimed a budget: the divisor for each
+  // claim. Counting *unfinished* requests here would shrink every grant
+  // (finished requests already returned their claim through release) and
+  // re-strand the remainder the budgeter exists to distribute.
+  std::atomic<std::size_t> unclaimed{reqs.size()};
   pool_->parallel_for(0, reqs.size(), [&](std::size_t i) {
     SolveOptions opts = reqs[i].options.value_or(defaults_);
-    if (core::uses_native_executor(opts.backend)) {
-      opts.workers = std::min(opts.workers == 0 ? budget : opts.workers,
-                              budget);
+    if (core::may_use_native_threads(opts.backend)) {
+      const std::size_t peers = std::min(
+          unclaimed.fetch_sub(1, std::memory_order_relaxed), pool_workers);
+      const auto lease = budgeter.acquire(peers);
+      opts.workers = opts.workers == 0
+                         ? lease.threads
+                         : std::min(opts.workers, lease.threads);
+      results[i] = solve_with(reqs[i].instance, reqs[i].label, opts);
+      budgeter.release(lease);
     } else {
       // One instance per pool worker: the per-instance machine runs inline.
       opts.workers = 1;
+      unclaimed.fetch_sub(1, std::memory_order_relaxed);
+      results[i] = solve_with(reqs[i].instance, reqs[i].label, opts);
     }
-    results[i] = solve_with(reqs[i].instance, reqs[i].label, opts);
   });
   return results;
 }
@@ -222,6 +241,10 @@ CountResult Solver::count(const SolveRequest& req) const {
       // false, but the counters are handed back for inspection.
       res.stats = ex.stats();
     } else {
+      // Host post-order sweep — also Backend::Adaptive's counting route:
+      // the O(n) sweep beats the contraction machinery at every size a
+      // count-only request realistically has, so counting does not
+      // consult the cost model.
       const auto p = core::path_counts_host(bc, leaf_count);
       res.path_cover_size = p[root];
     }

@@ -115,6 +115,9 @@ struct SolveOptions {
   core::PipelineOptions pipeline{};
   /// Collect the per-stage PipelineTrace where supported.
   bool collect_trace = false;
+  /// Routing model for Backend::Adaptive (nullptr = the calibrated
+  /// process default). Must outlive every solve using these options.
+  const core::CostModel* cost_model = nullptr;
   /// Run the independent validator on the produced cover (minimality is
   /// required only for exact backends).
   bool validate = false;
@@ -149,6 +152,10 @@ struct SolveResult {
   std::string error;
   std::string label;
   Backend backend = Backend::Sequential;
+  /// The engine that actually ran: equal to `backend` except under
+  /// Backend::Adaptive, where it records the cost model's route
+  /// (Sequential or Native).
+  Backend routed = Backend::Sequential;
 
   std::size_t vertex_count = 0;
   core::PathCover cover;
@@ -212,10 +219,14 @@ class Solver {
   /// positionally aligned with `reqs` and identical to per-request solve()
   /// up to wall-clock fields. Per-instance PRAM machines are forced to
   /// inline execution (workers = 1) — parallelism comes from the batch.
-  /// Native-executor requests instead receive a per-request thread budget
-  /// of floor(pool workers / concurrent requests) so a batch of Native
-  /// solves cannot oversubscribe the host with nested full-width pools
-  /// (results are identical for any worker count).
+  /// Native-capable requests (Backend::Native and Backend::Adaptive's
+  /// native route) instead receive a per-request thread budget from a
+  /// util::ThreadBudgeter sized to the pool: remainders are distributed to
+  /// the earliest starters and budgets rebalance as requests complete, so
+  /// a straggler tail inherits the freed cores instead of stranding them.
+  /// The budget is also Backend::Adaptive's batch-pressure signal: a
+  /// saturated batch (budget 1) routes every instance to the sequential
+  /// sweep. Results are identical for any worker count.
   [[nodiscard]] std::vector<SolveResult> solve_batch(
       std::span<const SolveRequest> reqs);
 

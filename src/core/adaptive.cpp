@@ -1,0 +1,19 @@
+#include "core/adaptive.hpp"
+
+namespace copath::core {
+
+Backend CostModel::choose(std::size_t n, std::size_t internal_nodes,
+                          std::size_t workers) const {
+  if (n < min_native_n) return Backend::Sequential;
+  return predict_native_ms(n, internal_nodes, workers) <
+                 predict_sequential_ms(n)
+             ? Backend::Native
+             : Backend::Sequential;
+}
+
+const CostModel& CostModel::calibrated() {
+  static const CostModel model{};
+  return model;
+}
+
+}  // namespace copath::core

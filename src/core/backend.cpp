@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "baseline/brute_force.hpp"
+#include "core/adaptive.hpp"
 #include "baseline/greedy.hpp"
 #include "baseline/naive_parallel.hpp"
 #include "cograph/graph.hpp"
@@ -29,6 +30,7 @@ const char* to_string(Backend b) {
     case Backend::NaiveParallel: return "naive-parallel";
     case Backend::Reference: return "reference";
     case Backend::Native: return "native";
+    case Backend::Adaptive: return "adaptive";
   }
   return "?";
 }
@@ -37,7 +39,7 @@ std::optional<Backend> backend_from_string(std::string_view s) {
   for (const Backend b :
        {Backend::Sequential, Backend::Parallel, Backend::Pram,
         Backend::BruteForce, Backend::Greedy, Backend::NaiveParallel,
-        Backend::Reference, Backend::Native}) {
+        Backend::Reference, Backend::Native, Backend::Adaptive}) {
     if (s == to_string(b)) return b;
   }
   return std::nullopt;
@@ -59,6 +61,10 @@ bool uses_pram_machine(Backend b) {
 }
 
 bool uses_native_executor(Backend b) { return b == Backend::Native; }
+
+bool may_use_native_threads(Backend b) {
+  return b == Backend::Native || b == Backend::Adaptive;
+}
 
 exec::Native::Config native_config(const BackendConfig& cfg) {
   exec::Native::Config nc;
@@ -113,6 +119,40 @@ BackendOutput run_sequential(const cograph::Cotree& t,
                              const BackendConfig& /*cfg*/) {
   BackendOutput out;
   out.cover = min_path_cover_sequential(t);
+  return out;
+}
+
+BackendOutput run_adaptive(const cograph::Cotree& t,
+                           const BackendConfig& cfg) {
+  const CostModel& model =
+      cfg.cost_model != nullptr ? *cfg.cost_model : CostModel::calibrated();
+  const std::size_t n = t.vertex_count();
+  const std::size_t internal = t.size() - n;  // cotree internal nodes
+  // hardware_concurrency is a syscall — cache it; routing runs per solve.
+  static const std::size_t hw = util::ThreadPool::default_workers();
+  const std::size_t workers = cfg.workers == 0 ? hw : cfg.workers;
+  const Backend route = model.choose(n, internal, workers);
+  BackendOutput out;
+  if (route == Backend::Native) {
+    exec::Native::Config nc = native_config(cfg);
+    nc.grains = model.grains;  // the per-stage half of the dispatch
+    // Steady-state serving: recycle scratch across every solve this
+    // thread performs (Service workers, solve_batch pool workers).
+    exec::Arena& arena = exec::Arena::for_this_thread();
+    nc.arena = &arena;
+    {
+      exec::Native ex(nc);
+      out.cover = min_path_cover_exec(
+          ex, t, cfg.pipeline, cfg.collect_trace ? &out.trace : nullptr);
+      out.stats = ex.stats();
+      out.traced = cfg.collect_trace;
+    }
+    // Every array is dead here; cap what this thread keeps warm.
+    arena.trim_over(model.arena_retain_bytes);
+  } else {
+    out.cover = min_path_cover_sequential(t);
+  }
+  out.routed = route;
   return out;
 }
 
@@ -171,6 +211,7 @@ BackendRegistry::BackendRegistry() {
       run_naive_parallel);
   add(Backend::Reference, to_string(Backend::Reference), run_reference);
   add(Backend::Native, to_string(Backend::Native), run_native);
+  add(Backend::Adaptive, to_string(Backend::Adaptive), run_adaptive);
 }
 
 BackendRegistry& BackendRegistry::instance() {

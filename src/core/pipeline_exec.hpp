@@ -201,10 +201,9 @@ PathCover min_path_cover_exec(E& m, const cograph::Cotree& t,
     });
   }
   auto dummy_base = exec::make_array<i64>(m, bn, 0);
-  par::copy(m, nd, dummy_base);
-  const i64 last_nd = nd.host(bn - 1);
-  par::exclusive_scan(m, dummy_base);
-  dummy_total = static_cast<std::size_t>(dummy_base.host(bn - 1) + last_nd);
+  par::exclusive_scan_into(m, nd, dummy_base);
+  dummy_total =
+      static_cast<std::size_t>(dummy_base.host(bn - 1) + nd.host(bn - 1));
   const std::size_t ids = n + dummy_total;
 
   // Rank-space arrays.
@@ -252,10 +251,9 @@ PathCover min_path_cover_exec(E& m, const cograph::Cotree& t,
   par::inclusive_scan(m, rank_owner, TakeSet<OwnerInfo>{});
 
   auto offset = exec::make_array<i64>(m, n, 0);
-  par::copy(m, weight, offset);
-  const i64 last_w = weight.host(n - 1);
-  par::exclusive_scan(m, offset);
-  const auto total = static_cast<std::size_t>(offset.host(n - 1) + last_w);
+  par::exclusive_scan_into(m, weight, offset);
+  const auto total =
+      static_cast<std::size_t>(offset.host(n - 1) + weight.host(n - 1));
 
   // Roles and owners per id (ids < n are leaf ranks, >= n are dummies).
   auto role = exec::make_array<u8>(m, ids, 0);  // 0 primary, 1 bridge, 2 insert, 3 dummy
@@ -283,14 +281,21 @@ PathCover min_path_cover_exec(E& m, const cograph::Cotree& t,
     if (dummy_total > 0) {
       auto dspace = exec::make_array<SetCell<i32>>(m, dummy_total);
       {
-        auto is_join = exec::make_array<u8>(m, bc.is_join);
-        auto nd_copy = exec::make_array<i64>(m, bn, 0);
-        par::copy(m, nd, nd_copy);
-        m.pfor(bn, [&](auto& c, std::size_t v) {
-          if (nd_copy.get(c, v) == 0) return;
-          dspace.put(c, static_cast<std::size_t>(dummy_base.get(c, v)),
-                     SetCell<i32>{static_cast<i32>(v), 1});
-        });
+        const auto scatter = [&](auto& src) {
+          m.pfor(bn, [&](auto& c, std::size_t v) {
+            if (src.get(c, v) == 0) return;
+            dspace.put(c, static_cast<std::size_t>(dummy_base.get(c, v)),
+                       SetCell<i32>{static_cast<i32>(v), 1});
+          });
+        };
+        if constexpr (exec::native_shortcuts_v<E>) {
+          // Fused: read nd directly (one reader per cell — race-free).
+          scatter(nd);
+        } else {
+          auto nd_copy = exec::make_array<i64>(m, bn, 0);
+          par::copy(m, nd, nd_copy);
+          scatter(nd_copy);
+        }
       }
       par::inclusive_scan(m, dspace, TakeSet<i32>{});
       m.pfor(dummy_total, [&](auto& c, std::size_t d) {
@@ -597,17 +602,24 @@ PathCover min_path_cover_exec(E& m, const cograph::Cotree& t,
     };
     auto dum_base = exec::make_array<SetCell<DumBase>>(m, dummy_total);
     {
-      auto nd_copy = exec::make_array<i64>(m, bn, 0);
-      par::copy(m, nd, nd_copy);
-      m.pfor(bn, [&](auto& c, std::size_t v) {
-        if (nd_copy.get(c, v) == 0) return;
-        const auto base = static_cast<std::size_t>(dummy_base.get(c, v));
-        dum_base.put(
-            c, base,
-            SetCell<DumBase>{
-                DumBase{dum_prefix.get(c, base), static_cast<i64>(base)},
-                1});
-      });
+      const auto scatter = [&](auto& src) {
+        m.pfor(bn, [&](auto& c, std::size_t v) {
+          if (src.get(c, v) == 0) return;
+          const auto base = static_cast<std::size_t>(dummy_base.get(c, v));
+          dum_base.put(
+              c, base,
+              SetCell<DumBase>{
+                  DumBase{dum_prefix.get(c, base), static_cast<i64>(base)},
+                  1});
+        });
+      };
+      if constexpr (exec::native_shortcuts_v<E>) {
+        scatter(nd);  // one reader per cell — race-free without the copy
+      } else {
+        auto nd_copy = exec::make_array<i64>(m, bn, 0);
+        par::copy(m, nd, nd_copy);
+        scatter(nd_copy);
+      }
     }
     par::inclusive_scan(m, dum_base, TakeSet<DumBase>{});
 

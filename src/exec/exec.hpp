@@ -50,6 +50,28 @@ struct Traits;
 template <typename E>
 using CtxOf = typename Traits<E>::Ctx;
 
+/// True for executors that permit the calibrated *native shortcuts*: the
+/// par/ primitives' one-pass sequential fast paths and fused sweeps.
+/// Shortcut-taking code must be value-identical to the phase-structured
+/// program it replaces (the outputs of every primitive are uniquely
+/// determined by its inputs); the checked simulator keeps its exact phase
+/// structure so step/work accounting stays bit-for-bit, which is why the
+/// default is false and only exec::Native opts in (specialization lives in
+/// exec/native.hpp).
+template <typename E>
+inline constexpr bool native_shortcuts_v = false;
+
+/// Which primitive is asking for a sequential cutoff. Executors with
+/// native_shortcuts_v expose `sequential_ok(Stage, n)`; the per-stage
+/// grains are calibrated by the cost model (core/adaptive.*).
+enum class Stage : std::uint8_t {
+  Scan,      // prefix sums, reductions, compaction
+  Rank,      // list ranking
+  Brackets,  // bracket matching
+  Euler,     // Euler-tour numbering
+  Contract,  // tree contraction
+};
+
 template <typename E, typename T>
 using ArrayOf = typename Traits<E>::template Array<T>;
 

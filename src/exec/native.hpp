@@ -1,13 +1,22 @@
 // exec::Native — the production executor: the same step/pfor programs the
 // checked PRAM simulator certifies, run at memory speed.
 //
-// Storage is a plain std::vector per array; get/put are direct loads and
-// stores (bounds-checked only in debug builds); there is no conflict
-// metadata, no write buffering, and no per-element accounting. `pfor` and
-// `step` run the body over a util::ThreadPool in one Brent-blocked pass —
-// one contiguous block per worker — with a sequential fast path when the
-// phase is smaller than `Config::grain` (forking threads for a few hundred
-// elements costs more than the loop).
+// Storage is a recycled arena buffer per array (exec/arena.hpp); get/put
+// are direct loads and stores (bounds-checked only in debug builds); there
+// is no conflict metadata, no write buffering, and no per-element
+// accounting. `pfor` and `step` run the body over a util::ThreadPool in one
+// Brent-blocked pass — one contiguous block per worker — with a sequential
+// fast path when the phase is smaller than `Config::grain` (forking threads
+// for a few hundred elements costs more than the loop).
+//
+// Beyond the per-phase grain, Native opts into the par/ primitives' *native
+// shortcuts* (exec::native_shortcuts_v): a primitive over n items may
+// replace its whole phase program with a one-pass host loop when
+// `sequential_ok(stage, n)` holds — always when the pool has one worker,
+// and below the per-stage grain table (Config::grains, calibrated by
+// core/adaptive.*) otherwise. Shortcut outputs are value-identical to the
+// phase program's (every primitive's output is uniquely determined by its
+// input); the differential suites enforce it.
 //
 // Soundness: Native may only run step bodies that are EREW-clean — no cell
 // touched by two processors in a phase, no processor reading a cell after
@@ -21,18 +30,22 @@
 // Stats semantics (see DESIGN.md): Native counts phases, not the paper's
 // cost model. Each step/blocked_step charges 1 step and `procs` work; pfor
 // charges the Brent bound ceil(items / processors()) steps and `items`
-// work. Blocked-step bodies' per-processor cost returns are ignored, and
-// reads/writes stay 0 (nothing is instrumented). Use CheckedPram when the
-// simulated step/work counts are the point.
+// work; a shortcut host pass charges 1 step and `items` work. Blocked-step
+// bodies' per-processor cost returns are ignored, and reads/writes stay 0
+// (nothing is instrumented). Use CheckedPram when the simulated step/work
+// counts are the point.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "exec/arena.hpp"
 #include "exec/exec.hpp"
 #include "pram/stats.hpp"
 #include "util/check.hpp"
@@ -43,6 +56,33 @@ namespace copath::exec {
 
 class Native {
  public:
+  /// Per-primitive sequential cutoffs: a primitive over n items takes its
+  /// one-pass host fast path when n <= the stage's grain (and always when
+  /// the pool has a single worker). Defaults come from the cost-model
+  /// calibration (DESIGN.md §7); 0 disables the shortcut for that stage
+  /// (tests use this to force the phase-structured path).
+  struct Grains {
+    std::size_t scan = 1 << 16;
+    std::size_t rank = 1 << 17;
+    std::size_t brackets = 1 << 16;
+    std::size_t euler = 1 << 15;
+    std::size_t contract = 1 << 15;
+
+    [[nodiscard]] std::size_t of(Stage s) const {
+      switch (s) {
+        case Stage::Scan: return scan;
+        case Stage::Rank: return rank;
+        case Stage::Brackets: return brackets;
+        case Stage::Euler: return euler;
+        case Stage::Contract: return contract;
+      }
+      return 0;
+    }
+
+    /// All shortcuts off — the pure phase-structured program.
+    [[nodiscard]] static Grains none() { return Grains{0, 0, 0, 0, 0}; }
+  };
+
   struct Config {
     /// Worker threads (1 = sequential, no threads spawned; 0 = hardware
     /// concurrency).
@@ -53,6 +93,14 @@ class Native {
     std::size_t processors = 0;
     /// Phases smaller than this run sequentially on the calling thread.
     std::size_t grain = 2048;
+    /// Per-primitive sequential cutoffs (see above).
+    Grains grains{};
+    /// Scratch allocator for executor arrays. nullptr = executor-private
+    /// arena (buffers recycle across the stages of one solve). Pass
+    /// Arena::for_this_thread() to recycle across every solve this thread
+    /// performs; the arena must outlive every array created through it and
+    /// must not be shared between threads.
+    Arena* arena = nullptr;
   };
 
   /// Per-processor context. Carries only identity — Native arrays do not
@@ -71,69 +119,100 @@ class Native {
 
   template <typename T>
   class Array {
+    // Arena buffers are raw recycled bytes; anything fancier than a
+    // trivially-copyable element would need real construction/destruction
+    // bookkeeping the executor deliberately does not do.
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+
    public:
     using value_type = T;
 
-    Array(Native& ex, std::size_t n, T init = T{}) : data_(n, init) {
+    Array(Native& ex, std::size_t n, T init = T{})
+        : buf_(ex.arena().acquire(n * sizeof(T))), size_(n), ex_(&ex) {
+      data_ = reinterpret_cast<T*>(buf_.data);
+      std::uninitialized_fill_n(data_, n, init);
       ex.add_cells(static_cast<std::int64_t>(n));
-      ex_ = &ex;
     }
-    Array(Native& ex, std::vector<T> data) : data_(std::move(data)) {
-      ex.add_cells(static_cast<std::int64_t>(data_.size()));
-      ex_ = &ex;
+    Array(Native& ex, const std::vector<T>& data)
+        : buf_(ex.arena().acquire(data.size() * sizeof(T))),
+          size_(data.size()),
+          ex_(&ex) {
+      data_ = reinterpret_cast<T*>(buf_.data);
+      std::uninitialized_copy_n(data.data(), size_, data_);
+      ex.add_cells(static_cast<std::int64_t>(size_));
     }
 
     Array(Array&& other) noexcept
-        : data_(std::move(other.data_)), ex_(other.ex_) {
+        : buf_(other.buf_),
+          data_(other.data_),
+          size_(other.size_),
+          ex_(other.ex_) {
       other.ex_ = nullptr;
+      other.buf_ = Arena::Buffer{};
     }
     Array(const Array&) = delete;
     Array& operator=(const Array&) = delete;
     Array& operator=(Array&&) = delete;
 
     ~Array() {
-      if (ex_ != nullptr)
-        ex_->add_cells(-static_cast<std::int64_t>(data_.size()));
+      if (ex_ != nullptr) {
+        ex_->add_cells(-static_cast<std::int64_t>(size_));
+        ex_->arena().release(buf_);
+      }
     }
 
-    [[nodiscard]] std::size_t size() const { return data_.size(); }
+    [[nodiscard]] std::size_t size() const { return size_; }
 
     // --- Step access: direct loads/stores ------------------------------
 
     [[nodiscard]] T get(Ctx&, std::size_t i) const {
-      COPATH_DCHECK(i < data_.size());
+      COPATH_DCHECK(i < size_);
       return data_[i];
     }
     void put(Ctx&, std::size_t i, T value) {
-      COPATH_DCHECK(i < data_.size());
+      COPATH_DCHECK(i < size_);
       data_[i] = std::move(value);
     }
 
     // --- Host access (same surface as pram::Array) ---------------------
 
     [[nodiscard]] const T& host(std::size_t i) const {
-      COPATH_DCHECK(i < data_.size());
+      COPATH_DCHECK(i < size_);
       return data_[i];
     }
     [[nodiscard]] T& host(std::size_t i) {
-      COPATH_DCHECK(i < data_.size());
+      COPATH_DCHECK(i < size_);
       return data_[i];
     }
-    [[nodiscard]] std::span<const T> host_span() const { return data_; }
-    [[nodiscard]] std::span<T> host_span() { return data_; }
-    [[nodiscard]] std::vector<T> to_vector() const { return data_; }
+    [[nodiscard]] std::span<const T> host_span() const {
+      return {data_, size_};
+    }
+    [[nodiscard]] std::span<T> host_span() { return {data_, size_}; }
+    [[nodiscard]] std::vector<T> to_vector() const {
+      return {data_, data_ + size_};
+    }
 
    private:
-    std::vector<T> data_;
+    Arena::Buffer buf_;
+    T* data_ = nullptr;
+    std::size_t size_;
     Native* ex_;
   };
 
   Native() : Native(Config{}) {}
   explicit Native(Config cfg)
       : grain_(cfg.grain == 0 ? 1 : cfg.grain),
+        grains_(cfg.grains),
+        arena_(cfg.arena),
         pool_(cfg.workers == 0 ? util::ThreadPool::default_workers()
                                : cfg.workers) {
     processors_ = cfg.processors == 0 ? pool_.workers() : cfg.processors;
+    if (arena_ == nullptr) {
+      owned_arena_ = std::make_unique<Arena>();
+      arena_ = owned_arena_.get();
+    }
   }
 
   Native(const Native&) = delete;
@@ -151,6 +230,21 @@ class Native {
 
   [[nodiscard]] const pram::Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = pram::Stats{}; }
+
+  /// The scratch allocator executor arrays draw from (shared or private —
+  /// see Config::arena).
+  [[nodiscard]] Arena& arena() { return *arena_; }
+
+  /// True when a primitive over n items should take its one-pass host
+  /// fast path: always on a single-worker pool (the phase machinery can
+  /// only lose there), below the per-stage grain otherwise.
+  [[nodiscard]] bool sequential_ok(Stage s, std::size_t n) const {
+    return pool_.workers() == 1 || n <= grains_.of(s);
+  }
+
+  /// Stats charge for a shortcut host pass over `items` elements: one
+  /// step, `items` work, on one processor.
+  void charge_host_pass(std::size_t items) { charge(1, items, 1); }
 
   /// One parallel phase: body(ctx, p) for every p in [0, procs). Bodies
   /// must be EREW-clean (see the header comment); writes are visible
@@ -250,6 +344,9 @@ class Native {
 
   std::size_t processors_;
   std::size_t grain_;
+  Grains grains_;
+  Arena* arena_;
+  std::unique_ptr<Arena> owned_arena_;
   util::ThreadPool pool_;
   pram::Stats stats_{};
 };
@@ -265,6 +362,9 @@ struct Traits<Native> {
     return Array<T>(ex, std::forward<Args>(args)...);
   }
 };
+
+template <>
+inline constexpr bool native_shortcuts_v<Native> = true;
 
 static_assert(Executor<Native>);
 

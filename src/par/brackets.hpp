@@ -56,6 +56,29 @@ void match_brackets(E& m, const exec::ArrayOf<E, std::int8_t>& sign,
   const std::size_t n = sign.size();
   COPATH_CHECK(match.size() == n);
   if (n == 0) return;
+  if constexpr (exec::native_shortcuts_v<E>) {
+    if (m.sequential_ok(exec::Stage::Brackets, n)) {
+      // One host stack pass (the match_brackets_seq semantics); the stack
+      // itself is arena scratch so steady-state solves stay allocation-free.
+      auto sv = sign.host_span();
+      auto mv = match.host_span();
+      auto stack = exec::make_array<std::int64_t>(m, n);
+      auto st = stack.host_span();
+      std::size_t top = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        mv[i] = -1;
+        if (sv[i] > 0) {
+          st[top++] = static_cast<std::int64_t>(i);
+        } else if (sv[i] < 0 && top > 0) {
+          const auto j = static_cast<std::size_t>(st[--top]);
+          mv[i] = static_cast<std::int64_t>(j);
+          mv[j] = static_cast<std::int64_t>(i);
+        }
+      }
+      m.charge_host_pass(n);
+      return;
+    }
+  }
   const std::size_t blocks = detail::block_count(m, n);
   const std::size_t bsz = detail::ceil_div(n, blocks);
 
@@ -132,11 +155,9 @@ void match_brackets(E& m, const exec::ArrayOf<E, std::int8_t>& sign,
 
   // ---- Phase 3: slot bases (exclusive scan of k over all nodes) ------
   auto base = exec::make_array<std::int64_t>(m, tree_sz, std::int64_t{0});
-  copy(m, tk, base);
-  const std::int64_t last_k = tk.host(tree_sz - 1);
-  exclusive_scan(m, base);
+  exclusive_scan_into(m, tk, base);
   const auto total_matched =
-      static_cast<std::size_t>(base.host(tree_sz - 1) + last_k);
+      static_cast<std::size_t>(base.host(tree_sz - 1) + tk.host(tree_sz - 1));
   if (total_matched == 0) return;
 
   // ---- Phase 4: EREW broadcast of root-path tuples -------------------

@@ -50,7 +50,45 @@ std::vector<typename P::Value> tree_contract_eval(
     result[0] = leaf_value[0];
     return result;
   }
-  t.validate();
+#ifndef NDEBUG
+  t.validate();  // O(n) input self-check: debug builds only (hot path)
+#endif
+
+  if constexpr (exec::native_shortcuts_v<E>) {
+    if (m.sequential_ok(exec::Stage::Contract, n)) {
+      // Host post-order evaluation. The contraction computes the exact
+      // bottom-up value of every node (the policy's partials are exact by
+      // contract), so direct evaluation is value-identical. Scratch is
+      // arena-recycled (the zero-allocation steady state).
+      auto scratch = exec::make_array<NodeId>(m, 2 * n);
+      auto stack = scratch.host_span().subspan(0, n);
+      auto order = scratch.host_span().subspan(n, n);
+      std::size_t top = 0;
+      std::size_t filled = 0;
+      stack[top++] = t.root;
+      while (top > 0) {
+        const NodeId v = stack[--top];
+        order[filled++] = v;
+        const auto vu = static_cast<std::size_t>(v);
+        if (t.left[vu] != kNull) stack[top++] = t.left[vu];
+        if (t.right[vu] != kNull) stack[top++] = t.right[vu];
+      }
+      for (std::size_t i = n; i-- > 0;) {
+        const auto vu = static_cast<std::size_t>(order[i]);
+        const NodeId l = t.left[vu];
+        const NodeId r = t.right[vu];
+        if (l == kNull) {
+          result[vu] = leaf_value[vu];
+        } else {
+          result[vu] = P::full(node_op[vu],
+                               result[static_cast<std::size_t>(l)],
+                               result[static_cast<std::size_t>(r)]);
+        }
+      }
+      m.charge_host_pass(2 * n);
+      return result;
+    }
+  }
 
   // Leaf numbering (and nothing else) from the Euler tour.
   const EulerNumbers nums = euler_numbers(m, t, engine);

@@ -49,10 +49,105 @@ struct EulerNumbers {
   std::int64_t tour_length = 0;
 };
 
+/// One-pass host DFS producing the full EulerNumbers (the native
+/// shortcut). Every field is a deterministic function of the tree — tour
+/// positions come from the recursive tour definition (down(v), subtree,
+/// up(v)), the counters reproduce the prefix-sum-derived numbers exactly —
+/// so the output is value-identical to the tour + list-ranking program
+/// (tests/exec_test.cpp runs the differential).
+inline EulerNumbers euler_numbers_host(const BinTree& t) {
+  const std::size_t n = t.size();
+  EulerNumbers out;
+  out.pre.assign(n, 0);
+  out.in.assign(n, 0);
+  out.post.assign(n, 0);
+  out.depth.assign(n, 0);
+  out.leaves.assign(n, 0);
+  out.subtree.assign(n, 0);
+  out.leafnum.assign(n, -1);
+  out.first_leaf.assign(n, 0);
+  out.down_pos.assign(n, -1);
+  out.up_pos.assign(n, -1);
+  if (n == 0) return out;
+  if (n == 1) {
+    out.leaves[0] = 1;
+    out.subtree[0] = 1;
+    out.leafnum[0] = 0;
+    out.post[0] = 0;
+    return out;
+  }
+  const auto root = static_cast<std::size_t>(t.root);
+  out.tour_length = static_cast<std::int64_t>(2 * (n - 1));
+
+  std::int64_t pos = 0;     // tour item counter
+  std::int64_t pre_c = 0;   // non-root entries so far
+  std::int64_t post_c = 0;  // exits so far (root exits last: n - 1)
+  std::int64_t in_c = 0;    // inorder events so far
+  std::int64_t leaf_c = 0;  // leaves entered so far
+
+  // Explicit stack of v * 4 + phase: 0 = enter, 1 = inorder event (fires
+  // after the left subtree — or immediately when there is none), 2 = exit.
+  std::vector<std::int64_t> stack;
+  stack.reserve(64);
+  stack.push_back(static_cast<std::int64_t>(root) * 4);
+  while (!stack.empty()) {
+    const std::int64_t item = stack.back();
+    stack.pop_back();
+    const auto v = static_cast<std::size_t>(item / 4);
+    const NodeId l = t.left[v];
+    const NodeId r = t.right[v];
+    switch (item % 4) {
+      case 0: {  // enter
+        if (v != root) {
+          out.down_pos[v] = pos++;
+          out.depth[v] =
+              out.depth[static_cast<std::size_t>(t.parent[v])] + 1;
+          out.pre[v] = ++pre_c;
+        }
+        out.first_leaf[v] = v == root ? 0 : leaf_c;
+        if (l == kNull && r == kNull) out.leafnum[v] = leaf_c++;
+        stack.push_back(item + 2);  // exit
+        if (r != kNull) stack.push_back(static_cast<std::int64_t>(r) * 4);
+        stack.push_back(item + 1);  // inorder event
+        if (l != kNull) stack.push_back(static_cast<std::int64_t>(l) * 4);
+        break;
+      }
+      case 1: {  // inorder event
+        out.in[v] = in_c++;
+        break;
+      }
+      default: {  // exit
+        if (v != root) out.up_pos[v] = pos++;
+        out.post[v] = post_c++;
+        const bool leaf = l == kNull && r == kNull;
+        std::int64_t sub = 1, lv = leaf ? 1 : 0;
+        if (l != kNull) {
+          sub += out.subtree[static_cast<std::size_t>(l)];
+          lv += out.leaves[static_cast<std::size_t>(l)];
+        }
+        if (r != kNull) {
+          sub += out.subtree[static_cast<std::size_t>(r)];
+          lv += out.leaves[static_cast<std::size_t>(r)];
+        }
+        out.subtree[v] = sub;
+        out.leaves[v] = lv;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 template <typename E>
 EulerNumbers euler_numbers(E& m, const BinTree& t,
                            RankEngine engine = RankEngine::Contract) {
   const std::size_t n = t.size();
+  if constexpr (exec::native_shortcuts_v<E>) {
+    if (m.sequential_ok(exec::Stage::Euler, n)) {
+      m.charge_host_pass(2 * n);
+      return euler_numbers_host(t);
+    }
+  }
   EulerNumbers out;
   out.pre.assign(n, 0);
   out.in.assign(n, 0);
@@ -154,10 +249,7 @@ EulerNumbers euler_numbers(E& m, const BinTree& t,
     ups.put(c, upp, 1);
     if (leaf) leafdowns.put(c, dp, 1);
   });
-  inclusive_scan(m, delta);
-  inclusive_scan(m, downs);
-  inclusive_scan(m, ups);
-  inclusive_scan(m, leafdowns);
+  inclusive_scan4(m, delta, downs, ups, leafdowns);
 
   // Gather per-node numbers.
   auto pre = exec::make_array<std::int64_t>(m, n, std::int64_t{0});

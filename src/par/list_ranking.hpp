@@ -32,6 +32,37 @@
 
 namespace copath::par {
 
+/// One-pass host ranking for the native shortcut: mark heads (nodes with
+/// no predecessor), then walk each list twice — once for its length, once
+/// assigning rank = distance to tail. Ranks are uniquely determined by
+/// `next`, so this is value-identical to both parallel rankers. O(n), and
+/// the head-marking scratch is arena-recycled.
+template <typename E>
+void list_rank_host(E& m, const exec::ArrayOf<E, NodeId>& next,
+                    exec::ArrayOf<E, std::int64_t>& rank) {
+  const std::size_t n = next.size();
+  auto has_pred = exec::make_array<std::uint8_t>(m, n, std::uint8_t{0});
+  auto hp = has_pred.host_span();
+  auto nx = next.host_span();
+  auto rk = rank.host_span();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (nx[i] != kNull) hp[static_cast<std::size_t>(nx[i])] = 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (hp[i] != 0) continue;  // not a head
+    std::int64_t len = 0;
+    for (NodeId j = static_cast<NodeId>(i); j != kNull;
+         j = nx[static_cast<std::size_t>(j)]) {
+      ++len;
+    }
+    for (NodeId j = static_cast<NodeId>(i); j != kNull;
+         j = nx[static_cast<std::size_t>(j)]) {
+      rk[static_cast<std::size_t>(j)] = --len;
+    }
+  }
+  m.charge_host_pass(n);
+}
+
 /// Pointer-jumping ranking. `next` is left untouched.
 template <typename E>
 void list_rank_wyllie(E& m, const exec::ArrayOf<E, NodeId>& next,
@@ -39,6 +70,12 @@ void list_rank_wyllie(E& m, const exec::ArrayOf<E, NodeId>& next,
   const std::size_t n = next.size();
   COPATH_CHECK(rank.size() == n);
   if (n == 0) return;
+  if constexpr (exec::native_shortcuts_v<E>) {
+    if (m.sequential_ok(exec::Stage::Rank, n)) {
+      list_rank_host(m, next, rank);
+      return;
+    }
+  }
 
   auto succ = exec::make_array<NodeId>(m, n);
   auto succ_copy = exec::make_array<NodeId>(m, n);
@@ -79,6 +116,12 @@ void list_rank_contract(E& m, const exec::ArrayOf<E, NodeId>& next,
   const std::size_t n = next.size();
   COPATH_CHECK(rank.size() == n);
   if (n == 0) return;
+  if constexpr (exec::native_shortcuts_v<E>) {
+    if (m.sequential_ok(exec::Stage::Rank, n)) {
+      list_rank_host(m, next, rank);
+      return;
+    }
+  }
 
   auto succ = exec::make_array<NodeId>(m, n);   // live successor
   auto pred = exec::make_array<NodeId>(m, n);   // live predecessor
@@ -169,8 +212,7 @@ void list_rank_contract(E& m, const exec::ArrayOf<E, NodeId>& next,
       mark.put(c, j, removed_now.get(c, i) != 0 ? 1 : 0);
     });
     auto removed_pos = exec::make_array<std::int64_t>(m, live_count);
-    copy(m, mark, removed_pos);
-    exclusive_scan(m, removed_pos);
+    exclusive_scan_into(m, mark, removed_pos);
     const std::size_t removed_count =
         static_cast<std::size_t>(removed_pos.host(live_count - 1)) +
         (mark.host(live_count - 1) != 0 ? 1u : 0u);

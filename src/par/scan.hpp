@@ -77,6 +77,19 @@ void exclusive_scan(E& m, A& a, Op op = Op{}) {
   using T = typename A::value_type;
   const std::size_t n = a.size();
   if (n == 0) return;
+  if constexpr (exec::native_shortcuts_v<E>) {
+    if (m.sequential_ok(exec::Stage::Scan, n)) {
+      auto s = a.host_span();
+      T acc = Op::identity();
+      for (std::size_t i = 0; i < n; ++i) {
+        const T v = s[i];
+        s[i] = acc;
+        acc = op(acc, v);
+      }
+      m.charge_host_pass(n);
+      return;
+    }
+  }
   const std::size_t blocks = detail::block_count(m, n);
   const std::size_t block = detail::ceil_div(n, blocks);
 
@@ -113,6 +126,18 @@ void inclusive_scan(E& m, A& a, Op op = Op{}) {
   using T = typename A::value_type;
   const std::size_t n = a.size();
   if (n == 0) return;
+  if constexpr (exec::native_shortcuts_v<E>) {
+    if (m.sequential_ok(exec::Stage::Scan, n)) {
+      auto s = a.host_span();
+      T acc = Op::identity();
+      for (std::size_t i = 0; i < n; ++i) {
+        acc = op(acc, s[i]);
+        s[i] = acc;
+      }
+      m.charge_host_pass(n);
+      return;
+    }
+  }
   const std::size_t blocks = detail::block_count(m, n);
   const std::size_t block = detail::ceil_div(n, blocks);
 
@@ -145,6 +170,15 @@ typename A::value_type reduce(E& m, const A& a, Op op = Op{}) {
   using T = typename A::value_type;
   const std::size_t n = a.size();
   if (n == 0) return Op::identity();
+  if constexpr (exec::native_shortcuts_v<E>) {
+    if (m.sequential_ok(exec::Stage::Scan, n)) {
+      auto s = a.host_span();
+      T acc = Op::identity();
+      for (std::size_t i = 0; i < n; ++i) acc = op(acc, s[i]);
+      m.charge_host_pass(n);
+      return acc;
+    }
+  }
   const std::size_t blocks = detail::block_count(m, n);
   const std::size_t block = detail::ceil_div(n, blocks);
   auto sums =
@@ -194,6 +228,19 @@ void segmented_inclusive_scan(E& m, A& a,
                   static_cast<std::uint8_t>(lhs.reset | rhs.reset)};
     }
   };
+  if constexpr (exec::native_shortcuts_v<E>) {
+    if (m.sequential_ok(exec::Stage::Scan, n)) {
+      auto av = a.host_span();
+      auto fv = flag.host_span();
+      T acc = Op::identity();
+      for (std::size_t i = 0; i < n; ++i) {
+        acc = fv[i] ? av[i] : op(acc, av[i]);
+        av[i] = acc;
+      }
+      m.charge_host_pass(n);
+      return;
+    }
+  }
   auto pairs = exec::make_array<Pair>(m, n);
   m.pfor(n, [&](auto& c, std::size_t i) {
     pairs.put(c, i, Pair{a.get(c, i), flag.get(c, i)});
@@ -235,6 +282,21 @@ std::size_t compact_indices(E& m,
   using Index = typename AOut::value_type;
   const std::size_t n = keep.size();
   if (n == 0) return 0;
+  if constexpr (exec::native_shortcuts_v<E>) {
+    if (m.sequential_ok(exec::Stage::Scan, n)) {
+      auto kv = keep.host_span();
+      auto ov = out.host_span();
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (kv[i] != 0) {
+          COPATH_CHECK(total < ov.size());
+          ov[total++] = static_cast<Index>(i);
+        }
+      }
+      m.charge_host_pass(n);
+      return total;
+    }
+  }
   auto pos = exec::make_array<std::int64_t>(m, n);
   m.pfor(n, [&](auto& c, std::size_t i) {
     pos.put(c, i, keep.get(c, i) != 0 ? 1 : 0);
@@ -264,6 +326,149 @@ void copy(E& m, const A& src, A& dst) {
   COPATH_CHECK(src.size() == dst.size());
   m.pfor(src.size(),
          [&](auto& c, std::size_t i) { dst.put(c, i, src.get(c, i)); });
+}
+
+/// Fused copy + exclusive scan: dst[i] becomes op(src[0], ..., src[i-1])
+/// and `src` is left untouched. On the checked simulator this expands to
+/// the exact copy-then-scan phase sequence call sites used to spell out
+/// (bit-for-bit stats); under native shortcuts the copy pass is fused away
+/// — one host sweep when small, a three-phase blocked scan that reads
+/// `src` and writes `dst` directly when large (EREW-clean: each index is
+/// touched by exactly one block in each phase, and src/dst are distinct
+/// arrays).
+template <typename E, typename A, typename Op = Plus<typename A::value_type>>
+void exclusive_scan_into(E& m, const A& src, A& dst, Op op = Op{}) {
+  using T = typename A::value_type;
+  const std::size_t n = src.size();
+  COPATH_CHECK(dst.size() == n);
+  // The fused native sweep reads src after writing dst at the same index
+  // — aliasing would silently diverge from the copy-then-scan expansion.
+  COPATH_CHECK(static_cast<const void*>(&src) !=
+               static_cast<const void*>(&dst));
+  if (n == 0) return;
+  if constexpr (exec::native_shortcuts_v<E>) {
+    if (m.sequential_ok(exec::Stage::Scan, n)) {
+      auto sv = src.host_span();
+      auto dv = dst.host_span();
+      T acc = Op::identity();
+      for (std::size_t i = 0; i < n; ++i) {
+        dv[i] = acc;
+        acc = op(acc, sv[i]);
+      }
+      m.charge_host_pass(n);
+      return;
+    }
+    // Fused blocked scan: phase 1 reduces src's blocks, phase 3 re-sweeps
+    // reading src and writing dst — the standalone copy pass disappears.
+    const std::size_t blocks = detail::block_count(m, n);
+    const std::size_t block = detail::ceil_div(n, blocks);
+    auto sums =
+        exec::make_array<T>(m, detail::next_pow2(blocks), Op::identity());
+    m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
+      const std::size_t lo = std::min(n, b * block);
+      const std::size_t hi = std::min(n, lo + block);
+      T acc = Op::identity();
+      for (std::size_t i = lo; i < hi; ++i) acc = op(acc, src.get(c, i));
+      sums.put(c, b, acc);
+      return hi - lo;
+    });
+    detail::blelloch_exclusive_pow2(m, sums, op);
+    m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
+      const std::size_t lo = std::min(n, b * block);
+      const std::size_t hi = std::min(n, lo + block);
+      T acc = sums.get(c, b);
+      for (std::size_t i = lo; i < hi; ++i) {
+        dst.put(c, i, acc);
+        acc = op(acc, src.get(c, i));
+      }
+      return hi - lo;
+    });
+    return;
+  } else {
+    copy(m, src, dst);
+    exclusive_scan(m, dst, op);
+  }
+}
+
+
+/// Fused inclusive (+)-scans of four same-length arrays. On the checked
+/// simulator this expands to four standalone scans in argument order
+/// (identical phases, bit-for-bit stats); under native shortcuts all four
+/// run in one blocked sweep — the memory-bound passes the Euler numbering
+/// used to make back to back collapse into a single read/write of each
+/// cache line.
+template <typename E, typename A>
+void inclusive_scan4(E& m, A& a0, A& a1, A& a2, A& a3) {
+  using T = typename A::value_type;
+  const std::size_t n = a0.size();
+  COPATH_CHECK(a1.size() == n && a2.size() == n && a3.size() == n);
+  // Four *distinct* arrays: the fused sweep scans them in lockstep, so an
+  // aliased pair would be scanned twice per pass.
+  COPATH_CHECK(&a0 != &a1 && &a0 != &a2 && &a0 != &a3 && &a1 != &a2 &&
+               &a1 != &a3 && &a2 != &a3);
+  if (n == 0) return;
+  if constexpr (exec::native_shortcuts_v<E>) {
+    if (m.sequential_ok(exec::Stage::Scan, n)) {
+      auto s0 = a0.host_span();
+      auto s1 = a1.host_span();
+      auto s2 = a2.host_span();
+      auto s3 = a3.host_span();
+      T c0{}, c1{}, c2{}, c3{};
+      for (std::size_t i = 0; i < n; ++i) {
+        s0[i] = c0 = c0 + s0[i];
+        s1[i] = c1 = c1 + s1[i];
+        s2[i] = c2 = c2 + s2[i];
+        s3[i] = c3 = c3 + s3[i];
+      }
+      m.charge_host_pass(n);
+      return;
+    }
+    struct Quad {
+      T v0, v1, v2, v3;
+    };
+    struct QuadPlus {
+      static constexpr Quad identity() { return Quad{T{}, T{}, T{}, T{}}; }
+      Quad operator()(const Quad& a, const Quad& b) const {
+        return Quad{a.v0 + b.v0, a.v1 + b.v1, a.v2 + b.v2, a.v3 + b.v3};
+      }
+    };
+    const std::size_t blocks = detail::block_count(m, n);
+    const std::size_t block = detail::ceil_div(n, blocks);
+    auto sums = exec::make_array<Quad>(m, detail::next_pow2(blocks),
+                                       QuadPlus::identity());
+    m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
+      const std::size_t lo = std::min(n, b * block);
+      const std::size_t hi = std::min(n, lo + block);
+      Quad acc = QuadPlus::identity();
+      for (std::size_t i = lo; i < hi; ++i) {
+        acc.v0 += a0.get(c, i);
+        acc.v1 += a1.get(c, i);
+        acc.v2 += a2.get(c, i);
+        acc.v3 += a3.get(c, i);
+      }
+      sums.put(c, b, acc);
+      return hi - lo;
+    });
+    detail::blelloch_exclusive_pow2(m, sums, QuadPlus{});
+    m.blocked_step(blocks, [&](auto& c, std::size_t b) -> std::uint64_t {
+      const std::size_t lo = std::min(n, b * block);
+      const std::size_t hi = std::min(n, lo + block);
+      Quad acc = sums.get(c, b);
+      for (std::size_t i = lo; i < hi; ++i) {
+        a0.put(c, i, acc.v0 += a0.get(c, i));
+        a1.put(c, i, acc.v1 += a1.get(c, i));
+        a2.put(c, i, acc.v2 += a2.get(c, i));
+        a3.put(c, i, acc.v3 += a3.get(c, i));
+      }
+      return hi - lo;
+    });
+    return;
+  } else {
+    inclusive_scan(m, a0);
+    inclusive_scan(m, a1);
+    inclusive_scan(m, a2);
+    inclusive_scan(m, a3);
+  }
 }
 
 }  // namespace copath::par

@@ -27,16 +27,14 @@ SolveResult failure(const std::string& label, Backend backend,
 
 Service::Service(Options opts)
     : opts_(std::move(opts)),
+      budgeter_(util::ThreadPool::default_workers()),
       solver_(opts_.solve),
       cache_(opts_.cache),
       queue_(opts_.queue_capacity) {
   const std::size_t workers = opts_.workers == 0
                                   ? util::ThreadPool::default_workers()
                                   : opts_.workers;
-  // The solve_batch rule: W service workers share the host, so a Native
-  // request may spawn at most floor(hardware / W) threads of its own.
-  native_budget_ = std::max<std::size_t>(
-      1, util::ThreadPool::default_workers() / workers);
+  worker_count_ = workers;
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -53,16 +51,58 @@ void Service::shutdown() {
 }
 
 SolveOptions Service::effective_options(const SolveRequest& req) const {
-  SolveOptions opts = req.options.value_or(opts_.solve);
-  if (core::uses_native_executor(opts.backend)) {
-    opts.workers = std::min(opts.workers == 0 ? native_budget_ : opts.workers,
-                            native_budget_);
-  } else {
-    // Per-request PRAM machines run inline on their service worker.
-    opts.workers = 1;
-  }
-  return opts;
+  return req.options.value_or(opts_.solve);
 }
+
+namespace {
+
+/// RAII thread-budget lease around one engine solve: acquired only at the
+/// two solve sites (cache hits and coalesced waiters never consume budget
+/// nor distort Adaptive's pressure signal), released on scope exit even if
+/// the engine throws. Exposes the worker-clamped options.
+class BudgetLease {
+ public:
+  BudgetLease(util::ThreadBudgeter& budgeter,
+              std::atomic<std::size_t>& pending, std::size_t workers,
+              SolveOptions opts)
+      : budgeter_(budgeter),
+        leased_(core::may_use_native_threads(opts.backend)),
+        opts_(std::move(opts)) {
+    if (leased_) {
+      // Peers = workers racing for a claim right now (including us; not
+      // "busy" workers — lease holders already subtracted their grant
+      // from the pool). The grant is also Backend::Adaptive's pressure
+      // signal: a saturated service hands out budget 1 and the model
+      // routes sequential.
+      const std::size_t peers =
+          std::min(pending.fetch_add(1, std::memory_order_relaxed) + 1,
+                   workers);
+      lease_ = budgeter_.acquire(peers);
+      pending.fetch_sub(1, std::memory_order_relaxed);
+      opts_.workers = opts_.workers == 0
+                          ? lease_.threads
+                          : std::min(opts_.workers, lease_.threads);
+    } else {
+      // Per-request PRAM machines run inline on their service worker.
+      opts_.workers = 1;
+    }
+  }
+  ~BudgetLease() {
+    if (leased_) budgeter_.release(lease_);
+  }
+  BudgetLease(const BudgetLease&) = delete;
+  BudgetLease& operator=(const BudgetLease&) = delete;
+
+  [[nodiscard]] const SolveOptions& opts() const { return opts_; }
+
+ private:
+  util::ThreadBudgeter& budgeter_;
+  util::ThreadBudgeter::Lease lease_{1};
+  bool leased_;
+  SolveOptions opts_;
+};
+
+}  // namespace
 
 std::future<SolveResult> Service::submit(SolveRequest req) {
   Job job;
@@ -86,6 +126,9 @@ void Service::worker_loop() {
 
 void Service::process(Job job) {
   const std::string label = job.req.label;
+  // Worker counts are clamped per solve by a BudgetLease scoped around
+  // each engine call — cache hits and coalesced waiters below never touch
+  // the thread budget.
   const SolveOptions opts = effective_options(job.req);
 
   // Resolve + canonicalize up front; bad instances fail structurally here
@@ -112,11 +155,15 @@ void Service::process(Job job) {
 
   if (!opts_.use_cache) {
     SolveResult res;
-    try {
-      const SolveRequest exec_req{std::move(job.req.instance), opts, label};
-      res = solver_.solve(exec_req);
-    } catch (...) {  // solve() catches std::exception; plug-ins may not
-      res = failure(label, opts.backend, "non-standard exception");
+    {
+      BudgetLease bl(budgeter_, pending_, worker_count_, opts);
+      try {
+        const SolveRequest exec_req{std::move(job.req.instance), bl.opts(),
+                                    label};
+        res = solver_.solve(exec_req);
+      } catch (...) {  // solve() catches std::exception; plug-ins may not
+        res = failure(label, opts.backend, "non-standard exception");
+      }
     }
     completed_.fetch_add(1, std::memory_order_relaxed);
     job.promise.set_value(std::move(res));
@@ -156,21 +203,26 @@ void Service::process(Job job) {
 
   SolveResult res;
   std::shared_ptr<const SolveResult> canonical;
-  try {
-    // Moving the instance is safe: `form` points into the shared canonical
-    // cache the moved instance keeps alive for the rest of this scope.
-    const SolveRequest exec_req{std::move(job.req.instance), opts, label};
-    res = solver_.solve(exec_req);
-    if (res.ok) {
-      canonical = std::make_shared<const SolveResult>(
-          service::to_canonical_space(res, *form));
-      cache_.insert(key, canonical);
+  {
+    BudgetLease bl(budgeter_, pending_, worker_count_, opts);
+    try {
+      // Moving the instance is safe: `form` points into the shared
+      // canonical cache the moved instance keeps alive until exec_req
+      // leaves this scope (after the canonical-space store below).
+      const SolveRequest exec_req{std::move(job.req.instance), bl.opts(),
+                                  label};
+      res = solver_.solve(exec_req);
+      if (res.ok) {
+        canonical = std::make_shared<const SolveResult>(
+            service::to_canonical_space(res, *form));
+        cache_.insert(key, canonical);
+      }
+    } catch (...) {
+      // A throwing plug-in engine or a failed store must still release the
+      // in-flight entry and answer every parked waiter below.
+      res = failure(label, opts.backend, "non-standard exception");
+      canonical = nullptr;
     }
-  } catch (...) {
-    // A throwing plug-in engine or a failed store must still release the
-    // in-flight entry and answer every parked waiter below.
-    res = failure(label, opts.backend, "non-standard exception");
-    canonical = nullptr;
   }
 
   std::vector<Waiter> waiters;

@@ -44,16 +44,20 @@
 #include "copath_solver.hpp"
 #include "service/result_cache.hpp"
 #include "util/mpmc_queue.hpp"
+#include "util/thread_budget.hpp"
 
 namespace copath {
 
 class Service {
  public:
   struct Options {
-    /// Default solve options for requests that carry none. Per-request
+    /// Default solve options for requests that carry none. The serving
+    /// default is Backend::Adaptive: the cost model routes every request
+    /// between the sequential sweep and the native pipeline using the
+    /// request's thread budget as the batch-pressure signal. Per-request
     /// worker counts are clamped to the per-worker thread budget (the
     /// solve_batch rule: no nested oversubscription).
-    SolveOptions solve{};
+    SolveOptions solve{.backend = Backend::Adaptive};
     /// Solver worker threads draining the queue; 0 = hardware concurrency.
     std::size_t workers = 0;
     /// Bound of the submit queue — the backpressure knob. submit() blocks
@@ -120,7 +124,17 @@ class Service {
   [[nodiscard]] SolveOptions effective_options(const SolveRequest& req) const;
 
   Options opts_;
-  std::size_t native_budget_ = 1;
+  /// Divides the host's threads among concurrently *solving* workers for
+  /// native-capable requests; claims return on completion, so a lone big
+  /// request on an idle service gets the whole machine.
+  util::ThreadBudgeter budgeter_;
+  /// Workers between entering solve_budgeted and claiming their lease —
+  /// the divisor for each claim (not "busy": workers already holding a
+  /// lease have subtracted their grant from the budgeter's pool).
+  std::atomic<std::size_t> pending_{0};
+  /// threads_.size(), frozen before the workers start (reading the vector
+  /// from workers would race its construction).
+  std::size_t worker_count_ = 0;
   Solver solver_;
   service::ResultCache cache_;
   util::MpmcQueue<Job> queue_;

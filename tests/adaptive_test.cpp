@@ -1,0 +1,227 @@
+// Backend::Adaptive — the cost-model dispatch engine. The contract under
+// test: (1) the model routes deterministically from (n, shape, threads)
+// and below its floor always picks Sequential; (2) on the sequential
+// routing domain Adaptive results are bitwise-equal to Backend::Sequential
+// — covers, minima, verdicts — across family sweeps, 120 random
+// instances, solve_batch, and Service concurrency; (3) when a forced model
+// routes native, results are bitwise-equal to Backend::Native; (4) the
+// `routed` field reports the engine that actually ran.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "copath.hpp"
+#include "testing.hpp"
+
+namespace copath {
+namespace {
+
+using core::CostModel;
+
+/// A model that routes everything it legally can to the native pipeline.
+CostModel force_native_model() {
+  CostModel m;
+  m.min_native_n = 0;
+  m.seq_ns_per_vertex = 1e12;  // sequential predicted infinitely slow
+  m.native_fixed_ns = 0;
+  return m;
+}
+
+TEST(Adaptive, RegisteredWithRoundTrippingNameAndExact) {
+  const auto entry = BackendRegistry::instance().find(Backend::Adaptive);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->name, "adaptive");
+  EXPECT_TRUE(entry->exact);
+  EXPECT_EQ(core::backend_from_string("adaptive"), Backend::Adaptive);
+}
+
+TEST(Adaptive, CostModelRoutesSequentialBelowTheFloorAndOnOneThread) {
+  const CostModel& m = CostModel::calibrated();
+  // The floor is unconditional: even "infinite" threads stay sequential.
+  EXPECT_EQ(m.choose(m.min_native_n - 1, m.min_native_n / 2, 1024),
+            Backend::Sequential);
+  // One thread: the native pipeline's constant factor can never win.
+  EXPECT_EQ(m.choose(std::size_t{1} << 20, 1 << 19, 1),
+            Backend::Sequential);
+  // The calibrated single-thread slopes keep sequential ahead everywhere.
+  EXPECT_LT(m.predict_sequential_ms(1 << 16),
+            m.predict_native_ms(1 << 16, 1 << 15, 1));
+}
+
+TEST(Adaptive, CostModelRoutesNativeWhenThreadsOverwhelmTheSlopeGap) {
+  const CostModel& m = CostModel::calibrated();
+  // With enough workers the predicted native time crosses below the
+  // sequential line at large n; find the worker count where it happens
+  // and check monotonicity (more threads never flips native -> seq).
+  const std::size_t n = std::size_t{1} << 20;
+  bool native_seen = false;
+  for (std::size_t w = 1; w <= 512; w *= 2) {
+    const bool native = m.choose(n, n / 2, w) == Backend::Native;
+    if (native_seen) EXPECT_TRUE(native) << "w=" << w;
+    native_seen = native_seen || native;
+  }
+  EXPECT_TRUE(native_seen)
+      << "calibrated model never routes native at n=2^20 even with 512 "
+         "threads — the slope constants are implausible";
+}
+
+TEST(Adaptive, BitwiseEqualToSequentialOnFamilySweeps) {
+  SolveOptions aopt;
+  aopt.backend = Backend::Adaptive;
+  aopt.validate = true;
+  SolveOptions sopt = aopt;
+  sopt.backend = Backend::Sequential;
+  for (const auto& t : testing::large_families()) {
+    const auto ares = Solver(aopt).solve(Instance::view(t));
+    const auto sres = Solver(sopt).solve(Instance::view(t));
+    ASSERT_TRUE(ares.ok) << ares.error;
+    ASSERT_TRUE(sres.ok) << sres.error;
+    EXPECT_EQ(ares.cover.paths, sres.cover.paths) << t.vertex_count();
+    EXPECT_EQ(ares.optimal_size, sres.optimal_size);
+    EXPECT_EQ(ares.minimum, sres.minimum);
+    EXPECT_EQ(ares.hamiltonian_path, sres.hamiltonian_path);
+    EXPECT_EQ(ares.hamiltonian_cycle, sres.hamiltonian_cycle);
+    EXPECT_TRUE(ares.validation.ok) << ares.validation.error;
+    EXPECT_EQ(ares.backend, Backend::Adaptive);
+    EXPECT_EQ(ares.routed, Backend::Sequential);  // below the floor
+  }
+  for (const auto& t : testing::small_families()) {
+    const auto ares = Solver(aopt).solve(Instance::view(t));
+    const auto sres = Solver(sopt).solve(Instance::view(t));
+    ASSERT_TRUE(ares.ok && sres.ok);
+    EXPECT_EQ(ares.cover.paths, sres.cover.paths);
+  }
+}
+
+TEST(Adaptive, BitwiseEqualToSequentialOn120RandomInstancesViaBatch) {
+  // The acceptance differential: 120 random instances through
+  // solve_batch under Backend::Adaptive, instance-by-instance
+  // bitwise-equal to per-request Sequential solves.
+  std::vector<cograph::Cotree> keep;
+  keep.reserve(120);
+  for (unsigned i = 0; i < 120; ++i) {
+    keep.push_back(testing::random_cotree(1 + (i * 13) % 150, 515000 + i));
+  }
+  std::vector<SolveRequest> reqs(keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    reqs[i].instance = Instance::view(keep[i]);
+  }
+
+  SolveOptions aopt;
+  aopt.backend = Backend::Adaptive;
+  aopt.workers = 0;  // budgeted by the batch
+  aopt.batch_workers = 3;
+  Solver asolver(aopt);
+  const auto ares = asolver.solve_batch(reqs);
+
+  SolveOptions sopt;
+  sopt.backend = Backend::Sequential;
+  const Solver ssolver(sopt);
+  ASSERT_EQ(ares.size(), keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    const auto sres = ssolver.solve(Instance::view(keep[i]));
+    ASSERT_TRUE(ares[i].ok) << i << ": " << ares[i].error;
+    ASSERT_TRUE(sres.ok) << i << ": " << sres.error;
+    EXPECT_EQ(ares[i].cover.paths, sres.cover.paths) << i;
+    EXPECT_EQ(ares[i].optimal_size, sres.optimal_size) << i;
+    EXPECT_EQ(ares[i].minimum, sres.minimum) << i;
+    EXPECT_EQ(ares[i].hamiltonian_path, sres.hamiltonian_path) << i;
+    EXPECT_EQ(ares[i].hamiltonian_cycle, sres.hamiltonian_cycle) << i;
+  }
+}
+
+TEST(Adaptive, BitwiseEqualToSequentialUnderServiceConcurrency) {
+  // The serving default IS Adaptive; hammer a cache-less Service from the
+  // test thread and compare every future against direct Sequential.
+  Service::Options sopts;
+  sopts.workers = 4;
+  sopts.use_cache = false;
+  Service svc(sopts);
+  ASSERT_EQ(sopts.solve.backend, Backend::Adaptive);  // the default
+
+  std::vector<cograph::Cotree> keep;
+  std::vector<std::future<SolveResult>> futures;
+  for (unsigned i = 0; i < 120; ++i) {
+    keep.push_back(testing::random_cotree(1 + (i * 7) % 120, 303000 + i));
+  }
+  futures.reserve(keep.size());
+  for (auto& t : keep) {
+    futures.push_back(svc.submit(SolveRequest{Instance::view(t), {}, {}}));
+  }
+  SolveOptions seq;
+  seq.backend = Backend::Sequential;
+  const Solver ssolver(seq);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    const auto got = futures[i].get();
+    const auto want = ssolver.solve(Instance::view(keep[i]));
+    ASSERT_TRUE(got.ok) << i << ": " << got.error;
+    EXPECT_EQ(got.cover.paths, want.cover.paths) << i;
+    EXPECT_EQ(got.optimal_size, want.optimal_size) << i;
+    EXPECT_EQ(got.hamiltonian_path, want.hamiltonian_path) << i;
+    EXPECT_EQ(got.hamiltonian_cycle, want.hamiltonian_cycle) << i;
+  }
+}
+
+TEST(Adaptive, ForcedNativeRouteIsBitwiseEqualToBackendNative) {
+  // Inject a model that predicts sequential as infinitely slow: every
+  // instance takes the native route (arena + shortcuts) and must equal
+  // Backend::Native bitwise.
+  const CostModel forced = force_native_model();
+  SolveOptions aopt;
+  aopt.backend = Backend::Adaptive;
+  aopt.cost_model = &forced;
+  aopt.validate = true;
+  SolveOptions nopt;
+  nopt.backend = Backend::Native;
+  nopt.validate = true;
+  for (const auto& t : testing::large_families()) {
+    const auto ares = Solver(aopt).solve(Instance::view(t));
+    const auto nres = Solver(nopt).solve(Instance::view(t));
+    ASSERT_TRUE(ares.ok) << ares.error;
+    ASSERT_TRUE(nres.ok) << nres.error;
+    EXPECT_EQ(ares.routed, Backend::Native);
+    EXPECT_EQ(ares.cover.paths, nres.cover.paths) << t.vertex_count();
+    EXPECT_EQ(ares.optimal_size, nres.optimal_size);
+    EXPECT_TRUE(ares.validation.ok) << ares.validation.error;
+    // Adaptive's native route is not a PRAM run either.
+    EXPECT_FALSE(ares.stats_valid);
+  }
+  // And across a random sweep, batched (exercises the per-thread arena
+  // recycling across batched solves).
+  std::vector<cograph::Cotree> keep;
+  for (unsigned i = 0; i < 40; ++i) {
+    keep.push_back(testing::random_cotree(1 + (i * 17) % 200, 909000 + i));
+  }
+  std::vector<SolveRequest> reqs(keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    reqs[i].instance = Instance::view(keep[i]);
+    reqs[i].options = aopt;
+  }
+  Solver batcher;
+  const auto batched = batcher.solve_batch(reqs);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    const auto nres = Solver(nopt).solve(Instance::view(keep[i]));
+    ASSERT_TRUE(batched[i].ok) << batched[i].error;
+    EXPECT_EQ(batched[i].routed, Backend::Native) << i;
+    EXPECT_EQ(batched[i].cover.paths, nres.cover.paths) << i;
+  }
+}
+
+TEST(Adaptive, CountRoutesHostSweepAndMatchesVerdicts) {
+  SolveOptions aopt;
+  aopt.backend = Backend::Adaptive;
+  const Solver solver(aopt);
+  for (const auto& t : testing::large_families()) {
+    const auto c = solver.count(SolveRequest{Instance::view(t), {}, {}});
+    ASSERT_TRUE(c.ok) << c.error;
+    EXPECT_EQ(c.path_cover_size, path_cover_size(t));
+    EXPECT_EQ(c.hamiltonian_path, has_hamiltonian_path(t));
+    EXPECT_EQ(c.hamiltonian_cycle, has_hamiltonian_cycle(t));
+    EXPECT_FALSE(c.stats_valid);
+  }
+}
+
+}  // namespace
+}  // namespace copath

@@ -9,7 +9,9 @@
 #include <numeric>
 
 #include "copath.hpp"
+#include "core/pipeline_exec.hpp"
 #include "par/brackets.hpp"
+#include "par/euler.hpp"
 #include "par/list_ranking.hpp"
 #include "testing.hpp"
 #include "util/rng.hpp"
@@ -89,6 +91,144 @@ TEST(NativeExec, BracketsAndListRankingMatchReferences) {
         static_cast<std::int64_t>(n) - 1 - static_cast<std::int64_t>(i);
     EXPECT_EQ(rank_c.host(static_cast<std::size_t>(perm[i])), expected_rank);
     EXPECT_EQ(rank_w.host(static_cast<std::size_t>(perm[i])), expected_rank);
+  }
+}
+
+TEST(NativeExec, HostShortcutsMatchPhaseStructuredPrimitives) {
+  // A 1-worker pool always takes the one-pass host shortcuts; workers = 3
+  // with zero grains always takes the phase-structured program. Both must
+  // agree on every primitive output.
+  util::Rng rng(41);
+  const std::size_t n = 1453;
+  std::vector<std::int64_t> data(n);
+  for (auto& v : data) v = static_cast<std::int64_t>(rng.below(9)) - 4;
+
+  Native host(Native::Config{1});
+  Native par3(Native::Config{3, 0, 1, Native::Grains::none()});
+
+  const auto scan_with = [&](Native& ex) {
+    auto a = exec::make_array<std::int64_t>(ex, data);
+    par::exclusive_scan(ex, a);
+    return a.to_vector();
+  };
+  EXPECT_EQ(scan_with(host), scan_with(par3));
+
+  const auto seg_with = [&](Native& ex) {
+    auto a = exec::make_array<std::int64_t>(ex, data);
+    std::vector<std::uint8_t> flags(n, 0);
+    for (std::size_t i = 0; i < n; i += 97) flags[i] = 1;
+    auto f = exec::make_array<std::uint8_t>(ex, flags);
+    par::segmented_inclusive_scan(ex, a, f);
+    return a.to_vector();
+  };
+  EXPECT_EQ(seg_with(host), seg_with(par3));
+
+  const auto compact_with = [&](Native& ex) {
+    std::vector<std::uint8_t> keep(n, 0);
+    for (std::size_t i = 0; i < n; ++i) keep[i] = data[i] > 0 ? 1 : 0;
+    auto k = exec::make_array<std::uint8_t>(ex, keep);
+    auto out = exec::make_array<std::int64_t>(ex, n, std::int64_t{-1});
+    const std::size_t total = par::compact_indices(ex, k, out);
+    auto v = out.to_vector();
+    v.resize(total);
+    return v;
+  };
+  EXPECT_EQ(compact_with(host), compact_with(par3));
+}
+
+TEST(NativeExec, EulerHostDfsMatchesTourAndRankingProgram) {
+  // The host-DFS shortcut must reproduce every EulerNumbers field the
+  // tour + list-ranking program computes, on every tree shape.
+  for (const auto& t : testing::large_families()) {
+    const auto bc = cograph::binarize(t);
+    pram::Machine m(pram::Machine::Config{pram::Policy::EREW, 1, 16});
+    const auto want = par::euler_numbers(m, bc.tree);
+    const auto got = par::euler_numbers_host(bc.tree);
+    EXPECT_EQ(got.pre, want.pre);
+    EXPECT_EQ(got.in, want.in);
+    EXPECT_EQ(got.post, want.post);
+    EXPECT_EQ(got.depth, want.depth);
+    EXPECT_EQ(got.leaves, want.leaves);
+    EXPECT_EQ(got.subtree, want.subtree);
+    EXPECT_EQ(got.leafnum, want.leafnum);
+    EXPECT_EQ(got.first_leaf, want.first_leaf);
+    EXPECT_EQ(got.down_pos, want.down_pos);
+    EXPECT_EQ(got.up_pos, want.up_pos);
+    EXPECT_EQ(got.tour_length, want.tour_length);
+  }
+}
+
+// ----------------------------------------------------------------- Arena
+
+TEST(NativeExec, SteadyStateSolvesAllocateNothingInsidePipelineStages) {
+  // The allocation-counting harness: with a shared arena, the first solve
+  // warms the size classes and every later solve of the same instance
+  // must run its pipeline stages entirely from recycled buffers.
+  exec::Arena arena;
+  const auto t = testing::random_cotree(3000, 90125);
+  const auto solve_once = [&] {
+    Native::Config cfg;
+    cfg.workers = 1;
+    cfg.arena = &arena;
+    Native ex(cfg);
+    return core::min_path_cover_exec(ex, t);
+  };
+  const auto cold = solve_once();
+  const auto cold_allocs = arena.stats().fresh_allocs;
+  EXPECT_GT(cold_allocs, 0u);
+  for (int round = 0; round < 3; ++round) {
+    const auto warm = solve_once();
+    EXPECT_EQ(warm.paths, cold.paths);
+    EXPECT_EQ(arena.stats().fresh_allocs, cold_allocs)
+        << "steady-state solve " << round
+        << " performed a fresh heap allocation inside the pipeline";
+    EXPECT_EQ(arena.stats().outstanding, 0u);
+  }
+  EXPECT_GT(arena.stats().reuses, 0u);
+}
+
+TEST(NativeExec, ArenaRecyclesAcrossBatchedSolvesOfMixedSizes) {
+  // Reset/reuse across batched solves (ASan runs this suite): alternating
+  // sizes through one shared arena must neither leak, double-release, nor
+  // serve a stale smaller buffer for a bigger request.
+  exec::Arena arena;
+  std::vector<cograph::Cotree> batch;
+  for (unsigned i = 0; i < 12; ++i) {
+    batch.push_back(testing::random_cotree(50 + (i * 431) % 1200, 777 + i));
+  }
+  std::vector<core::PathCover> first;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Native::Config cfg;
+      cfg.workers = 1;
+      cfg.arena = &arena;
+      Native ex(cfg);
+      auto cover = core::min_path_cover_exec(ex, batch[i]);
+      if (round == 0) {
+        first.push_back(std::move(cover));
+      } else {
+        EXPECT_EQ(cover.paths, first[i].paths) << "round " << round;
+      }
+      EXPECT_EQ(arena.stats().outstanding, 0u);
+    }
+  }
+}
+
+TEST(NativeExec, ForcedParallelPipelineMatchesHostShortcutPipeline) {
+  // End to end: the phase-structured parallel path (workers 3, zero
+  // grains) and the all-shortcut host path (workers 1) must produce the
+  // identical cover.
+  for (const auto& t : family_instances()) {
+    Native host(Native::Config{1});
+    const auto host_cover = core::min_path_cover_exec(host, t);
+
+    Native::Config pc;
+    pc.workers = 3;
+    pc.grain = 1;
+    pc.grains = Native::Grains::none();
+    Native par_ex(pc);
+    const auto par_cover = core::min_path_cover_exec(par_ex, t);
+    EXPECT_EQ(par_cover.paths, host_cover.paths) << t.vertex_count();
   }
 }
 

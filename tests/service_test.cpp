@@ -323,7 +323,8 @@ TEST(Service, DisablingTheCacheStillServesCorrectly) {
   sopts.workers = 2;
   sopts.use_cache = false;
   Service svc(sopts);
-  const Solver reference;
+  // The serving default is Backend::Adaptive — mirror it in the reference.
+  const Solver reference(sopts.solve);
   for (unsigned i = 0; i < 10; ++i) {
     const Cotree t = testing::random_cotree(1 + i * 5, 313 + i);
     auto fut = svc.submit(SolveRequest{Instance::view(t), {}, {}});
