@@ -78,9 +78,13 @@ int main() {
   //    a canonical form (commutativity + relabeling quotient):
   const Instance a = Instance::text(presentations[0][0]);
   const Instance b = Instance::text(presentations[0][1]);
-  std::cout << "canonical key of both presentations: " << a.canonical().key
-            << "\n (hashes "
+  std::cout << "canonical key of both presentations: "
+            << canonical_form(a.resolve()).key << "\n (hashes "
             << (a.canonical().hash == b.canonical().hash ? "match" : "differ")
+            << ", signatures "
+            << (a.canonical().signature == b.canonical().signature
+                    ? "match"
+                    : "differ")
             << ")\n";
 
   // Every request answered, and the 16 presentations per class cannot all

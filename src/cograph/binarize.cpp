@@ -26,16 +26,29 @@ void BinarizedCotree::validate() const {
                    "binarized cotree must have 2L-1 nodes");
 }
 
-BinarizedCotree binarize(const Cotree& t) {
-  const std::size_t leaves = t.vertex_count();
-  COPATH_CHECK(leaves > 0);
-  BinarizedCotree out;
-  const std::size_t bn = 2 * leaves - 1;
-  out.tree = par::BinTree::with_size(bn);
-  out.is_join.assign(bn, 0);
-  out.vertex.assign(bn, kNull);
-  out.leaf_of_vertex.assign(leaves, -1);
+namespace {
 
+/// Mutable output surface shared by both storage shapes; every span is
+/// pre-sized by the caller (2L-1 nodes, L vertices).
+struct BinArrays {
+  std::span<std::int32_t> parent, left, right;
+  std::span<std::uint8_t> is_join;
+  std::span<VertexId> vertex;
+  std::span<par::NodeId> leaf_of_vertex;
+};
+
+/// The single binarization implementation (worklists from `arena`);
+/// returns the root id. Node numbering is deterministic in `t` alone, so
+/// vector-backed and arena-backed callers produce identical trees.
+///
+/// Id invariant the downstream sweeps rely on: ids are assigned in
+/// creation order and every comb node is created after both its children,
+/// so children always have smaller ids than their parent and the root is
+/// id 2L-2 — ascending id order is a post-order. make_leftist, the
+/// sequential sweep (core/sequential.cpp), and the counting sweeps
+/// (core/count.cpp) all fold in one linear pass on the strength of this.
+std::int32_t binarize_core(const Cotree& t, BinArrays out,
+                           exec::Arena& arena) {
   std::int32_t next_id = 0;
   const auto new_node = [&](bool join) {
     const std::int32_t id = next_id++;
@@ -43,16 +56,18 @@ BinarizedCotree binarize(const Cotree& t) {
     return id;
   };
   const auto link = [&](std::int32_t p, std::int32_t l, std::int32_t r) {
-    out.tree.left[static_cast<std::size_t>(p)] = l;
-    out.tree.right[static_cast<std::size_t>(p)] = r;
-    out.tree.parent[static_cast<std::size_t>(l)] = p;
-    out.tree.parent[static_cast<std::size_t>(r)] = p;
+    out.left[static_cast<std::size_t>(p)] = l;
+    out.right[static_cast<std::size_t>(p)] = r;
+    out.parent[static_cast<std::size_t>(l)] = p;
+    out.parent[static_cast<std::size_t>(r)] = p;
   };
 
   // Iterative post-order over the cotree; result[v] = binarized id of v.
-  std::vector<std::int32_t> result(t.size(), -1);
-  std::vector<NodeId> stack{t.root()};
-  std::vector<std::uint8_t> expanded(t.size(), 0);
+  exec::ScratchVec<std::int32_t> result(arena, t.size(), -1);
+  exec::ScratchVec<std::uint8_t> expanded(arena, t.size(), 0);
+  exec::ScratchVec<NodeId> stack(arena);
+  stack.reserve(t.size() + 1);
+  stack.push_back(t.root());
   while (!stack.empty()) {
     const NodeId v = stack.back();
     const auto vu = static_cast<std::size_t>(v);
@@ -82,8 +97,54 @@ BinarizedCotree binarize(const Cotree& t) {
     }
     result[vu] = acc;
   }
-  out.tree.root = result[static_cast<std::size_t>(t.root())];
-  out.tree.parent[static_cast<std::size_t>(out.tree.root)] = -1;
+  const std::int32_t root = result[static_cast<std::size_t>(t.root())];
+  COPATH_DCHECK(root == next_id - 1);  // the id-invariant anchor
+  out.parent[static_cast<std::size_t>(root)] = -1;
+  return root;
+}
+
+/// The single leftist implementation over mutable child spans: fills
+/// descendant-leaf counts, then swaps wherever the right side outweighs
+/// the left. Exploits the binarize_core id invariant (children before
+/// parents): one ascending linear pass IS a post-order fold — no stack,
+/// no order array, sequential memory access.
+void make_leftist_core(std::span<std::int32_t> left,
+                       std::span<std::int32_t> right,
+                       std::span<std::int64_t> leaf_count) {
+  const std::size_t n = left.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    leaf_count[v] =
+        left[v] == -1
+            ? 1
+            : leaf_count[static_cast<std::size_t>(left[v])] +
+                  leaf_count[static_cast<std::size_t>(right[v])];
+  }
+  // ...then swap wherever the right subtree outweighs the left.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (left[v] == -1) continue;
+    if (leaf_count[static_cast<std::size_t>(left[v])] <
+        leaf_count[static_cast<std::size_t>(right[v])]) {
+      std::swap(left[v], right[v]);
+    }
+  }
+}
+
+}  // namespace
+
+BinarizedCotree binarize(const Cotree& t) {
+  const std::size_t leaves = t.vertex_count();
+  COPATH_CHECK(leaves > 0);
+  BinarizedCotree out;
+  const std::size_t bn = 2 * leaves - 1;
+  out.tree = par::BinTree::with_size(bn);
+  out.is_join.assign(bn, 0);
+  out.vertex.assign(bn, kNull);
+  out.leaf_of_vertex.assign(leaves, -1);
+  out.tree.root = binarize_core(
+      t,
+      BinArrays{out.tree.parent, out.tree.left, out.tree.right, out.is_join,
+                out.vertex, out.leaf_of_vertex},
+      exec::Arena::for_this_thread());
 #ifndef NDEBUG
   // Constructor self-check (O(n) + scratch): debug builds only — binarize
   // sits on the serving hot path and its output shape is enforced by the
@@ -93,40 +154,35 @@ BinarizedCotree binarize(const Cotree& t) {
   return out;
 }
 
+void binarize_scratch(const Cotree& t, exec::Arena& arena,
+                      ScratchBinarized& out) {
+  const std::size_t leaves = t.vertex_count();
+  COPATH_CHECK(leaves > 0);
+  const std::size_t bn = 2 * leaves - 1;
+  out.parent.assign(bn, -1);
+  out.left.assign(bn, -1);
+  out.right.assign(bn, -1);
+  out.is_join.assign(bn, 0);
+  out.vertex.assign(bn, kNull);
+  out.leaf_of_vertex.assign(leaves, -1);
+  out.root = binarize_core(
+      t,
+      BinArrays{out.parent.span(), out.left.span(), out.right.span(),
+                out.is_join.span(), out.vertex.span(),
+                out.leaf_of_vertex.span()},
+      arena);
+}
+
 std::vector<std::int64_t> make_leftist(BinarizedCotree& bc) {
-  const std::size_t n = bc.size();
-  std::vector<std::int64_t> leaf_count(n, 0);
-  // Iterative post-order leaf counting: entries encode node * 2 + phase
-  // (0 = expand children, 1 = fold), so no order array is materialized.
-  std::vector<std::int32_t> stack;
-  stack.reserve(64);
-  stack.push_back(bc.tree.root * 2);
-  while (!stack.empty()) {
-    const std::int32_t item = stack.back();
-    stack.pop_back();
-    const auto v = static_cast<std::size_t>(item / 2);
-    if (bc.tree.left[v] == -1) {
-      leaf_count[v] = 1;
-      continue;
-    }
-    if (item % 2 == 0) {
-      stack.push_back(item + 1);
-      stack.push_back(bc.tree.left[v] * 2);
-      stack.push_back(bc.tree.right[v] * 2);
-    } else {
-      leaf_count[v] = leaf_count[static_cast<std::size_t>(bc.tree.left[v])] +
-                      leaf_count[static_cast<std::size_t>(bc.tree.right[v])];
-    }
-  }
-  // ...then swap wherever the right subtree outweighs the left.
-  for (std::size_t v = 0; v < n; ++v) {
-    if (bc.tree.left[v] == -1) continue;
-    if (leaf_count[static_cast<std::size_t>(bc.tree.left[v])] <
-        leaf_count[static_cast<std::size_t>(bc.tree.right[v])]) {
-      std::swap(bc.tree.left[v], bc.tree.right[v]);
-    }
-  }
+  std::vector<std::int64_t> leaf_count(bc.size(), 0);
+  make_leftist_core(bc.tree.left, bc.tree.right, leaf_count);
   return leaf_count;
+}
+
+void make_leftist_scratch(ScratchBinarized& bc,
+                          exec::ScratchVec<std::int64_t>& leaf_count) {
+  leaf_count.assign(bc.size(), 0);
+  make_leftist_core(bc.left.span(), bc.right.span(), leaf_count.span());
 }
 
 }  // namespace copath::cograph

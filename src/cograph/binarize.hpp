@@ -12,12 +12,25 @@
 // The leftist transform swaps children so that L(left) >= L(right) at every
 // internal node (L = descendant leaf count), the precondition for the
 // bridge/insert analysis of §2.
+//
+// Two storage shapes share one implementation:
+//  * BinarizedCotree — std::vector-backed, the long-lived product form the
+//    pipeline / count / oracle call sites keep.
+//  * ScratchBinarized — the same arrays carved from an exec::Arena, for
+//    the request front-end where the binarized tree is per-request scratch
+//    that must not touch the heap on warm requests.
+// BinView is the common read surface the sweeps consume (core/sequential,
+// core/count); both shapes produce identical node layouts, so results are
+// bitwise-equal whichever storage backed them. The internal worklists of
+// both variants draw from the calling thread's arena.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cograph/cotree.hpp"
+#include "exec/scratch.hpp"
 #include "par/bintree.hpp"
 
 namespace copath::cograph {
@@ -36,11 +49,60 @@ struct BinarizedCotree {
   void validate() const;
 };
 
-/// Host binarization (iterative, no recursion depth limits).
+/// Read-only span view of a binarized cotree — the currency between the
+/// binarizer and the host sweeps, independent of what owns the arrays.
+struct BinView {
+  std::span<const std::int32_t> left;
+  std::span<const std::int32_t> right;
+  std::span<const std::uint8_t> is_join;
+  std::span<const VertexId> vertex;
+  std::span<const par::NodeId> leaf_of_vertex;
+  std::int32_t root = -1;
+
+  [[nodiscard]] std::size_t size() const { return left.size(); }
+};
+
+[[nodiscard]] inline BinView view_of(const BinarizedCotree& bc) {
+  return BinView{bc.tree.left, bc.tree.right, bc.is_join,
+                 bc.vertex,    bc.leaf_of_vertex, bc.tree.root};
+}
+
+/// Arena-backed binarized cotree (the express-lane form): identical layout
+/// to BinarizedCotree, storage recycled through `arena`.
+struct ScratchBinarized {
+  exec::ScratchVec<std::int32_t> parent, left, right;
+  exec::ScratchVec<std::uint8_t> is_join;
+  exec::ScratchVec<VertexId> vertex;
+  exec::ScratchVec<par::NodeId> leaf_of_vertex;
+  std::int32_t root = -1;
+
+  explicit ScratchBinarized(exec::Arena& arena)
+      : parent(arena), left(arena), right(arena), is_join(arena),
+        vertex(arena), leaf_of_vertex(arena) {}
+
+  [[nodiscard]] std::size_t size() const { return left.size(); }
+  [[nodiscard]] BinView view() const {
+    return BinView{left.span(),   right.span(),         is_join.span(),
+                   vertex.span(), leaf_of_vertex.span(), root};
+  }
+};
+
+/// Host binarization (iterative, no recursion depth limits; worklists come
+/// from the calling thread's arena).
 BinarizedCotree binarize(const Cotree& t);
+
+/// Same algorithm, arena storage end to end (output arrays AND worklists
+/// from `arena`). Node layout is identical to binarize().
+void binarize_scratch(const Cotree& t, exec::Arena& arena,
+                      ScratchBinarized& out);
 
 /// Host leftist transform: returns descendant-leaf counts L(u) and swaps
 /// children in place so L(left) >= L(right) everywhere.
 std::vector<std::int64_t> make_leftist(BinarizedCotree& bc);
+
+/// Arena variant over scratch storage; fills `leaf_count` (resized to the
+/// node count).
+void make_leftist_scratch(ScratchBinarized& bc,
+                          exec::ScratchVec<std::int64_t>& leaf_count);
 
 }  // namespace copath::cograph

@@ -4,6 +4,7 @@
 #include <span>
 #include <utility>
 
+#include "exec/scratch.hpp"
 #include "util/math.hpp"
 
 namespace copath::cograph {
@@ -17,38 +18,52 @@ constexpr std::uint64_t kJoinSeed = 0x94d049bb133111ebull;
 // of a child list order-free exactly on the canonical order.
 using util::hash_mix;
 
+void append_leb128(std::string& out, std::size_t value) {
+  do {
+    const auto byte = static_cast<unsigned char>(value & 0x7f);
+    value >>= 7;
+    out += static_cast<char>(value != 0 ? byte | 0x80 : byte);
+  } while (value != 0);
+}
+
 }  // namespace
 
-CanonicalForm canonical_form(const Cotree& t) {
+CanonicalForm canonical_form(const Cotree& t, bool with_algebra_key) {
   CanonicalForm out;
   const std::size_t n = t.size();
   if (n == 0) {
-    out.key = "()";
+    if (with_algebra_key) out.key = "()";
     return out;
   }
+  exec::Arena& arena = exec::Arena::for_this_thread();
 
-  // Children-before-parents order: reverse of a DFS preorder.
-  std::vector<NodeId> order;
-  order.reserve(n);
-  {
-    std::vector<NodeId> stack{t.root()};
+  // Children-before-parents order. Parse/builder trees carry it in their
+  // ids already (Cotree::ids_postorder) — ascending order folds directly;
+  // only from_parts shapes materialize the reverse of a DFS preorder.
+  const bool linear = t.ids_postorder();
+  exec::ScratchVec<NodeId> order(arena);
+  if (!linear) {
+    order.reserve(n);
+    exec::ScratchVec<NodeId> stack(arena);
+    stack.reserve(n + 1);
+    stack.push_back(t.root());
     while (!stack.empty()) {
       const NodeId v = stack.back();
       stack.pop_back();
       order.push_back(v);
       for (const NodeId c : t.children(v)) stack.push_back(c);
     }
-    std::reverse(order.begin(), order.end());
+    std::reverse(order.data(), order.data() + order.size());
   }
 
-  std::vector<std::uint64_t> hash(n, 0);
-  // Per-node children in canonical order, flat CSR (one allocation, not n):
-  // node v's sorted children live in sorted[off[v], off[v+1]).
-  std::vector<std::size_t> off(n + 1, 0);
+  exec::ScratchVec<std::uint64_t> hash(arena, n, 0);
+  // Per-node children in canonical order, flat CSR (one arena loan, not
+  // n): node v's sorted children live in sorted[off[v], off[v+1]).
+  exec::ScratchVec<std::size_t> off(arena, n + 1, 0);
   for (std::size_t v = 0; v < n; ++v) {
     off[v + 1] = off[v] + t.child_count(static_cast<NodeId>(v));
   }
-  std::vector<NodeId> sorted(off[n]);
+  exec::ScratchVec<NodeId> sorted(arena, off[n], kNull);
   const auto kids = [&](NodeId v) {
     const auto u = static_cast<std::size_t>(v);
     return std::span<NodeId>(sorted.data() + off[u],
@@ -60,16 +75,21 @@ CanonicalForm canonical_form(const Cotree& t) {
   // canonical order). The walk uses its own stack — sibling subtrees can be
   // arbitrarily deep — and only runs on hash ties, i.e. almost always on
   // genuinely isomorphic subtrees, where it terminates by exhausting them.
+  struct NodePair {
+    NodeId x, y;
+  };
+  exec::ScratchVec<NodePair> tie(arena);
   const auto less = [&](NodeId a, NodeId b) -> bool {
     if (hash[static_cast<std::size_t>(a)] !=
         hash[static_cast<std::size_t>(b)]) {
       return hash[static_cast<std::size_t>(a)] <
              hash[static_cast<std::size_t>(b)];
     }
-    std::vector<std::pair<NodeId, NodeId>> st{{a, b}};
-    while (!st.empty()) {
-      const auto [x, y] = st.back();
-      st.pop_back();
+    tie.clear();
+    tie.push_back(NodePair{a, b});
+    while (!tie.empty()) {
+      const auto [x, y] = tie.back();
+      tie.pop_back();
       if (x == y) continue;
       const auto kx = static_cast<int>(t.kind(x));
       const auto ky = static_cast<int>(t.kind(y));
@@ -80,12 +100,15 @@ CanonicalForm canonical_form(const Cotree& t) {
       if (cx.size() != cy.size()) return cx.size() < cy.size();
       // Lexicographic: the leftmost differing child pair decides, so push
       // pairs in reverse (leftmost on top).
-      for (std::size_t i = cx.size(); i-- > 0;) st.emplace_back(cx[i], cy[i]);
+      for (std::size_t i = cx.size(); i-- > 0;) {
+        tie.push_back(NodePair{cx[i], cy[i]});
+      }
     }
     return false;  // structurally equal
   };
 
-  for (const NodeId v : order) {
+  for (std::size_t oi = 0; oi < n; ++oi) {
+    const NodeId v = linear ? static_cast<NodeId>(oi) : order[oi];
     const auto u = static_cast<std::size_t>(v);
     if (t.is_leaf(v)) {
       hash[u] = kLeafHash;
@@ -93,7 +116,22 @@ CanonicalForm canonical_form(const Cotree& t) {
     }
     const auto c = kids(v);
     std::copy(t.children(v).begin(), t.children(v).end(), c.begin());
-    std::sort(c.begin(), c.end(), less);
+    if (c.size() <= 8) {
+      // Child lists are overwhelmingly tiny (mean arity 2-3); a manual
+      // insertion sort skips std::sort's per-call dispatch, which
+      // dominates the canonicalization profile at serving sizes.
+      for (std::size_t i = 1; i < c.size(); ++i) {
+        const NodeId x = c[i];
+        std::size_t j = i;
+        while (j > 0 && less(x, c[j - 1])) {
+          c[j] = c[j - 1];
+          --j;
+        }
+        c[j] = x;
+      }
+    } else {
+      std::sort(c.begin(), c.end(), less);
+    }
     std::uint64_t h =
         t.kind(v) == NodeKind::Union ? kUnionSeed : kJoinSeed;
     h = hash_mix(h, static_cast<std::uint64_t>(c.size()));
@@ -102,48 +140,63 @@ CanonicalForm canonical_form(const Cotree& t) {
   }
   out.hash = hash[static_cast<std::size_t>(t.root())];
 
-  // Emit the canonical string and number leaves left-to-right in canonical
-  // child order (iterative: the tree can be Θ(n) deep).
+  // Emit the canonical string, the binary post-order signature, and the
+  // leaf numbering (left-to-right in canonical child order) in one
+  // iterative walk (the tree can be Θ(n) deep).
   const std::size_t vertices = t.vertex_count();
   out.to_canonical.assign(vertices, kNull);
   out.from_canonical.assign(vertices, kNull);
-  out.key.reserve(4 * n);
+  if (with_algebra_key) out.key.reserve(4 * n);
+  out.signature.reserve(2 * n);
   VertexId next = 0;
   const auto emit_leaf = [&](NodeId leaf) {
-    out.key += 'v';
+    if (with_algebra_key) out.key += 'v';
+    out.signature += kSigLeaf;
     const VertexId orig = t.vertex_of(leaf);
     out.to_canonical[static_cast<std::size_t>(orig)] = next;
     out.from_canonical[static_cast<std::size_t>(next)] = orig;
     ++next;
   };
+  const auto emit_close = [&](NodeId v) {
+    if (with_algebra_key) out.key += ')';
+    out.signature += t.kind(v) == NodeKind::Union ? kSigUnion : kSigJoin;
+    append_leb128(out.signature, t.child_count(v));
+  };
   if (t.is_leaf(t.root())) {
     emit_leaf(t.root());
     return out;
   }
+  // Frames carry raw cursor/end pointers into the sorted-CSR storage so
+  // the inner loop never re-derives spans from the offset table (a
+  // measurable share of the canonicalization profile at serving sizes).
   struct Frame {
     NodeId v;
-    std::size_t idx;
+    const NodeId* cur;
+    const NodeId* end;
   };
-  std::vector<Frame> st;
-  out.key += '(';
-  out.key += kind_char(t.kind(t.root()));
-  st.push_back(Frame{t.root(), 0});
+  exec::ScratchVec<Frame> st(arena);
+  const auto open_frame = [&](NodeId v) {
+    const auto c = kids(v);
+    if (with_algebra_key) {
+      out.key += '(';
+      out.key += kind_char(t.kind(v));
+    }
+    st.push_back(Frame{v, c.data(), c.data() + c.size()});
+  };
+  open_frame(t.root());
   while (!st.empty()) {
     Frame& f = st.back();
-    const auto c = kids(f.v);
-    if (f.idx == c.size()) {
-      out.key += ')';
+    if (f.cur == f.end) {
+      emit_close(f.v);
       st.pop_back();
       continue;
     }
-    const NodeId child = c[f.idx++];
-    out.key += ' ';
+    const NodeId child = *f.cur++;
+    if (with_algebra_key) out.key += ' ';
     if (t.is_leaf(child)) {
       emit_leaf(child);
     } else {
-      out.key += '(';
-      out.key += kind_char(t.kind(child));
-      st.push_back(Frame{child, 0});  // invalidates f; loop re-fetches
+      open_frame(child);  // invalidates f; loop re-fetches
     }
   }
   return out;

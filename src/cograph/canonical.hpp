@@ -36,13 +36,36 @@
 
 namespace copath::cograph {
 
+/// Byte tags of the binary structural signature (see
+/// CanonicalForm::signature).
+inline constexpr char kSigLeaf = '\x00';
+inline constexpr char kSigUnion = '\x01';
+inline constexpr char kSigJoin = '\x02';
+
 struct CanonicalForm {
   /// 64-bit structural hash of the canonical tree (bottom-up, order-free
   /// per child list). Equal for every member of the equivalence class.
   std::uint64_t hash = 0;
   /// The canonical algebra string, e.g. "(* v (+ v v))" — children sorted,
-  /// leaves anonymized. The full equality key (collision check).
+  /// leaves anonymized. The human-readable face of the class (itself
+  /// parseable, used by tests and debugging output). Empty when the form
+  /// was computed with with_algebra_key == false (the serving hot path:
+  /// Instance::canonical() — the cache keys on `signature`, never on
+  /// this).
   std::string key;
+  /// The compact binary identity of the class: the canonical tree's
+  /// post-order kind/arity stream, ~1-2 bytes per node. Per node, in
+  /// canonical child order, children before parents:
+  ///   leaf            -> kSigLeaf
+  ///   union, arity k  -> kSigUnion then LEB128(k)
+  ///   join,  arity k  -> kSigJoin  then LEB128(k)
+  /// Injective on canonical trees: a stack machine decodes the stream
+  /// right back (leaf pushes a subtree; an internal tag pops its k
+  /// children), so distinct trees cannot share a stream — the same
+  /// uniqueness `key` carries, at a quarter of the bytes and a memcmp
+  /// instead of a parse-shaped compare. This is what the service cache
+  /// keys on (service/result_cache.hpp).
+  std::string signature;
   /// to_canonical[v] = canonical leaf slot of this cotree's vertex v.
   std::vector<VertexId> to_canonical;
   /// from_canonical[s] = this cotree's vertex at canonical slot s
@@ -53,7 +76,13 @@ struct CanonicalForm {
 /// Computes the canonical form. O(n log n): one bottom-up hashing pass plus
 /// a comparison sort of every child list (ties broken by a structural
 /// subtree comparison, so the order is total and deterministic even under
-/// hash collisions).
-[[nodiscard]] CanonicalForm canonical_form(const Cotree& t);
+/// hash collisions). `with_algebra_key` controls whether the human-facing
+/// `key` string is emitted alongside the binary signature; the serving
+/// path skips it.
+[[nodiscard]] CanonicalForm canonical_form(const Cotree& t,
+                                           bool with_algebra_key);
+[[nodiscard]] inline CanonicalForm canonical_form(const Cotree& t) {
+  return canonical_form(t, /*with_algebra_key=*/true);
+}
 
 }  // namespace copath::cograph

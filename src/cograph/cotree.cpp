@@ -1,7 +1,12 @@
 #include "cograph/cotree.hpp"
 
+#include <array>
+#include <charconv>
+#include <cstring>
 #include <functional>
 #include <sstream>
+
+#include "exec/scratch.hpp"
 
 namespace copath::cograph {
 
@@ -52,23 +57,362 @@ void Cotree::validate() const {
   COPATH_CHECK(leaves == leaf_of_vertex_.size());
 }
 
+namespace {
+
+/// Scratch pre-node of the single-pass parser: a normalized tree held as
+/// first-child / next-sibling links into the scratch pool, with leaf names
+/// as (begin, len) views into the input text. Only nodes that survive
+/// normalization (leaves, internal nodes with >= 2 post-merge children)
+/// occupy output slots; merged and collapsed pre-nodes simply never get an
+/// output id.
+struct ParseNode {
+  std::int32_t first_child;
+  std::int32_t last_child;
+  std::int32_t next_sibling;
+  std::int32_t child_count;
+  std::int32_t assigned;  // output node id (emission pass)
+  std::uint32_t name_begin;
+  std::uint32_t name_len;
+  NodeKind kind;
+};
+
+/// One open '(' on the explicit parse stack: the pending child list.
+struct ParseFrame {
+  std::int32_t first;
+  std::int32_t last;
+  std::int32_t count;
+  NodeKind kind;
+};
+
+inline bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Character classes of the cotree algebra, one table lookup per byte in
+/// the parser's scanning loops (the branchy comparisons show up at 40 KB
+/// request texts).
+enum : std::uint8_t { kChOther = 0, kChSpace = 1, kChParen = 2 };
+constexpr std::array<std::uint8_t, 256> make_char_class() {
+  std::array<std::uint8_t, 256> t{};
+  t[static_cast<unsigned char>(' ')] = kChSpace;
+  t[static_cast<unsigned char>('\t')] = kChSpace;
+  t[static_cast<unsigned char>('\n')] = kChSpace;
+  t[static_cast<unsigned char>('\r')] = kChSpace;
+  t[static_cast<unsigned char>('(')] = kChParen;
+  t[static_cast<unsigned char>(')')] = kChParen;
+  return t;
+}
+constexpr std::array<std::uint8_t, 256> kCharClass = make_char_class();
+
+/// "v<id>" rendered into a caller-provided buffer — the single source of
+/// the synthetic leaf-name format (parser elision check, name backfill,
+/// and the format()/to_ascii() fallbacks all agree through it).
+inline std::string_view vertex_token(char (&buf)[16], VertexId vx) {
+  buf[0] = 'v';
+  const auto [end, ec] = std::to_chars(buf + 1, buf + sizeof(buf), vx);
+  (void)ec;
+  return {buf, static_cast<std::size_t>(end - buf)};
+}
+
+inline void append_vertex_token(std::string& out, VertexId vx) {
+  char buf[16];
+  out += vertex_token(buf, vx);
+}
+
+}  // namespace
+
 Cotree Cotree::parse(std::string_view text) {
+  COPATH_CHECK_MSG(text.size() <= UINT32_MAX,
+                   "cotree expression larger than 4 GB");
+  exec::Arena& arena = exec::Arena::for_this_thread();
+  exec::ScratchVec<ParseNode> nodes(arena);
+  exec::ScratchVec<ParseFrame> frames(arena);
+  // Children of created nodes, appended at creation time: in dense mode
+  // (see below) this IS the final CSR child array — creation order is id
+  // order, so emission memcpys it instead of chasing sibling links.
+  exec::ScratchVec<std::int32_t> child_stream(arena);
+  std::size_t live = 0;    // pre-nodes that survive into the output
+  std::size_t leaves = 0;  // leaf pre-nodes (all survive)
+  std::int32_t result = -1;  // the completed top-level expression
+
+  // True while scratch ids are dense post-order output ids (every created
+  // pre-node still live, creation order = children before parents, leaves
+  // in textual order). Same-kind subexpressions splice into their parent
+  // *at close time* without materializing a node, so the only way a
+  // created node dies — flipping this off and forcing the generic
+  // emission walk — is the rare collapse-then-merge shape
+  // "(+ (* (+ a b)) c)": a single-child wrapper hands an already-built
+  // node up into a same-kind frame.
+  bool dense = true;
+
+  // Appends completed subtree `s` to the open frame `f`. An internal child
+  // of the frame's own kind is *merged* — its children splice onto the
+  // frame's list and the child pre-node dies — which is what keeps the
+  // label-alternation property (5) true by construction.
+  const auto add_child = [&](ParseFrame& f, std::int32_t s) {
+    ParseNode& ps = nodes[static_cast<std::size_t>(s)];
+    if (ps.kind == f.kind && ps.kind != NodeKind::Leaf) {
+      if (f.last == -1) {
+        f.first = ps.first_child;
+      } else {
+        nodes[static_cast<std::size_t>(f.last)].next_sibling =
+            ps.first_child;
+      }
+      f.last = ps.last_child;
+      f.count += ps.child_count;
+      --live;  // a created node died: ids are no longer dense post-order
+      dense = false;
+      return;
+    }
+    if (f.last == -1) {
+      f.first = s;
+    } else {
+      nodes[static_cast<std::size_t>(f.last)].next_sibling = s;
+    }
+    f.last = s;
+    ++f.count;
+  };
+
+  std::size_t i = 0;
+  while (true) {
+    while (i < text.size() &&
+           kCharClass[static_cast<unsigned char>(text[i])] == kChSpace) {
+      ++i;
+    }
+    if (i >= text.size()) break;
+    const char c = text[i];
+    if (c == '(') {
+      COPATH_CHECK_MSG(frames.size() < kMaxParseDepth,
+                       "cotree expression nests deeper than "
+                           << kMaxParseDepth);
+      COPATH_CHECK_MSG(!frames.empty() || result == -1,
+                       "trailing characters after cotree expression");
+      ++i;
+      while (i < text.size() && is_space(text[i])) ++i;
+      COPATH_CHECK_MSG(i < text.size() &&
+                           (text[i] == '+' || text[i] == '*'),
+                       "expected '+' or '*' after '(' at offset " << i);
+      frames.push_back(ParseFrame{
+          -1, -1, 0,
+          text[i] == '+' ? NodeKind::Union : NodeKind::Join});
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      COPATH_CHECK_MSG(!frames.empty(),
+                       "unmatched ')' at offset " << i);
+      ++i;
+      const ParseFrame f = frames.back();
+      frames.pop_back();
+      COPATH_CHECK_MSG(f.count != 0, "empty '(…)' in cotree expression");
+      std::int32_t done;
+      if (f.count == 1) {
+        done = f.first;  // single-child wrapper collapses to its child
+      } else if (!frames.empty() && frames.back().kind == f.kind) {
+        // Same-kind subexpression: splice its children straight onto the
+        // enclosing frame — no node is created, so no node can die.
+        ParseFrame& p = frames.back();
+        if (p.last == -1) {
+          p.first = f.first;
+        } else {
+          nodes[static_cast<std::size_t>(p.last)].next_sibling = f.first;
+        }
+        p.last = f.last;
+        p.count += f.count;
+        continue;
+      } else {
+        nodes.push_back(ParseNode{f.first, f.last, -1, f.count, -1, 0, 0,
+                                  f.kind});
+        ++live;
+        done = static_cast<std::int32_t>(nodes.size() - 1);
+        if (dense) {
+          for (std::int32_t ch = f.first; ch != -1;
+               ch = nodes[static_cast<std::size_t>(ch)].next_sibling) {
+            child_stream.push_back(ch);
+          }
+        }
+      }
+      if (frames.empty()) {
+        result = done;
+      } else {
+        add_child(frames.back(), done);
+      }
+      continue;
+    }
+    // Leaf identifier (c is neither whitespace nor a paren, so non-empty).
+    COPATH_CHECK_MSG(!frames.empty() || result == -1,
+                     "trailing characters after cotree expression");
+    const std::size_t start = i;
+    while (i < text.size() &&
+           kCharClass[static_cast<unsigned char>(text[i])] == kChOther) {
+      ++i;
+    }
+    nodes.push_back(ParseNode{-1, -1, -1, 0, -1,
+                              static_cast<std::uint32_t>(start),
+                              static_cast<std::uint32_t>(i - start),
+                              NodeKind::Leaf});
+    ++live;
+    ++leaves;
+    if (frames.empty()) {
+      result = static_cast<std::int32_t>(nodes.size() - 1);
+    } else {
+      add_child(frames.back(), static_cast<std::int32_t>(nodes.size() - 1));
+    }
+  }
+  COPATH_CHECK_MSG(frames.empty(), "missing ')' in cotree expression");
+  COPATH_CHECK_MSG(result != -1, "unexpected end of cotree expression");
+
+  // Emission: one post-order walk assigns output ids (so children precede
+  // parents and leaves appear in left-to-right order — the same layout
+  // CotreeBuilder::build produces), then the CSR child arrays fill in a
+  // second sweep over the assigned ids.
+  const std::size_t n = live;
+  Cotree out;
+  out.kind_.resize(n);
+  out.parent_.assign(n, kNull);
+  out.vertex_.assign(n, kNull);
+  out.child_off_.assign(n + 1, 0);
+  out.leaf_of_vertex_.assign(leaves, kNull);
+
+  exec::ScratchVec<std::int32_t> scratch_of(arena);
+  VertexId next_vertex = 0;
+  // Leaf names are stored only once a token differs from the synthetic
+  // "v<vertex-id>" the formatter would regenerate anyway — round-trips of
+  // anonymous trees (the dominant serving shape) then construct no name
+  // strings at all. Extends CotreeBuilder::build's existing "drop the
+  // names vector when nobody supplied names" normalization: a name equal
+  // to its own synthetic fallback carries no information.
+  bool synthetic_names = true;
+  const auto is_synthetic = [](std::string_view name, VertexId vx) {
+    char buf[16];
+    return name == vertex_token(buf, vx);
+  };
+  const auto emit_node = [&](ParseNode& pn, std::int32_t id) {
+    const auto u = static_cast<std::size_t>(id);
+    pn.assigned = id;
+    out.kind_[u] = pn.kind;
+    out.child_off_[u + 1] = static_cast<std::size_t>(pn.child_count);
+    if (pn.kind == NodeKind::Leaf) {
+      const VertexId vx = next_vertex++;
+      out.vertex_[u] = vx;
+      out.leaf_of_vertex_[static_cast<std::size_t>(vx)] = id;
+      const std::string_view name = text.substr(pn.name_begin, pn.name_len);
+      if (!synthetic_names || !is_synthetic(name, vx)) {
+        if (synthetic_names) {
+          // First real name: materialize the table, backfilling the
+          // synthetic names skipped so far (they are reconstructible).
+          out.names_.assign(leaves, {});
+          for (VertexId w = 0; w < vx; ++w) {
+            char buf[16];
+            out.names_[static_cast<std::size_t>(w)] = vertex_token(buf, w);
+          }
+          synthetic_names = false;
+        }
+        out.names_[static_cast<std::size_t>(vx)] = std::string(name);
+      }
+    }
+  };
+  if (dense) {
+    // Scratch ids ARE the output ids: one linear pass finalizes every
+    // node (creation order is post-order, leaves in textual order).
+    COPATH_DCHECK(nodes.size() == n);
+    COPATH_DCHECK(static_cast<std::size_t>(result) == n - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      emit_node(nodes[v], static_cast<std::int32_t>(v));
+    }
+    out.root_ = result;
+  } else {
+    // Collapse-then-merge left dead pre-nodes: assign dense post-order
+    // ids with an explicit child-cursor walk over the live tree.
+    struct WalkFrame {
+      std::int32_t node;
+      std::int32_t next_child;
+    };
+    exec::ScratchVec<WalkFrame> walk(arena);
+    scratch_of.assign(n, -1);
+    std::int32_t next_id = 0;
+    walk.push_back(WalkFrame{
+        result, nodes[static_cast<std::size_t>(result)].first_child});
+    while (!walk.empty()) {
+      WalkFrame& f = walk.back();
+      if (f.next_child != -1) {
+        const std::int32_t child = f.next_child;
+        f.next_child =
+            nodes[static_cast<std::size_t>(child)].next_sibling;
+        walk.push_back(WalkFrame{
+            child, nodes[static_cast<std::size_t>(child)].first_child});
+        continue;
+      }
+      const std::int32_t id = next_id++;
+      scratch_of[static_cast<std::size_t>(id)] = f.node;
+      emit_node(nodes[static_cast<std::size_t>(f.node)], id);
+      walk.pop_back();
+    }
+    COPATH_CHECK(static_cast<std::size_t>(next_id) == n);
+    out.root_ = nodes[static_cast<std::size_t>(result)].assigned;
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    out.child_off_[v + 1] += out.child_off_[v];
+  }
+  out.child_.resize(out.child_off_[n]);
+  if (dense) {
+    // The stream collected at node-creation time is the CSR child array
+    // (scratch ids are final ids); parents fill in one sequential pass.
+    COPATH_DCHECK(child_stream.size() == out.child_off_[n]);
+    if (!child_stream.empty()) {
+      std::memcpy(out.child_.data(), child_stream.data(),
+                  child_stream.size() * sizeof(std::int32_t));
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t w = out.child_off_[v]; w < out.child_off_[v + 1];
+           ++w) {
+        out.parent_[static_cast<std::size_t>(out.child_[w])] =
+            static_cast<NodeId>(v);
+      }
+    }
+  } else {
+    for (std::size_t v = 0; v < n; ++v) {
+      std::size_t w = out.child_off_[v];
+      for (std::int32_t c =
+               nodes[static_cast<std::size_t>(scratch_of[v])].first_child;
+           c != -1; c = nodes[static_cast<std::size_t>(c)].next_sibling) {
+        const std::int32_t cid =
+            nodes[static_cast<std::size_t>(c)].assigned;
+        out.child_[w++] = cid;
+        out.parent_[static_cast<std::size_t>(cid)] = static_cast<NodeId>(v);
+      }
+      COPATH_DCHECK(w == out.child_off_[v + 1]);
+    }
+  }
+  out.postorder_ids_ = true;  // both emission modes number children first
+#ifndef NDEBUG
+  // The tree is valid by construction (merging enforces alternation,
+  // collapsing enforces arity >= 2); re-check in debug builds only — parse
+  // sits on the serving hot path and the fuzz/round-trip suites enforce
+  // the invariants continuously.
+  out.validate();
+#endif
+  return out;
+}
+
+Cotree Cotree::parse_reference(std::string_view text) {
+  /// The recursion-era cap: ~1.5-2k ASan frames overflow an 8 MB stack, so
+  /// the oracle keeps the historical conservative bound.
+  constexpr std::size_t kMaxReferenceDepth = 512;
   CotreeBuilder b;
   std::size_t i = 0;
   const auto skip_ws = [&] {
-    while (i < text.size() && (text[i] == ' ' || text[i] == '\t' ||
-                               text[i] == '\n' || text[i] == '\r')) {
-      ++i;
-    }
+    while (i < text.size() && is_space(text[i])) ++i;
   };
   std::size_t depth = 0;
   const std::function<NodeId()> parse_expr = [&]() -> NodeId {
     skip_ws();
     COPATH_CHECK_MSG(i < text.size(), "unexpected end of cotree expression");
     if (text[i] == '(') {
-      COPATH_CHECK_MSG(++depth <= kMaxParseDepth,
+      COPATH_CHECK_MSG(++depth <= kMaxReferenceDepth,
                        "cotree expression nests deeper than "
-                           << kMaxParseDepth);
+                           << kMaxReferenceDepth);
       ++i;
       skip_ws();
       COPATH_CHECK_MSG(i < text.size() &&
@@ -91,8 +435,7 @@ Cotree Cotree::parse(std::string_view text) {
     }
     // Leaf identifier.
     const std::size_t start = i;
-    while (i < text.size() && text[i] != ' ' && text[i] != '\t' &&
-           text[i] != '\n' && text[i] != '\r' && text[i] != '(' &&
+    while (i < text.size() && !is_space(text[i]) && text[i] != '(' &&
            text[i] != ')') {
       ++i;
     }
@@ -107,52 +450,107 @@ Cotree Cotree::parse(std::string_view text) {
 }
 
 std::string Cotree::format() const {
-  std::ostringstream os;
-  const std::function<void(NodeId)> rec = [&](NodeId v) {
-    if (is_leaf(v)) {
-      const VertexId vx = vertex_of(v);
-      const std::string& nm = name_of(vx);
-      if (!nm.empty()) {
-        os << nm;
-      } else {
-        os << 'v' << vx;
-      }
-      return;
-    }
-    os << '(' << kind_char(kind(v));
-    for (const NodeId c : children(v)) {
-      os << ' ';
-      rec(c);
-    }
-    os << ')';
-  };
   if (root_ == kNull) return "()";
-  rec(root_);
-  return os.str();
+  std::string os;
+  os.reserve(4 * size());
+  const auto append_leaf = [&](NodeId v) {
+    const VertexId vx = vertex_of(v);
+    const std::string& nm = name_of(vx);
+    if (!nm.empty()) {
+      os += nm;
+    } else {
+      append_vertex_token(os, vx);
+    }
+  };
+  if (is_leaf(root_)) {
+    append_leaf(root_);
+    return os;
+  }
+  // Iterative pre-order emission (the tree can be Θ(n) deep, so no
+  // recursion): one frame per open internal node.
+  struct Frame {
+    NodeId v;
+    std::size_t idx;
+  };
+  exec::ScratchVec<Frame> st(exec::Arena::for_this_thread());
+  os += '(';
+  os += kind_char(kind(root_));
+  st.push_back(Frame{root_, 0});
+  while (!st.empty()) {
+    Frame& f = st.back();
+    const auto kids = children(f.v);
+    if (f.idx == kids.size()) {
+      os += ')';
+      st.pop_back();
+      continue;
+    }
+    const NodeId child = kids[f.idx++];
+    os += ' ';
+    if (is_leaf(child)) {
+      append_leaf(child);
+    } else {
+      os += '(';
+      os += kind_char(kind(child));
+      st.push_back(Frame{child, 0});  // invalidates f; loop re-fetches
+    }
+  }
+  return os;
 }
 
 std::string Cotree::to_ascii() const {
-  std::ostringstream os;
-  const std::function<void(NodeId, const std::string&, bool, bool)> rec =
-      [&](NodeId v, const std::string& prefix, bool last, bool is_root) {
-        if (!is_root) os << prefix << (last ? "`-- " : "|-- ");
-        if (is_leaf(v)) {
-          const VertexId vx = vertex_of(v);
-          const std::string& nm = name_of(vx);
-          os << (nm.empty() ? "v" + std::to_string(vx) : nm) << '\n';
-          return;
-        }
-        os << (kind(v) == NodeKind::Union ? "0 (union)" : "1 (join)") << '\n';
-        const auto kids = children(v);
-        const std::string child_prefix =
-            is_root ? "" : prefix + (last ? "    " : "|   ");
-        for (std::size_t idx = 0; idx < kids.size(); ++idx) {
-          rec(kids[idx], child_prefix, idx + 1 == kids.size(), false);
-        }
-      };
+  // Iterative (parse admits trees Θ(n) deep, so rendering must not
+  // recurse): one shared prefix string grows/shrinks by one 4-char cell
+  // per level. Note the *output* is inherently O(depth) bytes per line —
+  // rendering a deep comb is the caller's informed choice.
   if (root_ == kNull) return "(empty)\n";
-  rec(root_, "", true, true);
-  return os.str();
+  std::string os;
+  std::string prefix;
+  const auto label = [&](NodeId v) {
+    if (is_leaf(v)) {
+      const VertexId vx = vertex_of(v);
+      const std::string& nm = name_of(vx);
+      if (nm.empty()) {
+        append_vertex_token(os, vx);
+      } else {
+        os += nm;
+      }
+      os += '\n';
+      return;
+    }
+    os += kind(v) == NodeKind::Union ? "0 (union)\n" : "1 (join)\n";
+  };
+  label(root_);
+  if (is_leaf(root_)) return os;
+  /// An internal node whose children are still being emitted; while it is
+  /// on top of the stack, `prefix` is exactly its children's line prefix
+  /// (`indent` = what to strip when the frame pops: 0 for the root, whose
+  /// children render flush left).
+  struct Frame {
+    NodeId v;
+    std::size_t idx;
+    std::uint8_t indent;
+  };
+  std::vector<Frame> st;
+  st.push_back(Frame{root_, 0, 0});
+  while (!st.empty()) {
+    Frame& f = st.back();
+    const auto kids = children(f.v);
+    if (f.idx == kids.size()) {
+      prefix.resize(prefix.size() - f.indent);
+      st.pop_back();
+      continue;
+    }
+    const NodeId c = kids[f.idx++];
+    const bool last = f.idx == kids.size();
+    os += prefix;
+    os += last ? "`-- " : "|-- ";
+    label(c);
+    if (!is_leaf(c)) {
+      prefix += last ? "    " : "|   ";
+      st.push_back(Frame{c, 0, 4});  // invalidates f; loop re-fetches
+    }
+  }
+  return os;
 }
 
 Cotree Cotree::complement() const {
@@ -194,6 +592,15 @@ Cotree Cotree::from_parts(std::vector<NodeKind> kind,
       }
     }
   }
+  // Node ids are post-order iff every parent id exceeds its children's.
+  out.postorder_ids_ = true;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (out.parent_[v] != kNull &&
+        out.parent_[v] < static_cast<NodeId>(v)) {
+      out.postorder_ids_ = false;
+      break;
+    }
+  }
   // Iterative DFS for vertex numbering (left-to-right leaf order).
   if (n != 0) {
     std::vector<NodeId> stack{root};
@@ -226,13 +633,14 @@ NodeId CotreeBuilder::leaf_with_vertex(VertexId id, std::string name) {
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
-NodeId CotreeBuilder::node(NodeKind k, const std::vector<NodeId>& children) {
+NodeId CotreeBuilder::node(NodeKind k, std::span<const NodeId> children) {
   COPATH_CHECK(k != NodeKind::Leaf);
   COPATH_CHECK_MSG(!children.empty(), "internal node needs children");
   for (const NodeId c : children) {
     COPATH_CHECK(c >= 0 && static_cast<std::size_t>(c) < nodes_.size());
   }
-  nodes_.push_back(Proto{k, children, {}});
+  nodes_.push_back(
+      Proto{k, std::vector<NodeId>(children.begin(), children.end()), {}});
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -345,6 +753,7 @@ Cotree CotreeBuilder::build(NodeId root) && {
   }
   if (!any_named) out.names_.clear();
 
+  out.postorder_ids_ = true;  // flat ids are normalize()'s post-order
   out.validate();
   return out;
 }

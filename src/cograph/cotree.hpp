@@ -28,13 +28,16 @@ using NodeId = std::int32_t;
 using VertexId = std::int32_t;
 inline constexpr NodeId kNull = -1;
 
-/// Parser nesting bound: '(' depth beyond this throws util::CheckError
-/// instead of overflowing the recursive-descent stack (adversarial input
-/// defense; legitimate cotrees this deep should be built via CotreeBuilder
-/// or from_parts, which do not recurse). 512 keeps the parser's and the
-/// builder's recursion comfortably inside an 8 MB stack even with ASan
-/// redzones inflating the frames (measured: ~1.5-2k ASan frames overflow).
-inline constexpr std::size_t kMaxParseDepth = 512;
+/// Parser nesting bound. The parser is an explicit-stack single pass, so
+/// depth can no longer overflow the call stack by construction; the cap
+/// survives purely as an input-size sanity bound on adversarial nesting
+/// (an expression of depth d needs >= 3d input bytes, so this admits every
+/// realistic instance while refusing degenerate megabyte-deep combs).
+/// Historical note: the recursive-descent parser this replaced capped at
+/// 512 to stay inside an 8 MB stack under ASan; Cotree::parse_reference
+/// (the retained differential oracle) still recurses and still uses that
+/// tighter internal cap.
+inline constexpr std::size_t kMaxParseDepth = std::size_t{1} << 16;
 
 enum class NodeKind : std::uint8_t {
   Leaf,
@@ -61,6 +64,11 @@ class Cotree {
 
   [[nodiscard]] std::size_t size() const { return kind_.size(); }
   [[nodiscard]] NodeId root() const { return root_; }
+  /// True when node ids are a post-order (every child id is smaller than
+  /// its parent's): guaranteed by parse and CotreeBuilder, detected by
+  /// from_parts. Consumers (the canonicalizer) fold bottom-up in one
+  /// ascending linear pass instead of materializing a traversal order.
+  [[nodiscard]] bool ids_postorder() const { return postorder_ids_; }
   [[nodiscard]] std::size_t vertex_count() const {
     return leaf_of_vertex_.size();
   }
@@ -101,11 +109,26 @@ class Cotree {
 
   /// Parses the cotree algebra, e.g. "(* (+ (* a b) c) (+ d e f))".
   /// Leaves are identifiers; '+' is union, '*' is join. Nested same-kind
-  /// expressions are normalized. Malformed input — including expressions
-  /// nested deeper than kMaxParseDepth, which would otherwise turn
-  /// recursive descent into a stack overflow on adversarial bytes — throws
+  /// expressions are normalized. Single pass over the text with an
+  /// explicit stack (no recursion, so nesting depth cannot overflow the
+  /// call stack) emitting straight into the SoA arrays; leaf names are
+  /// tracked as string_views into `text` until final emission and all
+  /// scratch comes from the calling thread's exec::Arena, so a warm
+  /// thread parses without touching the heap beyond the returned tree.
+  /// Names equal to their synthetic fallback ("v<vertex-id>" at that
+  /// exact vertex) are not stored — format() regenerates them — so
+  /// anonymous round-trips construct no name strings (an extension of
+  /// CotreeBuilder::build's drop-empty-names normalization).
+  /// Malformed input — including expressions nested deeper than
+  /// kMaxParseDepth (an input-size sanity bound) — throws
   /// util::CheckError; parse never crashes on arbitrary input.
   static Cotree parse(std::string_view text);
+
+  /// The retired recursive-descent parser (CotreeBuilder-based), kept as
+  /// the independently-coded differential oracle for parse(). Identical
+  /// output on every accepted input; recursion-limited to depth 512, so
+  /// deep combs that parse() accepts are rejected here.
+  static Cotree parse_reference(std::string_view text);
 
   /// Inverse of parse (canonical spacing, vertex names preserved).
   [[nodiscard]] std::string format() const;
@@ -134,6 +157,7 @@ class Cotree {
   std::vector<NodeId> leaf_of_vertex_;
   std::vector<std::string> names_;  // may be empty (=> synthetic names)
   NodeId root_ = kNull;
+  bool postorder_ids_ = false;
 };
 
 /// Incremental cotree construction. Nodes are created bottom-up; `build`
@@ -148,12 +172,35 @@ class CotreeBuilder {
   /// leaves use explicit ids or none do; ids must form a bijection onto
   /// [0, #leaves).
   NodeId leaf_with_vertex(VertexId id, std::string name = {});
-  /// Creates an internal node adopting `children` (builder node ids).
-  NodeId node(NodeKind k, const std::vector<NodeId>& children);
-  NodeId unite(const std::vector<NodeId>& children) {
+  /// Creates an internal node adopting `children` (builder node ids). The
+  /// span overload is the primary one — callers with ids in any contiguous
+  /// storage (stack arrays, scratch vectors, subspans) pass them without
+  /// materializing a temporary std::vector; the vector and
+  /// initializer-list overloads are thin forwards.
+  NodeId node(NodeKind k, std::span<const NodeId> children);
+  NodeId node(NodeKind k, const std::vector<NodeId>& children) {
+    return node(k, std::span<const NodeId>(children));
+  }
+  NodeId node(NodeKind k, std::initializer_list<NodeId> children) {
+    return node(k, std::span<const NodeId>(children.begin(),
+                                           children.size()));
+  }
+  NodeId unite(std::span<const NodeId> children) {
     return node(NodeKind::Union, children);
   }
+  NodeId unite(const std::vector<NodeId>& children) {
+    return node(NodeKind::Union, std::span<const NodeId>(children));
+  }
+  NodeId unite(std::initializer_list<NodeId> children) {
+    return node(NodeKind::Union, children);
+  }
+  NodeId join(std::span<const NodeId> children) {
+    return node(NodeKind::Join, children);
+  }
   NodeId join(const std::vector<NodeId>& children) {
+    return node(NodeKind::Join, std::span<const NodeId>(children));
+  }
+  NodeId join(std::initializer_list<NodeId> children) {
     return node(NodeKind::Join, children);
   }
 

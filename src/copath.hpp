@@ -13,8 +13,13 @@
 //   copath::Service, service::ResultCache               concurrent serving:
 //                                                       async submit() with
 //                                                       a canonical memo
-//                                                       cache, duplicate
-//                                                       coalescing, bounded
+//                                                       cache (binary
+//                                                       signature keys),
+//                                                       duplicate
+//                                                       coalescing, a
+//                                                       small-instance
+//                                                       express lane, and
+//                                                       bounded
 //                                                       backpressure
 //   cograph::canonical_form / CanonicalForm             cotree identity
 //                                                       modulo commutativity
@@ -60,6 +65,7 @@
 #include "exec/native.hpp"
 #include "pram/array.hpp"
 #include "pram/machine.hpp"
+#include "service/express.hpp"
 #include "service/result_cache.hpp"
 #include "service/service.hpp"
 #include "util/mpmc_queue.hpp"

@@ -79,8 +79,12 @@ const cograph::CanonicalForm& Instance::canonical() const {
   COPATH_CHECK_MSG(canon_ != nullptr, "empty Instance has no canonical form");
   // Same discipline as resolve(): a throwing canonicalization (really: a
   // throwing resolve) leaves the flag unset so the error repeats.
-  std::call_once(canon_->once,
-                 [this] { canon_->form = cograph::canonical_form(resolve()); });
+  // The hot serving path: the cache keys on the binary signature, so the
+  // human-facing algebra key is skipped (CanonicalForm::key stays empty).
+  std::call_once(canon_->once, [this] {
+    canon_->form =
+        cograph::canonical_form(resolve(), /*with_algebra_key=*/false);
+  });
   return *canon_->form;
 }
 

@@ -71,11 +71,14 @@ class Instance {
   /// util::CheckError on parse failure or when a graph is not a cograph.
   [[nodiscard]] const cograph::Cotree& resolve() const;
 
-  /// The canonical form (commutative-normalized key, structural hash, leaf
-  /// permutations — see cograph/canonical.hpp), materialized on first use
-  /// and shared by copies, so memoizing layers pay canonicalization once
-  /// per logical instance. Resolves the instance first; throws like
-  /// resolve() on bad input.
+  /// The canonical form (binary structural signature, structural hash,
+  /// leaf permutations — see cograph/canonical.hpp), materialized on
+  /// first use and shared by copies, so memoizing layers pay
+  /// canonicalization once per logical instance. The human-facing algebra
+  /// `key` is NOT built on this path (the field stays empty — call
+  /// cograph::canonical_form(resolve()) when you want it); identity
+  /// checks belong on `signature`/`hash`. Resolves the instance first;
+  /// throws like resolve() on bad input.
   [[nodiscard]] const cograph::CanonicalForm& canonical() const;
 
  private:
@@ -212,6 +215,15 @@ class Solver {
   /// is not copied, so its resolution cache benefits repeat calls.
   [[nodiscard]] SolveResult solve(const Instance& inst) const {
     return solve_with(inst, {}, defaults_);
+  }
+  /// Borrowing form of solve(): explicit label and options, the instance
+  /// neither copied nor moved (the Service keeps the instance — and the
+  /// canonical form its cache key views — alive across the solve and the
+  /// cache store).
+  [[nodiscard]] SolveResult solve(const Instance& inst,
+                                  const std::string& label,
+                                  const SolveOptions& opts) const {
+    return solve_with(inst, label, opts);
   }
 
   /// Solves every request, fanning instances across one shared

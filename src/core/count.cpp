@@ -1,6 +1,32 @@
 #include "core/count.hpp"
 
+#include "exec/scratch.hpp"
+
 namespace copath::core {
+
+namespace {
+
+/// The p(u) recurrence over any binarized view, results into `p` (sized
+/// by the caller). Binarized node ids are post-order (children before
+/// parents — the binarize_core invariant), so one ascending linear pass
+/// folds the whole recurrence.
+void path_counts_core(const cograph::BinView& bc,
+                      std::span<const std::int64_t> leaf_count,
+                      std::span<std::int64_t> p) {
+  const std::size_t n = bc.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (bc.left[v] == -1) {
+      p[v] = 1;
+      continue;
+    }
+    const auto l = static_cast<std::size_t>(bc.left[v]);
+    const auto r = static_cast<std::size_t>(bc.right[v]);
+    p[v] = bc.is_join[v] ? std::max<std::int64_t>(p[l] - leaf_count[r], 1)
+                         : p[l] + p[r];
+  }
+}
+
+}  // namespace
 
 std::vector<std::int64_t> path_counts_host(
     const cograph::BinarizedCotree& bc,
@@ -8,33 +34,30 @@ std::vector<std::int64_t> path_counts_host(
   const std::size_t n = bc.size();
   COPATH_CHECK(leaf_count.size() == n);
   std::vector<std::int64_t> p(n, 0);
-  // Iterative post-order.
-  std::vector<std::int32_t> order;
-  order.reserve(n);
-  std::vector<std::int32_t> stack{bc.tree.root};
-  while (!stack.empty()) {
-    const std::int32_t v = stack.back();
-    stack.pop_back();
-    order.push_back(v);
-    const auto vu = static_cast<std::size_t>(v);
-    if (bc.tree.left[vu] != -1) stack.push_back(bc.tree.left[vu]);
-    if (bc.tree.right[vu] != -1) stack.push_back(bc.tree.right[vu]);
-  }
-  for (std::size_t i = order.size(); i-- > 0;) {
-    const auto v = static_cast<std::size_t>(order[i]);
-    if (bc.tree.left[v] == -1) {
-      p[v] = 1;
-      continue;
-    }
-    const auto l = static_cast<std::size_t>(bc.tree.left[v]);
-    const auto r = static_cast<std::size_t>(bc.tree.right[v]);
-    if (bc.is_join[v]) {
-      p[v] = std::max<std::int64_t>(p[l] - leaf_count[r], 1);
-    } else {
-      p[v] = p[l] + p[r];
-    }
-  }
+  path_counts_core(cograph::view_of(bc), leaf_count, p);
   return p;
+}
+
+CountVerdicts count_verdicts(const cograph::BinView& bc,
+                             std::span<const std::int64_t> leaf_count,
+                             exec::Arena& arena) {
+  const std::size_t n = bc.size();
+  COPATH_CHECK(leaf_count.size() == n);
+  exec::ScratchVec<std::int64_t> p(arena, n, 0);
+  path_counts_core(bc, leaf_count, p.span());
+  CountVerdicts out;
+  const auto root = static_cast<std::size_t>(bc.root);
+  out.cover_size = p[root];
+  out.hamiltonian_path = out.cover_size == 1;
+  // Cycle corollary: n >= 3 and the root split join(V, W) has p(V) <= L(W)
+  // (mirrors core/hamiltonian.cpp's root_split test exactly).
+  if (bc.leaf_of_vertex.size() >= 3 && bc.left[root] != -1 &&
+      bc.is_join[root] != 0) {
+    const auto pv = p[static_cast<std::size_t>(bc.left[root])];
+    const auto lw = leaf_count[static_cast<std::size_t>(bc.right[root])];
+    out.hamiltonian_cycle = pv <= lw;
+  }
+  return out;
 }
 
 std::vector<std::int64_t> path_counts_pram(
@@ -44,10 +67,12 @@ std::vector<std::int64_t> path_counts_pram(
 }
 
 std::int64_t path_cover_size(const cograph::Cotree& t) {
-  auto bc = cograph::binarize(t);
-  const auto leaf_count = cograph::make_leftist(bc);
-  const auto p = path_counts_host(bc, leaf_count);
-  return p[static_cast<std::size_t>(bc.tree.root)];
+  exec::Arena& arena = exec::Arena::for_this_thread();
+  cograph::ScratchBinarized bc(arena);
+  cograph::binarize_scratch(t, arena, bc);
+  exec::ScratchVec<std::int64_t> leaf_count(arena);
+  cograph::make_leftist_scratch(bc, leaf_count);
+  return count_verdicts(bc.view(), leaf_count.span(), arena).cover_size;
 }
 
 bool has_hamiltonian_path(const cograph::Cotree& t) {

@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cograph/binarize.hpp"
 #include "cograph/cotree.hpp"
+#include "exec/arena.hpp"
 #include "par/contraction.hpp"
 #include "pram/machine.hpp"
 
@@ -72,6 +74,22 @@ struct PathCountPolicy {
 std::vector<std::int64_t> path_counts_host(
     const cograph::BinarizedCotree& bc,
     const std::vector<std::int64_t>& leaf_count);
+
+/// The §1 corollary verdicts evaluated in ONE host p-sweep over a leftist
+/// binarized view (scratch from `arena`): the minimum cover size, the
+/// Hamiltonian-path verdict (p(root) == 1) and the Hamiltonian-cycle
+/// verdict (n >= 3 and the root split join(V, W) has p(V) <= L(W) — the
+/// same test core/hamiltonian.cpp performs). The express lane uses this to
+/// compute every verdict from the binarized tree it already built, where
+/// the generic Solver path re-binarizes per verdict.
+struct CountVerdicts {
+  std::int64_t cover_size = 0;
+  bool hamiltonian_path = false;
+  bool hamiltonian_cycle = false;
+};
+CountVerdicts count_verdicts(const cograph::BinView& bc,
+                             std::span<const std::int64_t> leaf_count,
+                             exec::Arena& arena);
 
 /// Executor evaluation (Lemma 2.4) — tree contraction over the max-plus
 /// affine family on any executor: O(log n) steps, O(n) work, EREW on the

@@ -5,6 +5,7 @@
 #include "cograph/binarize.hpp"
 #include "core/count.hpp"
 #include "core/sequential.hpp"
+#include "exec/scratch.hpp"
 
 namespace copath::core {
 
@@ -36,11 +37,15 @@ RootSplit root_split(const cograph::BinarizedCotree& bc,
 
 bool has_hamiltonian_cycle(const cograph::Cotree& t) {
   if (t.vertex_count() < 3) return false;
-  auto bc = cograph::binarize(t);
-  const auto leaf_count = cograph::make_leftist(bc);
-  const auto p = path_counts_host(bc, leaf_count);
-  const RootSplit rs = root_split(bc, leaf_count, p);
-  return rs.root_is_join && rs.pv <= rs.lw;
+  // Arena-backed: the verdict runs after every solve, so its binarized
+  // tree and p-sweep are recycled scratch, not fresh vectors.
+  exec::Arena& arena = exec::Arena::for_this_thread();
+  cograph::ScratchBinarized bc(arena);
+  cograph::binarize_scratch(t, arena, bc);
+  exec::ScratchVec<std::int64_t> leaf_count(arena);
+  cograph::make_leftist_scratch(bc, leaf_count);
+  return count_verdicts(bc.view(), leaf_count.span(), arena)
+      .hamiltonian_cycle;
 }
 
 std::optional<std::vector<VertexId>> hamiltonian_path(
@@ -66,7 +71,10 @@ std::optional<std::vector<VertexId>> hamiltonian_cycle(
   cograph::BinarizedCotree left_bc;
   std::vector<std::int64_t> left_leaf_count;
   {
-    // Extract the left subtree as its own BinarizedCotree (compact ids).
+    // Extract the left subtree as its own BinarizedCotree (compact ids,
+    // numbered in *reverse preorder* so descendants get smaller ids than
+    // their ancestors — the binarize_core id invariant the linear-fold
+    // sweeps in core/sequential.cpp and core/count.cpp require).
     const std::size_t bn = bc.size();
     std::vector<std::int32_t> map(bn, -1);
     std::vector<std::int32_t> order;
@@ -75,8 +83,6 @@ std::optional<std::vector<VertexId>> hamiltonian_cycle(
     while (!stack.empty()) {
       const std::int32_t v = stack.back();
       stack.pop_back();
-      map[static_cast<std::size_t>(v)] =
-          static_cast<std::int32_t>(order.size());
       order.push_back(v);
       if (bc.tree.left[static_cast<std::size_t>(v)] != -1) {
         stack.push_back(bc.tree.left[static_cast<std::size_t>(v)]);
@@ -84,13 +90,18 @@ std::optional<std::vector<VertexId>> hamiltonian_cycle(
       }
     }
     const std::size_t ln = order.size();
+    for (std::size_t i = 0; i < ln; ++i) {
+      map[static_cast<std::size_t>(order[i])] =
+          static_cast<std::int32_t>(ln - 1 - i);
+    }
     left_bc.tree = par::BinTree::with_size(ln);
     left_bc.is_join.assign(ln, 0);
     left_bc.vertex.assign(ln, cograph::kNull);
     left_leaf_count.assign(ln, 0);
     std::size_t leaves = 0;
-    for (std::size_t i = 0; i < ln; ++i) {
-      const auto v = static_cast<std::size_t>(order[i]);
+    for (std::size_t pre = 0; pre < ln; ++pre) {
+      const auto v = static_cast<std::size_t>(order[pre]);
+      const std::size_t i = ln - 1 - pre;
       left_bc.is_join[i] = bc.is_join[v];
       left_leaf_count[i] = leaf_count[v];
       if (bc.tree.left[v] != -1) {
@@ -106,7 +117,7 @@ std::optional<std::vector<VertexId>> hamiltonian_cycle(
         ++leaves;
       }
     }
-    left_bc.tree.root = 0;
+    left_bc.tree.root = static_cast<std::int32_t>(ln - 1);
     left_bc.leaf_of_vertex.assign(t.vertex_count(), -1);
     for (std::size_t i = 0; i < ln; ++i) {
       if (left_bc.vertex[i] != cograph::kNull)

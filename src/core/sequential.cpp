@@ -1,97 +1,100 @@
 #include "core/sequential.hpp"
 
-#include <vector>
+#include <utility>
 
 #include "core/count.hpp"
+#include "exec/scratch.hpp"
 
 namespace copath::core {
 
 namespace {
 
-/// Intrusive path-cover state: vertices are linked through next/prev;
-/// paths are records in an arena chained into per-tree-node lists.
-struct CoverState {
-  std::vector<VertexId> next, prev;
-  struct Path {
-    VertexId head;
-    VertexId tail;
-    std::int32_t next_path;  // arena link, -1 at the end of a cover list
-  };
-  std::vector<Path> arena;
-  struct Cover {
-    std::int32_t first = -1;
-    std::int32_t last = -1;
-    std::int64_t count = 0;
-  };
+/// One record of the intrusive path arena: paths are (head, tail) with
+/// vertices linked through the shared next/prev arrays, and records chain
+/// into per-tree-node cover lists.
+struct PathRec {
+  VertexId head;
+  VertexId tail;
+  std::int32_t next_path;  // arena link, -1 at the end of a cover list
+};
 
-  explicit CoverState(std::size_t n)
-      : next(n, cograph::kNull), prev(n, cograph::kNull) {
-    arena.reserve(n);
-  }
+struct CoverRef {
+  std::int32_t first = -1;
+  std::int32_t last = -1;
+  std::int64_t count = 0;
+};
 
-  Cover singleton(VertexId v) {
-    arena.push_back({v, v, -1});
-    const auto id = static_cast<std::int32_t>(arena.size() - 1);
-    return Cover{id, id, 1};
-  }
-
-  static Cover concat(Cover a, Cover b, std::vector<Path>& arena) {
-    if (a.count == 0) return b;
-    if (b.count == 0) return a;
-    arena[static_cast<std::size_t>(a.last)].next_path = b.first;
-    return Cover{a.first, b.last, a.count + b.count};
-  }
+/// (head, tail) of one path — std::pair is not trivially copyable, which
+/// the arena storage requires.
+struct Segment {
+  VertexId head;
+  VertexId tail;
 };
 
 }  // namespace
 
 PathCover min_path_cover_sequential(const cograph::Cotree& t) {
-  auto bc = cograph::binarize(t);
-  const auto leaf_count = cograph::make_leftist(bc);
-  return min_path_cover_sequential(bc, leaf_count);
+  exec::Arena& arena = exec::Arena::for_this_thread();
+  cograph::ScratchBinarized bc(arena);
+  cograph::binarize_scratch(t, arena, bc);
+  exec::ScratchVec<std::int64_t> leaf_count(arena);
+  cograph::make_leftist_scratch(bc, leaf_count);
+  return min_path_cover_sequential(bc.view(), leaf_count.span(), arena);
 }
 
 PathCover min_path_cover_sequential(
     const cograph::BinarizedCotree& bc,
     const std::vector<std::int64_t>& leaf_count) {
+  return min_path_cover_sequential(cograph::view_of(bc), leaf_count,
+                                   exec::Arena::for_this_thread());
+}
+
+PathCover min_path_cover_sequential(const cograph::BinView& bc,
+                                    std::span<const std::int64_t> leaf_count,
+                                    exec::Arena& a) {
   const std::size_t bn = bc.size();
   const std::size_t n = bc.leaf_of_vertex.size();
-  CoverState st(n);
-  auto& arena = st.arena;
-  std::vector<CoverState::Cover> cover(bn);
+  exec::ScratchVec<VertexId> next(a, n, cograph::kNull);
+  exec::ScratchVec<VertexId> prev(a, n, cograph::kNull);
+  exec::ScratchVec<PathRec> arena(a);
+  arena.reserve(n);
+  exec::ScratchVec<CoverRef> cover(a, bn, CoverRef{});
 
-  // Post-order sweep (iterative).
-  std::vector<std::int32_t> order;
-  order.reserve(bn);
-  {
-    std::vector<std::int32_t> stack{bc.tree.root};
-    while (!stack.empty()) {
-      const std::int32_t v = stack.back();
-      stack.pop_back();
-      order.push_back(v);
-      const auto vu = static_cast<std::size_t>(v);
-      if (bc.tree.left[vu] != -1) stack.push_back(bc.tree.left[vu]);
-      if (bc.tree.right[vu] != -1) stack.push_back(bc.tree.right[vu]);
-    }
-  }
+  const auto singleton = [&](VertexId v) {
+    arena.push_back({v, v, -1});
+    const auto id = static_cast<std::int32_t>(arena.size() - 1);
+    return CoverRef{id, id, 1};
+  };
+  const auto concat = [&](CoverRef x, CoverRef y) {
+    if (x.count == 0) return y;
+    if (y.count == 0) return x;
+    arena[static_cast<std::size_t>(x.last)].next_path = y.first;
+    return CoverRef{x.first, y.last, x.count + y.count};
+  };
+
+  // Post-order sweep: binarized ids are children-before-parents (the
+  // binarize_core invariant), so ascending id order IS a post-order — no
+  // order array, no traversal stack. Interleaving across independent
+  // subtrees cannot change any node's cover (each step touches only its
+  // own subtree's vertices), so the output is identical to a DFS-ordered
+  // sweep.
+  COPATH_DCHECK(static_cast<std::size_t>(bc.root) == bn - 1);
 
   // Scratch reused across 1-nodes.
-  std::vector<VertexId> w_vertices;
-  std::vector<std::pair<VertexId, VertexId>> segments;  // (head, tail)
+  exec::ScratchVec<VertexId> w_vertices(a);
+  exec::ScratchVec<Segment> segments(a);
 
-  for (std::size_t i = order.size(); i-- > 0;) {
-    const std::int32_t node = order[i];
-    const auto vu = static_cast<std::size_t>(node);
-    const std::int32_t lc = bc.tree.left[vu];
-    const std::int32_t rc = bc.tree.right[vu];
+  for (std::size_t vu = 0; vu < bn; ++vu) {
+    const std::int32_t lc = bc.left[vu];
+    const std::int32_t rc = bc.right[vu];
     if (lc == -1) {  // leaf
-      cover[vu] = st.singleton(bc.vertex[vu]);
+      cover[vu] = singleton(bc.vertex[vu]);
       continue;
     }
     const auto lcu = static_cast<std::size_t>(lc);
     const auto rcu = static_cast<std::size_t>(rc);
     if (!bc.is_join[vu]) {  // 0-node: disjoint union
-      cover[vu] = CoverState::concat(cover[lcu], cover[rcu], arena);
+      cover[vu] = concat(cover[lcu], cover[rcu]);
       continue;
     }
     // 1-node. Gather the vertices of G(w) by walking w's cover (their
@@ -103,18 +106,18 @@ PathCover min_path_cover_sequential(
          pid = arena[static_cast<std::size_t>(pid)].next_path) {
       VertexId v = arena[static_cast<std::size_t>(pid)].head;
       while (v != cograph::kNull) {
-        const VertexId nxt = st.next[static_cast<std::size_t>(v)];
-        st.next[static_cast<std::size_t>(v)] = cograph::kNull;
-        st.prev[static_cast<std::size_t>(v)] = cograph::kNull;
+        const VertexId nxt = next[static_cast<std::size_t>(v)];
+        next[static_cast<std::size_t>(v)] = cograph::kNull;
+        prev[static_cast<std::size_t>(v)] = cograph::kNull;
         w_vertices.push_back(v);
         v = nxt;
       }
     }
     COPATH_CHECK(static_cast<std::int64_t>(w_vertices.size()) == lw);
 
-    const auto link = [&](VertexId a, VertexId b) {
-      st.next[static_cast<std::size_t>(a)] = b;
-      st.prev[static_cast<std::size_t>(b)] = a;
+    const auto link = [&](VertexId x, VertexId y) {
+      next[static_cast<std::size_t>(x)] = y;
+      prev[static_cast<std::size_t>(y)] = x;
     };
 
     if (pv > lw) {
@@ -137,25 +140,25 @@ PathCover min_path_cover_sequential(
       arena[static_cast<std::size_t>(merged)].head = head;
       arena[static_cast<std::size_t>(merged)].tail = tail;
       arena[static_cast<std::size_t>(merged)].next_path = rest;
-      cover[vu] = CoverState::Cover{
-          merged, rest == -1 ? merged : cover[lcu].last, pv - lw};
+      cover[vu] =
+          CoverRef{merged, rest == -1 ? merged : cover[lcu].last, pv - lw};
       continue;
     }
     // Case 2: p(v)-1 bridges, the rest inserted -> Hamiltonian path.
     segments.clear();
     for (std::int32_t pid = cover[lcu].first; pid != -1;
          pid = arena[static_cast<std::size_t>(pid)].next_path) {
-      segments.emplace_back(arena[static_cast<std::size_t>(pid)].head,
-                            arena[static_cast<std::size_t>(pid)].tail);
+      segments.push_back(Segment{arena[static_cast<std::size_t>(pid)].head,
+                                 arena[static_cast<std::size_t>(pid)].tail});
     }
     COPATH_CHECK(static_cast<std::int64_t>(segments.size()) == pv);
     for (std::int64_t k = 0; k + 1 < pv; ++k) {
       const VertexId s = w_vertices[static_cast<std::size_t>(k)];
-      link(segments[static_cast<std::size_t>(k)].second, s);
-      link(s, segments[static_cast<std::size_t>(k + 1)].first);
+      link(segments[static_cast<std::size_t>(k)].tail, s);
+      link(s, segments[static_cast<std::size_t>(k + 1)].head);
     }
-    VertexId head = segments.front().first;
-    VertexId tail = segments.back().second;
+    VertexId head = segments.front().head;
+    VertexId tail = segments.back().tail;
     // Insert the remaining lw - pv + 1 vertices next to G(v)-vertices only:
     // the slot before the head, the slots between consecutive same-segment
     // vertices, then the slot after the tail.
@@ -167,10 +170,10 @@ PathCover min_path_cover_sequential(
     }
     for (std::size_t seg = 0;
          seg < segments.size() && ins < w_vertices.size(); ++seg) {
-      VertexId x = segments[seg].first;
-      const VertexId stop = segments[seg].second;
+      VertexId x = segments[seg].head;
+      const VertexId stop = segments[seg].tail;
       while (x != stop && ins < w_vertices.size()) {
-        const VertexId y = st.next[static_cast<std::size_t>(x)];
+        const VertexId y = next[static_cast<std::size_t>(x)];
         const VertexId tv = w_vertices[ins++];
         link(x, tv);
         link(tv, y);
@@ -189,18 +192,18 @@ PathCover min_path_cover_sequential(
     arena[static_cast<std::size_t>(merged)].head = head;
     arena[static_cast<std::size_t>(merged)].tail = tail;
     arena[static_cast<std::size_t>(merged)].next_path = -1;
-    cover[vu] = CoverState::Cover{merged, merged, 1};
+    cover[vu] = CoverRef{merged, merged, 1};
   }
 
   // Extract the root cover.
   PathCover out;
-  const auto& root_cover = cover[static_cast<std::size_t>(bc.tree.root)];
+  const auto& root_cover = cover[static_cast<std::size_t>(bc.root)];
   out.paths.reserve(static_cast<std::size_t>(root_cover.count));
   for (std::int32_t pid = root_cover.first; pid != -1;
        pid = arena[static_cast<std::size_t>(pid)].next_path) {
     out.paths.emplace_back();
     for (VertexId v = arena[static_cast<std::size_t>(pid)].head;
-         v != cograph::kNull; v = st.next[static_cast<std::size_t>(v)]) {
+         v != cograph::kNull; v = next[static_cast<std::size_t>(v)]) {
       out.paths.back().push_back(v);
     }
   }

@@ -13,11 +13,19 @@
 //     Hamiltonian path.
 // Work at a 1-node is O(L(w)), and the L(w) are disjoint, so the sweep is
 // O(n) overall.
+//
+// Every overload runs the same sweep over a BinView with scratch carved
+// from an exec::Arena (the calling thread's arena unless one is passed),
+// so covers are bitwise-identical across them and a warm serving thread
+// sweeps without heap allocations beyond the returned PathCover.
 #pragma once
+
+#include <span>
 
 #include "cograph/binarize.hpp"
 #include "cograph/cotree.hpp"
 #include "core/path_cover.hpp"
+#include "exec/arena.hpp"
 
 namespace copath::core {
 
@@ -29,5 +37,11 @@ PathCover min_path_cover_sequential(const cograph::Cotree& t);
 PathCover min_path_cover_sequential(
     const cograph::BinarizedCotree& bc,
     const std::vector<std::int64_t>& leaf_count);
+
+/// The storage-agnostic core: sweep over any leftist binarized view with
+/// scratch from `arena` (the express-lane entry point).
+PathCover min_path_cover_sequential(const cograph::BinView& bc,
+                                    std::span<const std::int64_t> leaf_count,
+                                    exec::Arena& arena);
 
 }  // namespace copath::core

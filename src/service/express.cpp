@@ -1,0 +1,85 @@
+#include "service/express.hpp"
+
+#include "cograph/binarize.hpp"
+#include "core/adaptive.hpp"
+#include "core/count.hpp"
+#include "core/hamiltonian.hpp"
+#include "core/sequential.hpp"
+#include "exec/scratch.hpp"
+#include "util/timer.hpp"
+
+namespace copath::service {
+
+bool express_eligible(std::size_t n, const SolveOptions& opts) {
+  if (opts.backend == Backend::Sequential) return true;
+  if (opts.backend != Backend::Adaptive) return false;
+  const core::CostModel& model = opts.cost_model != nullptr
+                                     ? *opts.cost_model
+                                     : core::CostModel::calibrated();
+  return n < model.min_native_n;
+}
+
+SolveResult solve_express(const Instance& inst, const std::string& label,
+                          const SolveOptions& opts, exec::Arena& arena) {
+  SolveResult res;
+  res.label = label;
+  res.backend = opts.backend;
+  try {
+    const cograph::Cotree& t = inst.resolve();
+
+    // The engine run (timed like Solver times the backend fn alone):
+    // binarize once, share the tree between the sweep and the verdicts.
+    util::WallTimer timer;
+    cograph::ScratchBinarized bc(arena);
+    cograph::binarize_scratch(t, arena, bc);
+    exec::ScratchVec<std::int64_t> leaf_count(arena);
+    cograph::make_leftist_scratch(bc, leaf_count);
+    res.cover =
+        core::min_path_cover_sequential(bc.view(), leaf_count.span(), arena);
+    res.wall_ms = timer.millis();
+
+    res.routed = Backend::Sequential;
+    res.vertex_count = t.vertex_count();
+
+    if (opts.compute_verdicts) {
+      const core::CountVerdicts v =
+          core::count_verdicts(bc.view(), leaf_count.span(), arena);
+      res.optimal_size = v.cover_size;
+      res.minimum =
+          static_cast<std::int64_t>(res.cover.size()) == res.optimal_size;
+      res.hamiltonian_path = v.hamiltonian_path;
+      res.hamiltonian_cycle = v.hamiltonian_cycle;
+      if (opts.want_hamiltonian_cycle && res.hamiltonian_cycle) {
+        res.cycle = core::hamiltonian_cycle(t);
+      }
+    } else {
+      res.optimal_size = -1;
+      if (opts.want_hamiltonian_cycle) {
+        res.cycle = core::hamiltonian_cycle(t);
+        res.hamiltonian_cycle = res.cycle.has_value();
+      }
+    }
+    if (opts.validate) {
+      // The sequential sweep is exact, so minimality is required — the
+      // same contract Solver applies via the registry entry's exact flag.
+      res.validation =
+          core::validate_path_cover(t, res.cover, /*require_minimum=*/true);
+    }
+    res.ok = true;
+  } catch (const std::exception& e) {
+    res = SolveResult{};
+    res.label = label;
+    res.backend = opts.backend;
+    res.routed = opts.backend;
+    res.error = e.what();
+  } catch (...) {
+    res = SolveResult{};
+    res.label = label;
+    res.backend = opts.backend;
+    res.routed = opts.backend;
+    res.error = "non-standard exception";
+  }
+  return res;
+}
+
+}  // namespace copath::service

@@ -1,0 +1,47 @@
+// The Service express lane: registry-free inline solving of small
+// instances.
+//
+// Below the Adaptive cost model's native floor, every request is routed to
+// the sequential sweep anyway — but the generic path still walks the
+// backend registry, builds a BackendConfig, runs the type-erased BackendFn,
+// claims a native-thread lease it will never use, and re-binarizes the
+// cotree twice more for the verdict sweeps. At serving sizes (n <= 4096,
+// the ROADMAP's dominant traffic) that fixed machinery costs more than the
+// solve. The express lane replaces it with one inline pass on the worker
+// thread:
+//
+//   resolve -> binarize -> leftist -> sequential sweep -> verdicts,
+//
+// with the binarized tree built once (shared by the sweep AND both
+// verdicts) and every scratch array carved from the worker's exec::Arena —
+// a warm worker runs the whole request without heap allocations beyond the
+// SolveResult it returns.
+//
+// Results are bitwise-identical to the Solver path: the same sweep runs on
+// the same binarized tree, and Backend::Adaptive's sequential-routing
+// domain (everything below the model floor) promises covers bitwise-equal
+// to Backend::Sequential — the differential suites enforce both.
+#pragma once
+
+#include "copath_solver.hpp"
+#include "exec/arena.hpp"
+
+namespace copath::service {
+
+/// True when `opts` lets the express lane handle an n-vertex instance with
+/// results identical to the generic path: Backend::Sequential always, and
+/// Backend::Adaptive below its model's unconditional-sequential floor
+/// (`CostModel::min_native_n`). Above the floor Adaptive's route depends
+/// on thread budgets, which only the generic path (holding a lease) can
+/// answer.
+[[nodiscard]] bool express_eligible(std::size_t n, const SolveOptions& opts);
+
+/// The inline solve. Mirrors Solver::solve's structured-failure contract:
+/// never throws, resolution failures come back as ok == false. Scratch
+/// comes from `arena` (pass the worker thread's Arena::for_this_thread()).
+[[nodiscard]] SolveResult solve_express(const Instance& inst,
+                                        const std::string& label,
+                                        const SolveOptions& opts,
+                                        exec::Arena& arena);
+
+}  // namespace copath::service

@@ -9,13 +9,28 @@
 namespace copath::service {
 namespace {
 
-/// Folds the options fingerprint into the shard/bucket hash with the same
-/// mixer the canonicalizer uses (util::hash_mix).
-std::uint64_t hash_string(std::uint64_t h, const std::string& s) {
-  for (const char c : s) {
-    h = util::hash_mix(h, static_cast<std::uint64_t>(c));
-  }
+/// Folds the packed options into the shard/bucket hash with the same mixer
+/// the canonicalizer uses (util::hash_mix) — word-at-a-time, no string.
+std::uint64_t fold_options(std::uint64_t h, const OptionsKey& k) {
+  h = util::hash_mix(h, k.processors);
+  h = util::hash_mix(h, k.max_repair_rounds);
+  h = util::hash_mix(
+      h, (static_cast<std::uint64_t>(k.backend) << 24) |
+             (static_cast<std::uint64_t>(k.policy) << 16) |
+             (static_cast<std::uint64_t>(k.rank_engine) << 8) |
+             static_cast<std::uint64_t>(k.flags));
   return h;
+}
+
+void remap_into(const std::vector<cograph::VertexId>& path,
+                std::vector<cograph::VertexId>& out,
+                const std::vector<cograph::VertexId>& map) {
+  out.resize(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    COPATH_DCHECK(path[i] >= 0 &&
+                  static_cast<std::size_t>(path[i]) < map.size());
+    out[i] = map[static_cast<std::size_t>(path[i])];
+  }
 }
 
 void remap_vertices(std::vector<cograph::VertexId>& path,
@@ -35,6 +50,20 @@ SolveResult remap_result(SolveResult res,
 
 }  // namespace
 
+OptionsKey options_key(const SolveOptions& opts) {
+  OptionsKey k;
+  k.processors = opts.processors;
+  k.max_repair_rounds = opts.pipeline.max_repair_rounds;
+  k.backend = static_cast<std::uint8_t>(opts.backend);
+  k.policy = static_cast<std::uint8_t>(opts.policy);
+  k.rank_engine = static_cast<std::uint8_t>(opts.pipeline.rank_engine);
+  k.flags = static_cast<std::uint8_t>(
+      (opts.collect_trace ? 1u : 0u) | (opts.validate ? 2u : 0u) |
+      (opts.want_hamiltonian_cycle ? 4u : 0u) |
+      (opts.compute_verdicts ? 8u : 0u));
+  return k;
+}
+
 std::string options_fingerprint(const SolveOptions& opts) {
   std::ostringstream os;
   os << "b=" << static_cast<int>(opts.backend)
@@ -49,13 +78,17 @@ std::string options_fingerprint(const SolveOptions& opts) {
   return os.str();
 }
 
-CacheKey make_cache_key(const cograph::CanonicalForm& form,
-                        const SolveOptions& opts) {
-  CacheKey key;
-  key.canon_key = form.key;
-  key.opts_key = options_fingerprint(opts);
-  key.hash = hash_string(form.hash, key.opts_key);
+CacheKeyRef make_cache_key(const cograph::CanonicalForm& form,
+                           const SolveOptions& opts) {
+  CacheKeyRef key;
+  key.signature = form.signature;
+  key.opts = options_key(opts);
+  key.hash = fold_options(form.hash, key.opts);
   return key;
+}
+
+CacheKey own_key(const CacheKeyRef& key) {
+  return CacheKey{key.hash, std::string(key.signature), key.opts};
 }
 
 SolveResult to_canonical_space(SolveResult res,
@@ -69,6 +102,38 @@ SolveResult from_canonical_space(SolveResult res,
   return remap_result(std::move(res), form.from_canonical);
 }
 
+SolveResult remapped_from_canonical(const SolveResult& canonical,
+                                 const cograph::CanonicalForm& form) {
+  // The hit path: one pass builds the remapped copy directly — no
+  // copy-then-rewrite double walk over the paths.
+  SolveResult res;
+  res.ok = canonical.ok;
+  res.error = canonical.error;
+  res.backend = canonical.backend;
+  res.routed = canonical.routed;
+  res.vertex_count = canonical.vertex_count;
+  res.optimal_size = canonical.optimal_size;
+  res.minimum = canonical.minimum;
+  res.hamiltonian_path = canonical.hamiltonian_path;
+  res.hamiltonian_cycle = canonical.hamiltonian_cycle;
+  res.stats = canonical.stats;
+  res.stats_valid = canonical.stats_valid;
+  res.trace = canonical.trace;
+  res.trace_valid = canonical.trace_valid;
+  res.validation = canonical.validation;
+  res.wall_ms = canonical.wall_ms;
+  const auto& map = form.from_canonical;
+  res.cover.paths.resize(canonical.cover.paths.size());
+  for (std::size_t i = 0; i < canonical.cover.paths.size(); ++i) {
+    remap_into(canonical.cover.paths[i], res.cover.paths[i], map);
+  }
+  if (canonical.cycle.has_value()) {
+    res.cycle.emplace();
+    remap_into(*canonical.cycle, *res.cycle, map);
+  }
+  return res;
+}
+
 ResultCache::ResultCache(Config cfg) {
   const std::size_t shards = std::max<std::size_t>(1, cfg.shards);
   const std::size_t capacity = std::max(cfg.capacity, shards);
@@ -79,13 +144,14 @@ ResultCache::ResultCache(Config cfg) {
   }
 }
 
-std::shared_ptr<const SolveResult> ResultCache::lookup(const CacheKey& key) {
+std::shared_ptr<const SolveResult> ResultCache::lookup(
+    const CacheKeyRef& key) {
   Shard& sh = shard_for(key.hash);
   std::lock_guard<std::mutex> lock(sh.mu);
   const auto bucket = sh.by_hash.find(key.hash);
   if (bucket != sh.by_hash.end()) {
     for (const auto it : bucket->second) {
-      if (it->key == key) {
+      if (it->key.ref() == key) {
         sh.lru.splice(sh.lru.begin(), sh.lru, it);
         hits_.fetch_add(1, std::memory_order_relaxed);
         return it->result;
@@ -96,13 +162,13 @@ std::shared_ptr<const SolveResult> ResultCache::lookup(const CacheKey& key) {
   return nullptr;
 }
 
-void ResultCache::insert(const CacheKey& key,
+void ResultCache::insert(const CacheKeyRef& key,
                          std::shared_ptr<const SolveResult> canonical_result) {
   Shard& sh = shard_for(key.hash);
   std::lock_guard<std::mutex> lock(sh.mu);
   auto& bucket = sh.by_hash[key.hash];
   for (const auto it : bucket) {
-    if (it->key == key) {
+    if (it->key.ref() == key) {
       // Refresh (coalesced duplicates can double-insert harmlessly).
       it->result = std::move(canonical_result);
       sh.lru.splice(sh.lru.begin(), sh.lru, it);
@@ -118,7 +184,7 @@ void ResultCache::insert(const CacheKey& key,
     sh.lru.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  sh.lru.push_front(Entry{key, std::move(canonical_result)});
+  sh.lru.push_front(Entry{own_key(key), std::move(canonical_result)});
   sh.by_hash[key.hash].push_back(sh.lru.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
 }

@@ -1,21 +1,28 @@
 // Sharded, thread-safe memo cache of SolveResults keyed by canonical form.
 //
 // Two requests hit the same entry iff their instances are isomorphic modulo
-// commutativity and leaf relabeling (identical `CanonicalForm::key`) AND
-// their result-affecting solve options agree (identical options
-// fingerprint). Entries store the result in *canonical leaf slots*
-// (`to_canonical_space`), so one stored cover serves every member of the
-// equivalence class: a hit is replayed through the requesting instance's
-// own `from_canonical` permutation, which is a graph isomorphism — the
-// replayed cover is valid and of identical (minimum) size by construction.
+// commutativity and leaf relabeling (identical binary structural
+// signature — CanonicalForm::signature) AND their result-affecting solve
+// options agree (identical packed OptionsKey). Entries store the result in
+// *canonical leaf slots* (`to_canonical_space`), so one stored cover serves
+// every member of the equivalence class: a hit is replayed through the
+// requesting instance's own `from_canonical` permutation, which is a graph
+// isomorphism — the replayed cover is valid and of identical (minimum)
+// size by construction.
+//
+// Key shape (this is the request hot path): the 64-bit hash routes to a
+// shard/bucket; the full-key collision check is one POD compare plus a
+// memcmp over the ~n-byte signature — no canonical string is ever rebuilt
+// or re-walked. Lookups take a *borrowed* key (CacheKeyRef views the
+// signature owned by the instance's CanonicalForm), so the hit path copies
+// no key bytes at all; only insert materializes an owned CacheKey.
 //
 // Concurrency: N mutex-striped shards selected by the canonical hash; a
 // lookup/insert locks exactly one shard. Within a shard, entries live on an
 // LRU list with per-shard capacity; the hash-indexed map holds collision
-// buckets and every probe compares the full key (canonical string +
-// options fingerprint), so a 64-bit hash collision costs a miss, never a
-// wrong answer. Hit/miss/insertion/eviction counters are process-cheap
-// atomics readable at any time.
+// buckets and every probe compares the full key, so a 64-bit hash collision
+// costs a miss, never a wrong answer. Hit/miss/insertion/eviction counters
+// are process-cheap atomics readable at any time.
 #pragma once
 
 #include <atomic>
@@ -24,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -32,29 +40,66 @@
 
 namespace copath::service {
 
-/// Full cache identity: the canonical hash routes to a shard/bucket, the
-/// two strings are the collision-proof equality check.
-struct CacheKey {
-  std::uint64_t hash = 0;
-  std::string canon_key;
-  std::string opts_key;
+/// The option fields that change the *content* of a SolveResult (backend,
+/// machine discipline, pipeline knobs, requested extras), packed into a
+/// trivially-comparable POD. Worker and batch-worker counts are excluded
+/// on purpose: engines produce identical results for every physical worker
+/// count, so caching across them is sound and desirable.
+struct OptionsKey {
+  std::uint64_t processors = 0;
+  std::uint64_t max_repair_rounds = 0;
+  std::uint8_t backend = 0;
+  std::uint8_t policy = 0;
+  std::uint8_t rank_engine = 0;
+  /// Bit-packed: trace | validate | hamiltonian-cycle | verdicts.
+  std::uint8_t flags = 0;
 
-  [[nodiscard]] bool operator==(const CacheKey& o) const {
-    return hash == o.hash && canon_key == o.canon_key &&
-           opts_key == o.opts_key;
+  [[nodiscard]] bool operator==(const OptionsKey&) const = default;
+};
+static_assert(std::is_trivially_copyable_v<OptionsKey>);
+
+[[nodiscard]] OptionsKey options_key(const SolveOptions& opts);
+
+/// Debug/display form of an OptionsKey (the old string fingerprint shape).
+[[nodiscard]] std::string options_fingerprint(const SolveOptions& opts);
+
+/// Borrowed full cache identity: the hash routes, (signature, opts) is the
+/// collision-proof equality check. `signature` views bytes owned by the
+/// caller (normally the request's CanonicalForm) — valid for the duration
+/// of the cache call only.
+struct CacheKeyRef {
+  std::uint64_t hash = 0;
+  std::string_view signature;
+  OptionsKey opts;
+
+  [[nodiscard]] bool operator==(const CacheKeyRef& o) const {
+    // string_view equality IS length-check + memcmp — the ~n-byte
+    // full-key collision check.
+    return hash == o.hash && opts == o.opts && signature == o.signature;
   }
 };
 
-/// Serializes the option fields that change the *content* of a SolveResult
-/// (backend, machine discipline, pipeline knobs, requested extras). Worker
-/// and batch-worker counts are excluded on purpose: engines produce
-/// identical results for every physical worker count, so caching across
-/// them is sound and desirable.
-[[nodiscard]] std::string options_fingerprint(const SolveOptions& opts);
+/// Owned key (what the cache stores).
+struct CacheKey {
+  std::uint64_t hash = 0;
+  std::string signature;
+  OptionsKey opts;
 
-/// Builds the key for an instance's canonical form under `opts`.
-[[nodiscard]] CacheKey make_cache_key(const cograph::CanonicalForm& form,
-                                      const SolveOptions& opts);
+  [[nodiscard]] CacheKeyRef ref() const {
+    return CacheKeyRef{hash, signature, opts};
+  }
+  [[nodiscard]] bool operator==(const CacheKey& o) const {
+    return ref() == o.ref();
+  }
+};
+
+/// Builds the borrowed key for an instance's canonical form under `opts`.
+/// The returned key views `form.signature`; `form` must outlive it.
+[[nodiscard]] CacheKeyRef make_cache_key(const cograph::CanonicalForm& form,
+                                         const SolveOptions& opts);
+
+/// Materializes an owned key from a borrowed one (the insert path).
+[[nodiscard]] CacheKey own_key(const CacheKeyRef& key);
 
 /// Rewrites the result's vertex ids (cover paths, Hamiltonian cycle) from
 /// the instance's ids into canonical leaf slots. The stored form.
@@ -62,9 +107,15 @@ struct CacheKey {
     SolveResult res, const cograph::CanonicalForm& form);
 
 /// Inverse: rewrites a canonical-space result into the vertex ids of the
-/// instance described by `form`. Applied on every cache hit.
+/// instance described by `form`.
 [[nodiscard]] SolveResult from_canonical_space(
     SolveResult res, const cograph::CanonicalForm& form);
+
+/// The hit-path form of from_canonical_space: builds the remapped copy of
+/// a *stored* canonical result in one pass (fusing the deep copy with the
+/// permutation instead of copy-then-rewrite).
+[[nodiscard]] SolveResult remapped_from_canonical(
+    const SolveResult& canonical, const cograph::CanonicalForm& form);
 
 struct CacheStats {
   std::uint64_t hits = 0;
@@ -97,12 +148,13 @@ class ResultCache {
   /// shared_ptr keeps the shard's critical section O(1) — callers copy (or
   /// remap) outside the lock.
   [[nodiscard]] std::shared_ptr<const SolveResult> lookup(
-      const CacheKey& key);
+      const CacheKeyRef& key);
 
-  /// Stores (or refreshes) `canonical_result` under `key`, evicting the
-  /// shard's least-recently-used entry when the shard is full. The result
-  /// must already be in canonical space with its label cleared.
-  void insert(const CacheKey& key,
+  /// Stores (or refreshes) `canonical_result` under `key` (copied into an
+  /// owned CacheKey on first insert), evicting the shard's
+  /// least-recently-used entry when the shard is full. The result must
+  /// already be in canonical space with its label cleared.
+  void insert(const CacheKeyRef& key,
               std::shared_ptr<const SolveResult> canonical_result);
 
   [[nodiscard]] CacheStats stats() const;

@@ -5,14 +5,12 @@
 #include <utility>
 
 #include "core/backend.hpp"
+#include "exec/arena.hpp"
+#include "service/express.hpp"
 #include "util/thread_pool.hpp"
 
 namespace copath {
 namespace {
-
-/// Separator for the in-flight map key (cannot occur in either component:
-/// canonical keys use "(+* v)" characters, fingerprints are ASCII k=v).
-constexpr char kKeySep = '\x1f';
 
 SolveResult failure(const std::string& label, Backend backend,
                     std::string error) {
@@ -57,9 +55,10 @@ SolveOptions Service::effective_options(const SolveRequest& req) const {
 namespace {
 
 /// RAII thread-budget lease around one engine solve: acquired only at the
-/// two solve sites (cache hits and coalesced waiters never consume budget
-/// nor distort Adaptive's pressure signal), released on scope exit even if
-/// the engine throws. Exposes the worker-clamped options.
+/// two generic solve sites (cache hits, coalesced waiters, and express
+/// inline solves never consume budget nor distort Adaptive's pressure
+/// signal), released on scope exit even if the engine throws. Exposes the
+/// worker-clamped options.
 class BudgetLease {
  public:
   BudgetLease(util::ThreadBudgeter& budgeter,
@@ -119,16 +118,30 @@ std::future<SolveResult> Service::submit(SolveRequest req) {
 }
 
 void Service::worker_loop() {
+  // Per-request arena accounting: everything this worker's front end and
+  // engines carve from the thread arena lands in the aggregate counters,
+  // so tests and dashboards can watch fresh_allocs go flat as the worker
+  // warms up.
+  exec::Arena& arena = exec::Arena::for_this_thread();
+  exec::Arena::Stats last = arena.stats();
   while (auto job = queue_.pop()) {
     process(std::move(*job));
+    const exec::Arena::Stats& now = arena.stats();
+    arena_acquires_.fetch_add(now.acquires - last.acquires,
+                              std::memory_order_relaxed);
+    arena_reuses_.fetch_add(now.reuses - last.reuses,
+                            std::memory_order_relaxed);
+    arena_fresh_.fetch_add(now.fresh_allocs - last.fresh_allocs,
+                           std::memory_order_relaxed);
+    last = now;
   }
 }
 
 void Service::process(Job job) {
   const std::string label = job.req.label;
   // Worker counts are clamped per solve by a BudgetLease scoped around
-  // each engine call — cache hits and coalesced waiters below never touch
-  // the thread budget.
+  // each generic engine call — cache hits, coalesced waiters, and express
+  // solves below never touch the thread budget.
   const SolveOptions opts = effective_options(job.req);
 
   // Resolve + canonicalize up front; bad instances fail structurally here
@@ -138,44 +151,56 @@ void Service::process(Job job) {
   // parked waiters, so plug-in backends throwing non-standard exceptions
   // and allocation failures are caught and turned into structured results.
   const cograph::CanonicalForm* form = nullptr;
-  if (opts_.use_cache) {
-    try {
-      form = &job.req.instance.canonical();
-    } catch (const std::exception& e) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      job.promise.set_value(failure(label, opts.backend, e.what()));
-      return;
-    } catch (...) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      job.promise.set_value(
-          failure(label, opts.backend, "non-standard exception"));
-      return;
-    }
+  std::size_t n = 0;
+  try {
+    if (opts_.use_cache) form = &job.req.instance.canonical();
+    n = job.req.instance.resolve().vertex_count();
+  } catch (const std::exception& e) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(failure(label, opts.backend, e.what()));
+    return;
+  } catch (...) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(
+        failure(label, opts.backend, "non-standard exception"));
+    return;
   }
 
-  if (!opts_.use_cache) {
-    SolveResult res;
-    {
-      BudgetLease bl(budgeter_, pending_, worker_count_, opts);
-      try {
-        const SolveRequest exec_req{std::move(job.req.instance), bl.opts(),
-                                    label};
-        res = solver_.solve(exec_req);
-      } catch (...) {  // solve() catches std::exception; plug-ins may not
-        res = failure(label, opts.backend, "non-standard exception");
-      }
+  // The express lane: below the Adaptive floor the route is the sequential
+  // sweep with or without dispatch, so run it inline — no registry walk,
+  // no BackendFn indirection, no thread lease, shared binarized tree for
+  // cover + verdicts, all scratch from this worker's arena. The instance
+  // is borrowed, never moved: it (and the canonical form the cache key
+  // views) must stay alive through the canonical-space store below.
+  const bool express =
+      opts_.use_express && service::express_eligible(n, opts);
+  const auto solve_once = [&]() -> SolveResult {
+    if (express) {
+      express_.fetch_add(1, std::memory_order_relaxed);
+      return service::solve_express(job.req.instance, label, opts,
+                                    exec::Arena::for_this_thread());
     }
+    BudgetLease bl(budgeter_, pending_, worker_count_, opts);
+    try {
+      return solver_.solve(job.req.instance, label, bl.opts());
+    } catch (...) {  // solve() catches std::exception; plug-ins may not
+      return failure(label, opts.backend, "non-standard exception");
+    }
+  };
+
+  if (!opts_.use_cache) {
+    SolveResult res = solve_once();
     completed_.fetch_add(1, std::memory_order_relaxed);
     job.promise.set_value(std::move(res));
     return;
   }
 
-  const service::CacheKey key = service::make_cache_key(*form, opts);
+  const service::CacheKeyRef key = service::make_cache_key(*form, opts);
   if (const auto hit = cache_.lookup(key)) {
     SolveResult res;
     try {
-      // The deep copy happens here, outside the shard lock.
-      res = service::from_canonical_space(SolveResult(*hit), *form);
+      // One fused copy+remap pass, outside the shard lock.
+      res = service::remapped_from_canonical(*hit, *form);
       res.label = label;
     } catch (...) {
       res = failure(label, opts.backend, "failed to materialize cache hit");
@@ -185,9 +210,10 @@ void Service::process(Job job) {
     return;
   }
 
-  // Coalescing: if a twin (same canonical key AND options) is already being
-  // solved, park on it — the computing worker fulfills us from its result.
-  const std::string flight_key = key.canon_key + kKeySep + key.opts_key;
+  // Coalescing: if a twin (same canonical signature AND options) is
+  // already being solved, park on it — the computing worker fulfills us
+  // from its result.
+  service::CacheKey flight_key = service::own_key(key);
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     const auto it = inflight_.find(flight_key);
@@ -201,26 +227,16 @@ void Service::process(Job job) {
     inflight_.emplace(flight_key, InFlight{});
   }
 
-  SolveResult res;
+  SolveResult res = solve_once();
   std::shared_ptr<const SolveResult> canonical;
-  {
-    BudgetLease bl(budgeter_, pending_, worker_count_, opts);
+  if (res.ok) {
     try {
-      // Moving the instance is safe: `form` points into the shared
-      // canonical cache the moved instance keeps alive until exec_req
-      // leaves this scope (after the canonical-space store below).
-      const SolveRequest exec_req{std::move(job.req.instance), bl.opts(),
-                                  label};
-      res = solver_.solve(exec_req);
-      if (res.ok) {
-        canonical = std::make_shared<const SolveResult>(
-            service::to_canonical_space(res, *form));
-        cache_.insert(key, canonical);
-      }
+      canonical = std::make_shared<const SolveResult>(
+          service::to_canonical_space(res, *form));
+      cache_.insert(key, canonical);
     } catch (...) {
-      // A throwing plug-in engine or a failed store must still release the
-      // in-flight entry and answer every parked waiter below.
-      res = failure(label, opts.backend, "non-standard exception");
+      // A failed store must still release the in-flight entry and answer
+      // every parked waiter below.
       canonical = nullptr;
     }
   }
@@ -238,7 +254,7 @@ void Service::process(Job job) {
       if (res.ok && canonical != nullptr) {
         // The waiter's instance shares the canonical class but not
         // necessarily the leaf ids: replay through *its* permutation.
-        wres = service::from_canonical_space(SolveResult(*canonical),
+        wres = service::remapped_from_canonical(*canonical,
                                              w.instance.canonical());
       } else {
         wres = res;
@@ -259,6 +275,11 @@ Service::Stats Service::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.express_solves = express_.load(std::memory_order_relaxed);
+  s.lease_acquires = budgeter_.acquires();
+  s.arena_acquires = arena_acquires_.load(std::memory_order_relaxed);
+  s.arena_reuses = arena_reuses_.load(std::memory_order_relaxed);
+  s.arena_fresh_allocs = arena_fresh_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
   // The service performs exactly one probe per cache-enabled request, so
   // the cache's own counters ARE the request-level hit/miss numbers.

@@ -4,18 +4,25 @@
 // already holds, Service is the traffic-serving shape: requests arrive one
 // at a time from many threads, `submit()` hands back a std::future
 // immediately, and a fixed pool of solver workers drains a bounded MPMC
-// queue. Three mechanisms turn repeated/permuted traffic into cheap
-// traffic:
+// queue. Four mechanisms turn repeated/small traffic into cheap traffic:
 //
 //  * Canonical memo cache — every request is canonicalized
-//    (cograph/canonical.hpp) and looked up in a sharded ResultCache; a hit
-//    replays the stored canonical-space result through the requesting
-//    instance's own leaf permutation and never touches a solve engine.
-//  * In-flight coalescing — a request whose (canonical key, options) twin
-//    is *currently being solved* parks on that computation instead of
+//    (cograph/canonical.hpp) and looked up in a sharded ResultCache by its
+//    binary structural signature; a hit replays the stored canonical-space
+//    result through the requesting instance's own leaf permutation and
+//    never touches a solve engine.
+//  * In-flight coalescing — a request whose (canonical signature, options)
+//    twin is *currently being solved* parks on that computation instead of
 //    starting its own; when the twin finishes, every parked waiter is
 //    fulfilled from the one result. Concurrent identical requests compute
 //    once.
+//  * Express lane — a request below the Adaptive cost model's native floor
+//    skips backend/registry dispatch entirely and runs parse -> binarize ->
+//    sequential sweep inline on the worker thread (service/express.hpp),
+//    with all scratch drawn from the worker's thread-local exec::Arena and
+//    no native-thread lease claimed. Steady-state small requests perform
+//    zero arena-fresh allocations from request text to SolveResult; the
+//    per-worker arena counters aggregated in Stats prove it continuously.
 //  * Backpressure — the submit queue is bounded; producers block in
 //    submit() when solvers fall behind, so bursts cost latency, not
 //    memory.
@@ -25,7 +32,8 @@
 // and coalesced twins are bitwise-identical to a direct solve for repeated
 // instances, and isomorphism-equivalent (valid cover of the same minimum
 // size, identical verdicts) for permuted/relabeled ones — see
-// DESIGN.md §6 for the soundness argument.
+// DESIGN.md §6 for the soundness argument and §8 for the front-end
+// allocation budget.
 //
 //   copath::Service svc;
 //   auto f1 = svc.submit({copath::Instance::text("(* (+ a b) c)")});
@@ -66,6 +74,9 @@ class Service {
     /// Master switch for the memo cache AND in-flight coalescing (off =
     /// every request computes; the differential-test baseline).
     bool use_cache = true;
+    /// Master switch for the express lane (off = every computed request
+    /// dispatches through the backend registry; differential baseline).
+    bool use_express = true;
     service::ResultCache::Config cache{};
   };
 
@@ -79,6 +90,20 @@ class Service {
     std::uint64_t cache_misses = 0;
     /// Requests fulfilled by parking on an in-flight twin computation.
     std::uint64_t coalesced = 0;
+    /// Requests solved inline on the express lane (no registry dispatch,
+    /// no native-thread lease).
+    std::uint64_t express_solves = 0;
+    /// Native-thread leases ever claimed from the budgeter — stays flat
+    /// while only express-eligible traffic arrives.
+    std::uint64_t lease_acquires = 0;
+    /// Thread-local front-end arena counters summed over the workers
+    /// (request scratch: parse, canonicalize, binarize, sweep, plus the
+    /// Adaptive native route's executor arrays). fresh_allocs flat across
+    /// warm requests == the zero-allocation steady state; the regression
+    /// test in tests/frontend_test.cpp pins it.
+    std::uint64_t arena_acquires = 0;
+    std::uint64_t arena_reuses = 0;
+    std::uint64_t arena_fresh_allocs = 0;
     service::CacheStats cache{};
   };
 
@@ -118,6 +143,13 @@ class Service {
   struct InFlight {
     std::vector<Waiter> waiters;
   };
+  /// In-flight twins are keyed by the owned binary cache key; the 64-bit
+  /// canonical-and-options hash is the map hash (full keys disambiguate).
+  struct FlightHash {
+    std::size_t operator()(const service::CacheKey& k) const {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
 
   void worker_loop();
   void process(Job job);
@@ -139,10 +171,14 @@ class Service {
   service::ResultCache cache_;
   util::MpmcQueue<Job> queue_;
   std::mutex inflight_mu_;
-  std::unordered_map<std::string, InFlight> inflight_;
+  std::unordered_map<service::CacheKey, InFlight, FlightHash> inflight_;
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> express_{0};
+  std::atomic<std::uint64_t> arena_acquires_{0};
+  std::atomic<std::uint64_t> arena_reuses_{0};
+  std::atomic<std::uint64_t> arena_fresh_{0};
   std::vector<std::thread> threads_;  // last member: workers see a built *this
 };
 

@@ -60,7 +60,14 @@ class ThreadBudgeter {
       take = avail <= 0 ? 1 : (avail + p - 1) / p;  // ceil; floor of 1
     } while (!available_.compare_exchange_weak(avail, avail - take,
                                                std::memory_order_relaxed));
+    acquires_.fetch_add(1, std::memory_order_relaxed);
     return Lease{static_cast<std::size_t>(take)};
+  }
+
+  /// Total leases ever handed out — the observability hook the Service
+  /// express-lane tests use to prove inline solves claim no lease.
+  [[nodiscard]] std::uint64_t acquires() const {
+    return acquires_.load(std::memory_order_relaxed);
   }
 
   /// Returns a lease's threads to the pool (rebalancing: later acquires
@@ -75,6 +82,7 @@ class ThreadBudgeter {
   /// May dip below zero transiently: the floor-of-1 grant models "every
   /// request may at least use its own caller thread".
   std::atomic<std::int64_t> available_;
+  std::atomic<std::uint64_t> acquires_{0};
 };
 
 }  // namespace copath::util

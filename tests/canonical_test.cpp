@@ -117,8 +117,11 @@ TEST(Canonical, FromCanonicalIsAGraphIsomorphism) {
 TEST(Canonical, InstanceExposesTheFormLazilyAndShared) {
   const Instance a = Instance::text("(* (+ a b) (+ c d e))");
   const Instance c = Instance::text("(* (+ e d c) (+ b a))");
-  EXPECT_EQ(a.canonical().key, c.canonical().key);
+  // Instance::canonical() is the hot serving form: binary signature and
+  // hash, no algebra key (canonical_form(t) builds that one).
+  EXPECT_EQ(a.canonical().signature, c.canonical().signature);
   EXPECT_EQ(a.canonical().hash, c.canonical().hash);
+  EXPECT_TRUE(a.canonical().key.empty());
   // Copies share the materialized form.
   const Instance a2 = a;  // NOLINT(performance-unnecessary-copy-initialization)
   EXPECT_EQ(&a2.canonical(), &a.canonical());

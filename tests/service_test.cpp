@@ -96,19 +96,36 @@ std::shared_ptr<const SolveResult> result_with_size(std::int64_t marker) {
   return std::make_shared<const SolveResult>(std::move(res));
 }
 
+/// Binary signature of "(+ v v)" / "(* v v)": two leaves then the
+/// internal tag with LEB128 arity 2 — hand-assembled so the collision
+/// tests exercise exactly the byte-stream the canonicalizer emits.
+std::string sig2(char kind_tag) {
+  std::string s;
+  s += cograph::kSigLeaf;
+  s += cograph::kSigLeaf;
+  s += kind_tag;
+  s += '\x02';
+  return s;
+}
+
 TEST(ResultCache, HashCollisionsAreDisambiguatedByTheFullKey) {
   service::ResultCache cache(service::ResultCache::Config{2, 16});
-  // Two keys engineered onto the same 64-bit hash (and so the same shard):
-  // only the full canonical string tells them apart.
-  service::CacheKey k1{42, "(+ v v)", "b=0"};
-  service::CacheKey k2{42, "(* v v)", "b=0"};
-  service::CacheKey k3{42, "(+ v v)", "b=2"};
-  cache.insert(k1, result_with_size(101));
-  cache.insert(k2, result_with_size(202));
-  cache.insert(k3, result_with_size(303));
-  EXPECT_EQ(cache.lookup(k1)->optimal_size, 101);
-  EXPECT_EQ(cache.lookup(k2)->optimal_size, 202);
-  EXPECT_EQ(cache.lookup(k3)->optimal_size, 303);
+  // Three keys engineered onto the same 64-bit hash (and so the same
+  // shard): only the full binary key — signature memcmp plus the packed
+  // options — tells them apart.
+  service::OptionsKey seq;
+  seq.backend = 0;
+  service::OptionsKey pram;
+  pram.backend = 2;
+  service::CacheKey k1{42, sig2(cograph::kSigUnion), seq};
+  service::CacheKey k2{42, sig2(cograph::kSigJoin), seq};
+  service::CacheKey k3{42, sig2(cograph::kSigUnion), pram};
+  cache.insert(k1.ref(), result_with_size(101));
+  cache.insert(k2.ref(), result_with_size(202));
+  cache.insert(k3.ref(), result_with_size(303));
+  EXPECT_EQ(cache.lookup(k1.ref())->optimal_size, 101);
+  EXPECT_EQ(cache.lookup(k2.ref())->optimal_size, 202);
+  EXPECT_EQ(cache.lookup(k3.ref())->optimal_size, 303);
   EXPECT_EQ(cache.size(), 3u);
   const auto s = cache.stats();
   EXPECT_EQ(s.hits, 3u);
@@ -116,31 +133,48 @@ TEST(ResultCache, HashCollisionsAreDisambiguatedByTheFullKey) {
   EXPECT_EQ(s.insertions, 3u);
 }
 
+TEST(ResultCache, SignaturePrefixAndLengthCollisionsMiss) {
+  // Signatures that are prefixes of one another (same hash, same options)
+  // must not compare equal: the length check guards the memcmp.
+  service::ResultCache cache(service::ResultCache::Config{1, 8});
+  std::string shallow = sig2(cograph::kSigUnion);       // (+ v v)
+  std::string deep = shallow + sig2(cograph::kSigJoin)  // two subtrees…
+                     + static_cast<char>(cograph::kSigUnion);
+  deep += '\x02';  // …joined under a '+' root
+  service::CacheKey a{7, shallow, {}};
+  service::CacheKey b{7, deep, {}};
+  cache.insert(a.ref(), result_with_size(1));
+  EXPECT_EQ(cache.lookup(b.ref()), nullptr);
+  cache.insert(b.ref(), result_with_size(2));
+  EXPECT_EQ(cache.lookup(a.ref())->optimal_size, 1);
+  EXPECT_EQ(cache.lookup(b.ref())->optimal_size, 2);
+}
+
 TEST(ResultCache, LruEvictionPerShardWithStats) {
   service::ResultCache cache(service::ResultCache::Config{1, 2});
-  service::CacheKey k1{1, "a", ""};
-  service::CacheKey k2{2, "b", ""};
-  service::CacheKey k3{3, "c", ""};
-  cache.insert(k1, result_with_size(1));
-  cache.insert(k2, result_with_size(2));
-  ASSERT_NE(cache.lookup(k1), nullptr);  // k1 refreshed; k2 is now LRU
-  cache.insert(k3, result_with_size(3));  // evicts k2
-  EXPECT_EQ(cache.lookup(k2), nullptr);
-  EXPECT_NE(cache.lookup(k1), nullptr);
-  EXPECT_NE(cache.lookup(k3), nullptr);
+  service::CacheKey k1{1, "a", {}};
+  service::CacheKey k2{2, "b", {}};
+  service::CacheKey k3{3, "c", {}};
+  cache.insert(k1.ref(), result_with_size(1));
+  cache.insert(k2.ref(), result_with_size(2));
+  ASSERT_NE(cache.lookup(k1.ref()), nullptr);  // k1 refreshed; k2 now LRU
+  cache.insert(k3.ref(), result_with_size(3));  // evicts k2
+  EXPECT_EQ(cache.lookup(k2.ref()), nullptr);
+  EXPECT_NE(cache.lookup(k1.ref()), nullptr);
+  EXPECT_NE(cache.lookup(k3.ref()), nullptr);
   const auto s = cache.stats();
   EXPECT_EQ(s.evictions, 1u);
   EXPECT_EQ(s.misses, 1u);
   EXPECT_EQ(cache.size(), 2u);
 
   // Re-inserting an existing key refreshes in place (no eviction).
-  cache.insert(k1, result_with_size(11));
-  EXPECT_EQ(cache.lookup(k1)->optimal_size, 11);
+  cache.insert(k1.ref(), result_with_size(11));
+  EXPECT_EQ(cache.lookup(k1.ref())->optimal_size, 11);
   EXPECT_EQ(cache.stats().evictions, 1u);
 
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.lookup(k1), nullptr);
+  EXPECT_EQ(cache.lookup(k1.ref()), nullptr);
 }
 
 TEST(ResultCache, CanonicalSpaceRoundTripRemapsCoverAndCycle) {
