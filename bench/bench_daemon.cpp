@@ -1,0 +1,321 @@
+// E13 — the copathd serving tier: closed-loop load generation against an
+// in-process daemon over real loopback TCP, text vs signature request
+// paths, hot (cache-resident) and mixed hot/cold traffic.
+//
+// Claims (ISSUE 6 acceptance):
+//   * warm signature-path RPS >= 2x warm text-path RPS at n = 1024 — the
+//     signature fast path (no parsing, no canonicalizer sorts, identity
+//     permutations) must survive the wire;
+//   * warm daemon p50 stays within 2x of in-process Service::submit at
+//     n <= 4096 — the event loop + protocol add bounded overhead.
+//
+// Sections written to BENCH_daemon.json:
+//   inproc_warm        Service::submit hot-hit latency (the baseline)
+//   daemon_text_warm   latency percentiles (window 1) + RPS (window 32)
+//   daemon_sig_warm    same, raw canonical-signature requests
+//   daemon_mixed       3:1 hot:cold, alternating text/signature, RPS
+//
+// Modes:
+//   --json    write BENCH_daemon.json
+//   --smoke   quick regression gate: exit 1 unless warm signature RPS >=
+//             2x warm text RPS at n = 1024. CI runs this in Release.
+//
+// Plain main — no google-benchmark dependency, so the smoke gate builds
+// wherever the library does.
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cograph/canonical.hpp"
+#include "cograph/families.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace {
+
+using namespace copath;
+namespace proto = net::protocol;
+
+bench::JsonReport* g_json = nullptr;
+
+// ------------------------------------------------------------- harness
+
+/// A daemon on an ephemeral loopback port with its event loop on a
+/// background thread. Drained (gracefully) on destruction.
+struct Daemon {
+  explicit Daemon(std::size_t inflight_window = 64) {
+    net::Server::Options opts;
+    opts.port = 0;  // ephemeral
+    opts.inflight_window = inflight_window;
+    server = std::make_unique<net::Server>(std::move(opts));
+    thread = std::thread([this] { server->run(); });
+  }
+  ~Daemon() {
+    server->request_drain();
+    thread.join();
+  }
+  [[nodiscard]] net::Client connect() const {
+    return net::Client("127.0.0.1", server->port());
+  }
+
+  std::unique_ptr<net::Server> server;
+  std::thread thread;
+};
+
+struct Workload {
+  std::vector<std::string> texts;
+  std::vector<std::string> signatures;
+};
+
+Workload make_workload(std::size_t n, std::size_t count, unsigned seed) {
+  Workload w;
+  w.texts.reserve(count);
+  w.signatures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    cograph::RandomCotreeOptions gopt;
+    gopt.seed = seed + static_cast<unsigned>(i);
+    const cograph::Cotree tree = cograph::random_cotree(n, gopt);
+    w.texts.push_back(tree.format());
+    w.signatures.push_back(
+        cograph::canonical_form(tree, /*with_algebra_key=*/false).signature);
+  }
+  return w;
+}
+
+void require_ok(const proto::Response& res) {
+  if (res.status != proto::Status::Ok || !res.result.ok) {
+    std::cerr << "daemon solve failed: " << proto::to_string(res.status)
+              << " " << res.error << "\n";
+    std::exit(1);
+  }
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * double(sorted.size() - 1));
+  return sorted[idx];
+}
+
+using SendFn = std::function<void(net::Client&, std::size_t)>;
+
+/// Window-1 closed loop: per-request wall time, sorted ascending (ms).
+std::vector<double> measure_latency(net::Client& cli, const SendFn& send,
+                                    std::size_t requests) {
+  std::vector<double> ms;
+  ms.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    util::WallTimer t;
+    send(cli, i);
+    require_ok(cli.recv());
+    ms.push_back(t.millis());
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms;
+}
+
+/// Pipelined closed loop: keep `window` in flight, return requests/sec.
+double measure_rps(net::Client& cli, const SendFn& send,
+                   std::size_t requests, std::size_t window) {
+  util::WallTimer t;
+  std::size_t sent = 0, received = 0;
+  while (sent < std::min(window, requests)) send(cli, sent++);
+  cli.flush();
+  while (received < requests) {
+    require_ok(cli.recv());
+    ++received;
+    if (sent < requests) send(cli, sent++);
+  }
+  const double s = t.millis() / 1e3;
+  return s > 0 ? double(requests) / s : 0.0;
+}
+
+// ------------------------------------------------------------ sections
+
+void run_inproc_warm(std::size_t n, std::size_t requests) {
+  Service svc;
+  cograph::RandomCotreeOptions gopt;
+  gopt.seed = 7;
+  const std::string text = cograph::random_cotree(n, gopt).format();
+  (void)svc.submit({Instance::text(text), {}, {}}).get();  // populate the cache
+  std::vector<double> ms;
+  ms.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    util::WallTimer t;
+    const SolveResult res = svc.submit({Instance::text(text), {}, {}}).get();
+    ms.push_back(t.millis());
+    if (!res.ok) {
+      std::cerr << "inproc solve failed: " << res.error << "\n";
+      std::exit(1);
+    }
+  }
+  std::sort(ms.begin(), ms.end());
+  const double p50 = percentile(ms, 0.50), p99 = percentile(ms, 0.99);
+  std::cout << "  inproc      n=" << n << "  p50=" << p50 * 1e3
+            << "us  p99=" << p99 * 1e3 << "us\n";
+  if (g_json != nullptr) {
+    g_json->row("inproc_warm", {{"n", double(n)},
+                                {"p50_us", p50 * 1e3},
+                                {"p99_us", p99 * 1e3}});
+  }
+}
+
+struct WarmNumbers {
+  double p50_us = 0, p99_us = 0, p999_us = 0, rps = 0;
+};
+
+WarmNumbers run_daemon_warm(const Daemon& daemon, const std::string& body,
+                            bool signature, std::size_t lat_requests,
+                            std::size_t rps_requests, std::size_t window) {
+  net::Client cli = daemon.connect();
+  const SendFn send = [&body, signature](net::Client& c, std::size_t) {
+    if (signature) {
+      (void)c.send_solve_signature(body);
+    } else {
+      (void)c.send_solve_text(body);
+    }
+  };
+  send(cli, 0);  // populate the cache before timing
+  require_ok(cli.recv());
+  WarmNumbers out;
+  std::vector<double> ms = measure_latency(cli, send, lat_requests);
+  out.p50_us = percentile(ms, 0.50) * 1e3;
+  out.p99_us = percentile(ms, 0.99) * 1e3;
+  out.p999_us = percentile(ms, 0.999) * 1e3;
+  out.rps = measure_rps(cli, send, rps_requests, window);
+  return out;
+}
+
+void run_mixed(const Daemon& daemon, std::size_t n, std::size_t requests,
+               std::size_t window) {
+  // 3:1 hot:cold over a 4-instance hot set and a 128-instance cold pool,
+  // alternating text and signature bodies — the "many tenants, few hot
+  // keys" serving shape.
+  const Workload hot = make_workload(n, 4, 1000);
+  const Workload cold = make_workload(n, 128, 2000);
+  net::Client cli = daemon.connect();
+  std::size_t cold_next = 0;
+  const SendFn send = [&](net::Client& c, std::size_t i) {
+    const bool use_sig = (i % 2) == 0;
+    if (i % 4 == 3) {
+      const std::size_t j = cold_next++ % cold.texts.size();
+      if (use_sig) {
+        (void)c.send_solve_signature(cold.signatures[j]);
+      } else {
+        (void)c.send_solve_text(cold.texts[j]);
+      }
+    } else {
+      const std::size_t j = i % hot.texts.size();
+      if (use_sig) {
+        (void)c.send_solve_signature(hot.signatures[j]);
+      } else {
+        (void)c.send_solve_text(hot.texts[j]);
+      }
+    }
+  };
+  const double rps = measure_rps(cli, send, requests, window);
+  std::cout << "  mixed       n=" << n << "  rps=" << rps << "\n";
+  if (g_json != nullptr) {
+    g_json->row("daemon_mixed",
+                {{"n", double(n)}, {"rps", rps}, {"window", double(window)}});
+  }
+}
+
+/// Warm text vs signature at one size; returns {text_rps, sig_rps}.
+std::pair<double, double> run_size(const Daemon& daemon, std::size_t n,
+                                   std::size_t lat_requests,
+                                   std::size_t rps_requests,
+                                   std::size_t window) {
+  const Workload w = make_workload(n, 1, 42);
+  const WarmNumbers text = run_daemon_warm(daemon, w.texts[0], false,
+                                           lat_requests, rps_requests,
+                                           window);
+  const WarmNumbers sig = run_daemon_warm(daemon, w.signatures[0], true,
+                                          lat_requests, rps_requests,
+                                          window);
+  std::cout << "  daemon text n=" << n << "  p50=" << text.p50_us
+            << "us  p99=" << text.p99_us << "us  rps=" << text.rps << "\n";
+  std::cout << "  daemon sig  n=" << n << "  p50=" << sig.p50_us
+            << "us  p99=" << sig.p99_us << "us  rps=" << sig.rps
+            << "  (sig/text rps " << (text.rps > 0 ? sig.rps / text.rps : 0)
+            << "x)\n";
+  if (g_json != nullptr) {
+    g_json->row("daemon_text_warm", {{"n", double(n)},
+                                     {"p50_us", text.p50_us},
+                                     {"p99_us", text.p99_us},
+                                     {"p999_us", text.p999_us},
+                                     {"rps", text.rps},
+                                     {"window", double(window)}});
+    g_json->row("daemon_sig_warm", {{"n", double(n)},
+                                    {"p50_us", sig.p50_us},
+                                    {"p99_us", sig.p99_us},
+                                    {"p999_us", sig.p999_us},
+                                    {"rps", sig.rps},
+                                    {"window", double(window)}});
+  }
+  return {text.rps, sig.rps};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport json(&argc, argv, "daemon");
+  g_json = &json;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::banner("E13: copathd serving tier",
+                "Closed-loop load over loopback TCP: the signature fast "
+                "path must beat text parsing through the wire, and the "
+                "daemon must stay near in-process hit latency.");
+
+  const std::size_t window = 32;
+  const std::size_t lat_requests = smoke ? 100 : 400;
+  const std::size_t rps_requests = smoke ? 1500 : 4000;
+
+  double text_rps_1024 = 0, sig_rps_1024 = 0;
+  {
+    Daemon daemon;
+    if (smoke) {
+      std::tie(text_rps_1024, sig_rps_1024) =
+          run_size(daemon, 1024, lat_requests, rps_requests, window);
+    } else {
+      for (const std::size_t n : {std::size_t{256}, std::size_t{1024},
+                                  std::size_t{4096}}) {
+        const auto [t, s] =
+            run_size(daemon, n, lat_requests, rps_requests, window);
+        if (n == 1024) {
+          text_rps_1024 = t;
+          sig_rps_1024 = s;
+        }
+      }
+      run_mixed(daemon, 1024, rps_requests, window);
+    }
+  }
+  if (!smoke) {
+    for (const std::size_t n : {std::size_t{256}, std::size_t{1024},
+                                std::size_t{4096}}) {
+      run_inproc_warm(n, 400);
+    }
+  }
+
+  const double ratio =
+      text_rps_1024 > 0 ? sig_rps_1024 / text_rps_1024 : 0.0;
+  std::cout << "\n  signature/text warm RPS at n=1024: " << ratio << "x\n";
+  if (g_json != nullptr) {
+    g_json->row("gate", {{"sig_over_text_rps", ratio}});
+  }
+  if (smoke && ratio < 2.0) {
+    std::cerr << "SMOKE FAIL: warm signature RPS " << sig_rps_1024
+              << " < 2x warm text RPS " << text_rps_1024 << " (ratio "
+              << ratio << ")\n";
+    return 1;
+  }
+  if (smoke) std::cout << "  smoke gate passed (>= 2x)\n";
+  return 0;
+}

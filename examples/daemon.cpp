@@ -1,0 +1,69 @@
+// Serving over the network: an in-process copathd round trip.
+//
+// Starts a net::Server on an ephemeral loopback port (exactly what the
+// copathd binary wraps), connects a net::Client, and exercises the three
+// request shapes — algebra text, raw canonical-signature bytes (the hot
+// path: reuses the canonicalizer's wire format, skips parsing AND
+// canonical sorting server-side), and the admin verbs — then drains
+// gracefully. Runs under ctest as an end-to-end smoke of the serving tier.
+#include <iostream>
+#include <thread>
+
+#include "cograph/canonical.hpp"
+#include "copath.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+int main() {
+  namespace proto = copath::net::protocol;
+
+  copath::net::Server::Options opts;
+  opts.port = 0;  // ephemeral: read the real one from server.port()
+  copath::net::Server server(std::move(opts));
+  std::thread loop([&server] { server.run(); });
+
+  {
+    copath::net::Client client("127.0.0.1", server.port());
+
+    // 1. Text request: the server parses, canonicalizes, solves, caches.
+    const char* algebra = "(* (+ a b) (+ c d e) f)";
+    const proto::Response text = client.solve_text(algebra);
+    std::cout << "text   : status=" << proto::to_string(text.status)
+              << " paths=" << text.result.paths.size()
+              << " optimal=" << text.result.optimal_size
+              << " hamiltonian=" << text.result.hamiltonian_path << "\n";
+    if (text.status != proto::Status::Ok || !text.result.ok) return 1;
+
+    // 2. Signature request: ship the canonical form's binary signature —
+    // the same bytes the server's result cache keys on, so this hits the
+    // entry the text request just populated without any parsing.
+    const copath::cograph::Cotree tree =
+        copath::cograph::Cotree::parse(algebra);
+    const auto form =
+        copath::cograph::canonical_form(tree, /*with_algebra_key=*/false);
+    const proto::Response sig = client.solve_signature(form.signature);
+    std::cout << "sig    : status=" << proto::to_string(sig.status)
+              << " paths=" << sig.result.paths.size()
+              << " optimal=" << sig.result.optimal_size << "\n";
+    if (sig.status != proto::Status::Ok || !sig.result.ok) return 1;
+    if (sig.result.paths.size() != text.result.paths.size()) return 1;
+
+    // 3. Admin: health, then stats (expect the cache hit from step 2).
+    if (client.health().status != proto::Status::Ok) return 1;
+    const proto::Response stats = client.stats();
+    for (const auto& [key, value] : stats.stats) {
+      if (key == "cache_hits" || key == "completed") {
+        std::cout << "stats  : " << key << "=" << value << "\n";
+      }
+    }
+
+    // 4. Graceful drain: the ack arrives, then the server refuses new
+    // work and closes once nothing is in flight.
+    if (client.drain().status != proto::Status::Ok) return 1;
+    std::cout << "drain  : acknowledged\n";
+  }
+
+  loop.join();  // run() returns once the drain completes
+  std::cout << "daemon : drained cleanly\n";
+  return 0;
+}

@@ -28,6 +28,168 @@ void append_leb128(std::string& out, std::size_t value) {
 
 }  // namespace
 
+namespace {
+
+/// The stack machine shared by signature_valid and decode_signature: one
+/// left-to-right pass over untrusted bytes, maintaining the pending
+/// subtree roots. Every branch that sizes anything is bounds-checked
+/// BEFORE it is believed — the decode allocates O(bytes consumed), never
+/// O(claimed arity). When `kinds`/`parents` are non-null the cotree arrays
+/// are built alongside validation (node ids = stream post-order, children
+/// in stream order); `root_hash` receives the canonical structural hash,
+/// folded with exactly canonical_form's mix so a canonical stream decodes
+/// to an equal hash.
+bool walk_signature(std::string_view sig, std::size_t max_nodes,
+                    std::string* why, std::vector<NodeKind>* kinds,
+                    std::vector<NodeId>* parents, std::uint64_t* root_hash,
+                    std::size_t* leaf_count = nullptr) {
+  std::size_t pos = 0;
+  const auto fail = [&](const std::string& reason) {
+    if (why != nullptr) {
+      *why = "invalid signature at byte " + std::to_string(pos) + ": " +
+             reason;
+    }
+    return false;
+  };
+  struct Pending {
+    NodeId id;
+    NodeKind kind;
+    std::uint64_t hash;
+  };
+  std::vector<Pending> stack;
+  std::size_t count = 0;
+  std::size_t leaves = 0;
+  const auto build = kinds != nullptr && parents != nullptr;
+  while (pos < sig.size()) {
+    if (count == max_nodes) return fail("node count exceeds the bound");
+    const char tag = sig[pos++];
+    if (tag == kSigLeaf) {
+      stack.push_back(
+          Pending{static_cast<NodeId>(count), NodeKind::Leaf, kLeafHash});
+      if (build) {
+        kinds->push_back(NodeKind::Leaf);
+        parents->push_back(kNull);
+      }
+      ++count;
+      ++leaves;
+      continue;
+    }
+    if (tag != kSigUnion && tag != kSigJoin) {
+      return fail("unknown tag byte");
+    }
+    const NodeKind kind =
+        tag == kSigUnion ? NodeKind::Union : NodeKind::Join;
+    // LEB128 arity. max_nodes < 2^35, so any run past 5 payload bytes is
+    // out of range whatever it encodes — reject before shifting into UB.
+    std::uint64_t arity = 0;
+    unsigned shift = 0;
+    unsigned bytes = 0;
+    bool more = true;
+    while (more) {
+      if (pos == sig.size()) return fail("truncated LEB128 arity");
+      const auto b = static_cast<unsigned char>(sig[pos++]);
+      if (shift >= 35) return fail("LEB128 arity out of range");
+      more = (b & 0x80u) != 0;
+      if (!more && bytes > 0 && (b & 0x7fu) == 0) {
+        return fail("non-minimal LEB128 arity");
+      }
+      arity |= static_cast<std::uint64_t>(b & 0x7fu) << shift;
+      shift += 7;
+      ++bytes;
+    }
+    if (arity < 2) return fail("internal node arity < 2");
+    if (arity > stack.size()) {
+      return fail("arity exceeds the available subtrees");
+    }
+    std::uint64_t h = kind == NodeKind::Union ? kUnionSeed : kJoinSeed;
+    h = hash_mix(h, arity);
+    const std::size_t base = stack.size() - static_cast<std::size_t>(arity);
+    for (std::size_t c = base; c < stack.size(); ++c) {
+      if (stack[c].kind == kind) {
+        return fail("same-kind child (not a canonical cotree)");
+      }
+      h = hash_mix(h, stack[c].hash);
+      if (build) {
+        (*parents)[static_cast<std::size_t>(stack[c].id)] =
+            static_cast<NodeId>(count);
+      }
+    }
+    stack.resize(base);
+    stack.push_back(Pending{static_cast<NodeId>(count), kind, h});
+    if (build) {
+      kinds->push_back(kind);
+      parents->push_back(kNull);
+    }
+    ++count;
+  }
+  if (count == 0) return fail("empty signature");
+  if (stack.size() != 1) {
+    return fail("stream leaves " + std::to_string(stack.size()) +
+                " roots instead of 1");
+  }
+  if (root_hash != nullptr) *root_hash = stack.front().hash;
+  if (leaf_count != nullptr) *leaf_count = leaves;
+  return true;
+}
+
+}  // namespace
+
+bool signature_valid(std::string_view signature, std::string* why,
+                     std::size_t max_nodes) {
+  return walk_signature(signature, max_nodes, why, nullptr, nullptr,
+                        nullptr);
+}
+
+CanonicalForm decode_signature_form(std::string_view signature,
+                                    std::size_t max_nodes) {
+  std::uint64_t root_hash = 0;
+  std::size_t leaves = 0;
+  std::string why;
+  COPATH_CHECK_MSG(walk_signature(signature, max_nodes, &why, nullptr,
+                                  nullptr, &root_hash, &leaves),
+                   why);
+  CanonicalForm form;
+  form.hash = root_hash;
+  form.signature.assign(signature);
+  form.to_canonical.resize(leaves);
+  form.from_canonical.resize(leaves);
+  for (std::size_t v = 0; v < leaves; ++v) {
+    form.to_canonical[v] = static_cast<VertexId>(v);
+    form.from_canonical[v] = static_cast<VertexId>(v);
+  }
+  return form;
+}
+
+DecodedSignature decode_signature(std::string_view signature,
+                                  std::size_t max_nodes) {
+  std::vector<NodeKind> kinds;
+  std::vector<NodeId> parents;
+  std::uint64_t root_hash = 0;
+  std::string why;
+  COPATH_CHECK_MSG(walk_signature(signature, max_nodes, &why, &kinds,
+                                  &parents, &root_hash),
+                   why);
+  DecodedSignature out;
+  // Stream order is a post-order with children in stream order, which is
+  // exactly from_parts' contract (children sorted by ascending node id) —
+  // so the built tree's left-to-right leaf numbering coincides with the
+  // canonical leaf slots and both permutations are identities. The root is
+  // the last node in the stream (anything pushed earlier and left unpopped
+  // would have tripped the single-root check).
+  const auto root = static_cast<NodeId>(kinds.size() - 1);
+  out.tree = Cotree::from_parts(std::move(kinds), std::move(parents), root);
+  out.form.hash = root_hash;
+  out.form.signature.assign(signature);
+  const std::size_t vertices = out.tree.vertex_count();
+  out.form.to_canonical.resize(vertices);
+  out.form.from_canonical.resize(vertices);
+  for (std::size_t v = 0; v < vertices; ++v) {
+    out.form.to_canonical[v] = static_cast<VertexId>(v);
+    out.form.from_canonical[v] = static_cast<VertexId>(v);
+  }
+  return out;
+}
+
 CanonicalForm canonical_form(const Cotree& t, bool with_algebra_key) {
   CanonicalForm out;
   const std::size_t n = t.size();

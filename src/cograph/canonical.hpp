@@ -85,4 +85,64 @@ struct CanonicalForm {
   return canonical_form(t, /*with_algebra_key=*/true);
 }
 
+// --------------------------------------------------- untrusted signatures
+//
+// Signature bytes that arrive over a socket (net/protocol.hpp's
+// SolveSignature frames) are attacker-controlled: truncated LEB128 runs,
+// impossible arities, forests that never reduce to one root, and
+// node-count bombs must all be rejected with a structured error before any
+// array is sized from them. `signature_valid` runs the full stack-machine
+// check without building anything; `decode_signature` additionally
+// materializes the cotree the stream describes plus its CanonicalForm.
+//
+// Because the decoded tree's node ids are exactly the stream's post-order
+// and its children keep the stream's child order, the decoded tree IS the
+// canonical representative of the bytes: leaf slots equal vertex ids
+// (identity to/from_canonical) and the structural hash folds in the same
+// pass as the decode — no child sorting, no tie-breaks. That is the
+// signature fast path the daemon serves hot clients from: a signature
+// request skips text parsing AND the canonicalizer's comparison sorts.
+//
+// Trust boundary: validation guarantees the bytes describe a structurally
+// valid cotree (arity >= 2, alternating kinds, one root, bounded size); it
+// does NOT re-sort child lists, so a syntactically valid but
+// non-canonically-ordered stream is accepted and simply acts as its own
+// cache identity (a duplicate cache entry for the class — wasteful for the
+// sender, never an incorrect result, since the cover is computed/replayed
+// on the decoded tree itself).
+
+/// Upper bound on the cotree node count a decoded signature may describe
+/// (an n-leaf cotree has < 2n nodes, so this admits ~2M-vertex instances
+/// while refusing length-prefix bombs long before allocation).
+inline constexpr std::size_t kMaxSignatureNodes = std::size_t{1} << 22;
+
+/// Full structural validation of untrusted signature bytes. Returns true
+/// iff `decode_signature` would succeed; on failure `why` (when non-null)
+/// receives the structured reason. Never throws, never allocates
+/// proportionally to claimed (undecoded) sizes.
+[[nodiscard]] bool signature_valid(std::string_view signature,
+                                   std::string* why = nullptr,
+                                   std::size_t max_nodes = kMaxSignatureNodes);
+
+struct DecodedSignature {
+  Cotree tree;
+  /// form.signature owns a copy of the input bytes; to/from_canonical are
+  /// identities; form.hash is the same fold canonical_form computes.
+  CanonicalForm form;
+};
+
+/// Decodes untrusted signature bytes into the cotree they describe (throws
+/// util::CheckError with the signature_valid reason on malformed input).
+[[nodiscard]] DecodedSignature decode_signature(
+    std::string_view signature, std::size_t max_nodes = kMaxSignatureNodes);
+
+/// The CanonicalForm of signature bytes WITHOUT materializing the cotree:
+/// one validating walk computes the structural hash and leaf count, and
+/// the permutations are identities by the decode argument above. This is
+/// the warm serving path — a cache hit replays the stored result through
+/// the form alone, so the tree build (and its allocations) is deferred to
+/// the miss path that actually solves. Throws like decode_signature.
+[[nodiscard]] CanonicalForm decode_signature_form(
+    std::string_view signature, std::size_t max_nodes = kMaxSignatureNodes);
+
 }  // namespace copath::cograph

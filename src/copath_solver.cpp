@@ -39,6 +39,14 @@ Instance Instance::graph(cograph::Graph g) {
   return i;
 }
 
+Instance Instance::signature(std::string signature_bytes) {
+  Instance i;
+  i.source_ = SignatureBytes{std::move(signature_bytes)};
+  i.cache_ = std::make_shared<ResolveCache>();
+  i.canon_ = std::make_shared<CanonCache>();
+  return i;
+}
+
 Instance Instance::view(const cograph::Cotree& t) {
   Instance i;
   i.source_ = &t;
@@ -62,6 +70,10 @@ const cograph::Cotree& Instance::resolve() const {
       cache_->tree = cograph::Cotree::parse(*algebra);
       return;
     }
+    if (const auto* sig = std::get_if<SignatureBytes>(&source_)) {
+      cache_->tree = cograph::decode_signature(sig->bytes).tree;
+      return;
+    }
     const auto& g = std::get<cograph::Graph>(source_);
     auto rec = cograph::recognize_cograph(g);
     if (!rec.is_cograph()) {
@@ -82,6 +94,15 @@ const cograph::CanonicalForm& Instance::canonical() const {
   // The hot serving path: the cache keys on the binary signature, so the
   // human-facing algebra key is skipped (CanonicalForm::key stays empty).
   std::call_once(canon_->once, [this] {
+    // A signature-sourced instance gets its canonical form straight from
+    // the bytes (identity permutations, hash folded during the validating
+    // walk) WITHOUT materializing the cotree: the daemon's warm path
+    // replays cache hits through the form alone, so the tree build is
+    // deferred to resolve() — i.e. to the miss path that actually solves.
+    if (const auto* sig = std::get_if<SignatureBytes>(&source_)) {
+      canon_->form = cograph::decode_signature_form(sig->bytes);
+      return;
+    }
     canon_->form =
         cograph::canonical_form(resolve(), /*with_algebra_key=*/false);
   });

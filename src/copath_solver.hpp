@@ -59,6 +59,15 @@ class Instance {
   /// An explicit graph; resolution routes through recognize_cograph and
   /// fails (with the P4 witness in the error) unless it is a cograph.
   static Instance graph(cograph::Graph g);
+  /// Raw binary canonical-signature bytes (CanonicalForm::signature) — the
+  /// daemon's hot wire format. canonical() computes the form straight from
+  /// the bytes (cograph::decode_signature_form: identity leaf
+  /// permutations, hash folded during one validating walk) WITHOUT
+  /// materializing the cotree, so a warm cache hit never builds a tree;
+  /// resolve() runs the bounds-checked cograph::decode_signature
+  /// (structured failure on malformed/untrusted bytes, never a crash) on
+  /// the miss path that actually solves.
+  static Instance signature(std::string signature_bytes);
   /// A non-owning view of a caller-held cotree (caller guarantees the
   /// cotree outlives the Instance; no copy is made).
   static Instance view(const cograph::Cotree& t);
@@ -82,6 +91,10 @@ class Instance {
   [[nodiscard]] const cograph::CanonicalForm& canonical() const;
 
  private:
+  /// Distinguishes signature bytes from algebra text in the source variant.
+  struct SignatureBytes {
+    std::string bytes;
+  };
   struct ResolveCache {
     std::once_flag once;
     std::optional<cograph::Cotree> tree;
@@ -92,7 +105,7 @@ class Instance {
   };
 
   std::variant<std::monostate, cograph::Cotree, std::string, cograph::Graph,
-               const cograph::Cotree*>
+               const cograph::Cotree*, SignatureBytes>
       source_;
   /// Created by the text/graph factories; shared by copies so resolution
   /// happens once per logical instance.

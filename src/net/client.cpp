@@ -1,0 +1,101 @@
+#include "net/client.hpp"
+
+#include "util/check.hpp"
+
+namespace copath::net {
+
+namespace proto = protocol;
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : fd_(connect_tcp(host, port)) {
+  const std::string hello = proto::make_hello();
+  write_all(fd_.get(), hello.data(), hello.size());
+  char reply[proto::kHelloReplyBytes];
+  COPATH_CHECK_MSG(read_exact(fd_.get(), reply, sizeof(reply)),
+                   "server closed during handshake");
+  proto::Status status = proto::Status::Ok;
+  std::uint16_t version = 0;
+  COPATH_CHECK_MSG(proto::parse_hello_reply(
+                       std::string_view(reply, sizeof(reply)), &status,
+                       &version),
+                   "peer is not a copathd server (bad hello reply)");
+  COPATH_CHECK_MSG(status == proto::Status::Ok,
+                   "server refused handshake: " << proto::to_string(status)
+                                                << " (server version "
+                                                << version << ")");
+}
+
+std::uint64_t Client::send_solve_text(std::string_view algebra,
+                                      proto::WireOptions opts) {
+  const std::uint64_t seq = next_seq_++;
+  proto::append_solve_request(sendbuf_, proto::Verb::SolveText, seq, opts,
+                              algebra);
+  return seq;
+}
+
+std::uint64_t Client::send_solve_signature(std::string_view signature,
+                                           proto::WireOptions opts) {
+  const std::uint64_t seq = next_seq_++;
+  proto::append_solve_request(sendbuf_, proto::Verb::SolveSignature, seq,
+                              opts, signature);
+  return seq;
+}
+
+std::uint64_t Client::send_admin(proto::Verb verb) {
+  const std::uint64_t seq = next_seq_++;
+  proto::append_admin_request(sendbuf_, verb, seq);
+  return seq;
+}
+
+void Client::flush() {
+  if (sendbuf_.empty()) return;
+  write_all(fd_.get(), sendbuf_.data(), sendbuf_.size());
+  sendbuf_.clear();
+}
+
+proto::Response Client::recv() {
+  flush();
+  std::uint8_t header[proto::kFrameHeaderBytes];
+  COPATH_CHECK_MSG(read_exact(fd_.get(), header, sizeof(header)),
+                   "server closed the connection");
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) len = (len << 8) | header[i];
+  COPATH_CHECK_MSG(len > 0 && len <= proto::kMaxFrameBytes,
+                   "unframeable response length " << len);
+  std::string payload(len, '\0');
+  COPATH_CHECK_MSG(read_exact(fd_.get(), payload.data(), payload.size()),
+                   "server closed mid-frame");
+  proto::Response res;
+  COPATH_CHECK_MSG(proto::parse_response(payload, &res),
+                   "undecodable response payload (" << len << " bytes)");
+  return res;
+}
+
+proto::Response Client::solve_text(std::string_view algebra,
+                                   proto::WireOptions opts) {
+  (void)send_solve_text(algebra, opts);
+  return recv();
+}
+
+proto::Response Client::solve_signature(std::string_view signature,
+                                        proto::WireOptions opts) {
+  (void)send_solve_signature(signature, opts);
+  return recv();
+}
+
+proto::Response Client::stats() {
+  (void)send_admin(proto::Verb::Stats);
+  return recv();
+}
+
+proto::Response Client::health() {
+  (void)send_admin(proto::Verb::Health);
+  return recv();
+}
+
+proto::Response Client::drain() {
+  (void)send_admin(proto::Verb::Drain);
+  return recv();
+}
+
+}  // namespace copath::net

@@ -1,0 +1,68 @@
+// net::Client — a blocking copathd client with explicit pipelining.
+//
+// One connection, one thread. The split send_*/recv() surface exists so a
+// caller can keep a window of requests in flight (the load generator in
+// bench/bench_daemon.cpp keeps 1..64); the solve()/stats()/health()/drain()
+// conveniences are send+recv pairs for the one-at-a-time case. Responses
+// come back in COMPLETION order — correlate by Response::seq, not by call
+// order.
+//
+// Not thread-safe: share nothing, or give each thread its own Client.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace copath::net {
+
+class Client {
+ public:
+  /// Connects and completes the handshake. Throws util::CheckError on
+  /// connection failure, a non-protocol peer, or a version refusal.
+  Client(const std::string& host, std::uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  // -- pipelined surface ---------------------------------------------------
+
+  /// Buffer a request; returns its sequence id. Nothing hits the socket
+  /// until flush() (or the first recv(), which flushes for you).
+  std::uint64_t send_solve_text(std::string_view algebra,
+                                protocol::WireOptions opts = {});
+  /// `signature` is raw CanonicalForm::signature bytes — the hot path.
+  std::uint64_t send_solve_signature(std::string_view signature,
+                                     protocol::WireOptions opts = {});
+  std::uint64_t send_admin(protocol::Verb verb);
+
+  /// Writes every buffered request to the socket.
+  void flush();
+
+  /// Blocks for the next response frame (flushing first). Throws
+  /// util::CheckError on EOF mid-stream, oversized frames, or undecodable
+  /// responses — the server misbehaving is an error, not a status.
+  [[nodiscard]] protocol::Response recv();
+
+  // -- one-shot conveniences -----------------------------------------------
+
+  [[nodiscard]] protocol::Response solve_text(std::string_view algebra,
+                                              protocol::WireOptions opts = {});
+  [[nodiscard]] protocol::Response solve_signature(
+      std::string_view signature, protocol::WireOptions opts = {});
+  [[nodiscard]] protocol::Response stats();
+  [[nodiscard]] protocol::Response health();
+  /// Asks the server to drain. The Ok ack comes back before the server
+  /// begins refusing.
+  [[nodiscard]] protocol::Response drain();
+
+ private:
+  Fd fd_;
+  std::uint64_t next_seq_ = 1;
+  std::string sendbuf_;
+};
+
+}  // namespace copath::net

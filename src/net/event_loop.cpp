@@ -1,0 +1,102 @@
+#include "net/event_loop.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace copath::net {
+
+EventLoop::EventLoop() {
+  int fds[2];
+  COPATH_CHECK_MSG(::pipe(fds) == 0, "pipe: " << std::strerror(errno));
+  wake_read_ = Fd(fds[0]);
+  wake_write_ = Fd(fds[1]);
+  set_nonblocking(wake_read_.get());
+  set_nonblocking(wake_write_.get());
+}
+
+void EventLoop::watch(int fd, std::uint32_t events, IoHandler handler) {
+  auto& w = watches_[fd];
+  w.events = events;
+  w.handler = std::move(handler);
+  w.dead = false;
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  const auto it = watches_.find(fd);
+  if (it != watches_.end() && !it->second.dead) it->second.events = events;
+}
+
+void EventLoop::unwatch(int fd) {
+  const auto it = watches_.find(fd);
+  if (it != watches_.end()) it->second.dead = true;
+}
+
+void EventLoop::wake() const {
+  // A full pipe already guarantees the loop will wake — losing this byte
+  // is fine, so EAGAIN is success. No locks, no allocation: safe from a
+  // signal handler.
+  const char b = 1;
+  [[maybe_unused]] const ssize_t r = ::write(wake_write_.get(), &b, 1);
+}
+
+void EventLoop::run() {
+  running_ = true;
+  std::vector<pollfd> pfds;
+  while (running_) {
+    pfds.clear();
+    pfds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
+    for (auto& [fd, w] : watches_) {
+      if (w.dead) continue;
+      short ev = 0;
+      if ((w.events & kRead) != 0) ev |= POLLIN;
+      if ((w.events & kWrite) != 0) ev |= POLLOUT;
+      pfds.push_back(pollfd{fd, ev, 0});
+    }
+
+    const int n = ::poll(pfds.data(), pfds.size(), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal delivery; wake() follows up
+      COPATH_CHECK_MSG(false, "poll: " << std::strerror(errno));
+    }
+
+    bool woken = false;
+    if ((pfds[0].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      char buf[256];
+      while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+      }
+      woken = true;
+    }
+
+    for (std::size_t i = 1; i < pfds.size(); ++i) {
+      const short re = pfds[i].revents;
+      if (re == 0) continue;
+      // The watch map may have grown/shrunk via handler calls to
+      // watch()/unwatch(); re-find and honor the dead flag instead of
+      // trusting the pointer captured before dispatch began.
+      const auto it = watches_.find(pfds[i].fd);
+      if (it == watches_.end() || it->second.dead) continue;
+      std::uint32_t events = 0;
+      if ((re & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        events |= kRead;
+      }
+      if ((re & POLLOUT) != 0) events |= kWrite;
+      if (events != 0) it->second.handler(events);
+      if (!running_) break;
+    }
+
+    if (woken && wake_handler_) wake_handler_();
+
+    // Reap fds unwatched during dispatch.
+    for (auto it = watches_.begin(); it != watches_.end();) {
+      it = it->second.dead ? watches_.erase(it) : std::next(it);
+    }
+  }
+}
+
+}  // namespace copath::net

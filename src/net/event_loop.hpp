@@ -1,0 +1,78 @@
+// net::EventLoop — a minimal single-threaded readiness loop over poll(2).
+//
+// poll, not epoll: the daemon's fan-in is tens of connections, where the
+// O(fds) scan is noise next to a solve, and poll is portable POSIX — no
+// new dependencies, no Linux-only build path. The interface is shaped so
+// an epoll backend could slot in behind it unchanged if fan-in ever grows.
+//
+// Single ownership rule: every callback runs on the loop thread. Other
+// threads interact with the loop ONLY through wake(), which is
+// async-signal-safe (one write(2) to a self-pipe) — the solver workers use
+// it to hand completed responses back, and the SIGTERM handler uses it to
+// request a drain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/socket.hpp"
+
+namespace copath::net {
+
+class EventLoop {
+ public:
+  /// Interest bits for watch()/modify().
+  static constexpr std::uint32_t kRead = 1u << 0;
+  static constexpr std::uint32_t kWrite = 1u << 1;
+
+  /// Invoked on the loop thread with the ready events (kRead/kWrite mask;
+  /// errors and hangups are folded into kRead so handlers observe them as
+  /// a read returning EOF/error).
+  using IoHandler = std::function<void(std::uint32_t events)>;
+  /// Invoked on the loop thread after a wake() from any thread/signal.
+  /// Multiple wakes may coalesce into one callback.
+  using WakeHandler = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers interest in `fd` (not owned). Loop thread only.
+  void watch(int fd, std::uint32_t events, IoHandler handler);
+  /// Updates the interest mask of a watched fd. Loop thread only.
+  void modify(int fd, std::uint32_t events);
+  /// Drops the fd from the poll set. Safe to call from within the fd's own
+  /// handler (removal is deferred to the end of the poll round).
+  void unwatch(int fd);
+
+  void set_wake_handler(WakeHandler handler) {
+    wake_handler_ = std::move(handler);
+  }
+
+  /// Thread- and async-signal-safe: nudges the loop out of poll(2).
+  void wake() const;
+
+  /// Runs until stop(). Dispatches IO handlers, then the wake handler.
+  void run();
+  /// Loop thread only (from a handler); from elsewhere, call wake() and
+  /// stop from the wake handler.
+  void stop() { running_ = false; }
+
+ private:
+  struct Watch {
+    std::uint32_t events = 0;
+    IoHandler handler;
+    bool dead = false;  // unwatched mid-round; reaped after dispatch
+  };
+
+  Fd wake_read_;
+  Fd wake_write_;
+  WakeHandler wake_handler_;
+  std::unordered_map<int, Watch> watches_;
+  bool running_ = false;
+};
+
+}  // namespace copath::net

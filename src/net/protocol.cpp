@@ -1,0 +1,402 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+namespace copath::net::protocol {
+namespace {
+
+// Bounds-checked little-endian scalar IO. The reader never throws — every
+// get reports success, and callers translate failure into BadFrame — so a
+// hostile peer can make us refuse, never crash.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void bytes(std::string_view v) { out_.append(v); }
+
+ private:
+  std::string& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view in) : in_(in) {}
+
+  [[nodiscard]] bool u8(std::uint8_t* v) {
+    if (pos_ >= in_.size()) return false;
+    *v = static_cast<std::uint8_t>(in_[pos_++]);
+    return true;
+  }
+  [[nodiscard]] bool u16(std::uint16_t* v) {
+    std::uint8_t lo, hi;
+    if (!u8(&lo) || !u8(&hi)) return false;
+    *v = static_cast<std::uint16_t>(lo | (std::uint16_t{hi} << 8));
+    return true;
+  }
+  [[nodiscard]] bool u32(std::uint32_t* v) {
+    std::uint16_t lo, hi;
+    if (!u16(&lo) || !u16(&hi)) return false;
+    *v = lo | (std::uint32_t{hi} << 16);
+    return true;
+  }
+  [[nodiscard]] bool u64(std::uint64_t* v) {
+    std::uint32_t lo, hi;
+    if (!u32(&lo) || !u32(&hi)) return false;
+    *v = lo | (std::uint64_t{hi} << 32);
+    return true;
+  }
+  [[nodiscard]] bool i64(std::int64_t* v) {
+    std::uint64_t bits;
+    if (!u64(&bits)) return false;
+    *v = static_cast<std::int64_t>(bits);
+    return true;
+  }
+  [[nodiscard]] bool f64(double* v) {
+    std::uint64_t bits;
+    if (!u64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(bits));
+    return true;
+  }
+  [[nodiscard]] bool bytes(std::size_t n, std::string_view* v) {
+    if (n > in_.size() - pos_ || pos_ > in_.size()) return false;
+    *v = in_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] std::string_view rest() const { return in_.substr(pos_); }
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::uint8_t kResOk = 1u << 0;
+constexpr std::uint8_t kResMinimum = 1u << 1;
+constexpr std::uint8_t kResHamPath = 1u << 2;
+constexpr std::uint8_t kResHamCycle = 1u << 3;
+constexpr std::uint8_t kResHasCycle = 1u << 4;
+constexpr std::uint8_t kResHasVerdicts = 1u << 5;
+
+bool known_verb(std::uint8_t v) {
+  return v >= static_cast<std::uint8_t>(Verb::SolveText) &&
+         v <= static_cast<std::uint8_t>(Verb::Drain);
+}
+
+void append_response_header(ByteWriter& w, Verb verb, std::uint64_t seq,
+                            Status status) {
+  w.u8(static_cast<std::uint8_t>(verb));
+  w.u64(seq);
+  w.u8(static_cast<std::uint8_t>(status));
+}
+
+void encode_result_body(ByteWriter& w, const SolveResult& res) {
+  w.u32(static_cast<std::uint32_t>(res.vertex_count));
+  std::uint8_t flags = 0;
+  if (res.ok) flags |= kResOk;
+  if (res.minimum) flags |= kResMinimum;
+  if (res.hamiltonian_path) flags |= kResHamPath;
+  if (res.hamiltonian_cycle) flags |= kResHamCycle;
+  if (res.cycle.has_value()) flags |= kResHasCycle;
+  if (res.optimal_size >= 0) flags |= kResHasVerdicts;
+  w.u8(flags);
+  w.i64(res.optimal_size);
+  w.f64(res.wall_ms);
+  w.u32(static_cast<std::uint32_t>(res.cover.paths.size()));
+  for (const auto& path : res.cover.paths) {
+    w.u32(static_cast<std::uint32_t>(path.size()));
+    for (const auto v : path) w.u32(static_cast<std::uint32_t>(v));
+  }
+  if (res.cycle.has_value()) {
+    w.u32(static_cast<std::uint32_t>(res.cycle->size()));
+    for (const auto v : *res.cycle) w.u32(static_cast<std::uint32_t>(v));
+  }
+}
+
+bool decode_result_body(ByteReader& r, WireResult* out) {
+  std::uint8_t flags = 0;
+  if (!r.u32(&out->vertex_count) || !r.u8(&flags) ||
+      !r.i64(&out->optimal_size) || !r.f64(&out->wall_ms)) {
+    return false;
+  }
+  out->ok = (flags & kResOk) != 0;
+  out->minimum = (flags & kResMinimum) != 0;
+  out->hamiltonian_path = (flags & kResHamPath) != 0;
+  out->hamiltonian_cycle = (flags & kResHamCycle) != 0;
+  out->has_verdicts = (flags & kResHasVerdicts) != 0;
+  std::uint32_t path_count = 0;
+  if (!r.u32(&path_count)) return false;
+  // Every vertex appears in at most one path, so the remaining byte count
+  // bounds the plausible list sizes — reject before reserving.
+  if (path_count > r.remaining()) return false;
+  out->paths.clear();
+  out->paths.reserve(path_count);
+  for (std::uint32_t i = 0; i < path_count; ++i) {
+    std::uint32_t len = 0;
+    if (!r.u32(&len)) return false;
+    if (std::size_t{len} * 4 > r.remaining()) return false;
+    auto& path = out->paths.emplace_back();
+    path.reserve(len);
+    for (std::uint32_t j = 0; j < len; ++j) {
+      std::uint32_t v = 0;
+      if (!r.u32(&v)) return false;
+      path.push_back(v);
+    }
+  }
+  if ((flags & kResHasCycle) != 0) {
+    std::uint32_t len = 0;
+    if (!r.u32(&len)) return false;
+    if (std::size_t{len} * 4 > r.remaining()) return false;
+    auto& cycle = out->cycle.emplace();
+    cycle.reserve(len);
+    for (std::uint32_t j = 0; j < len; ++j) {
+      std::uint32_t v = 0;
+      if (!r.u32(&v)) return false;
+      cycle.push_back(v);
+    }
+  } else {
+    out->cycle.reset();
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::BadFrame: return "bad frame";
+    case Status::InvalidSignature: return "invalid signature";
+    case Status::SolveError: return "solve error";
+    case Status::Draining: return "draining";
+    case Status::VersionMismatch: return "version mismatch";
+  }
+  return "unknown status";
+}
+
+SolveOptions apply_wire_options(WireOptions w, SolveOptions base) {
+  base.compute_verdicts = (w.flags & kOptWantVerdicts) != 0;
+  base.want_hamiltonian_cycle = (w.flags & kOptWantCycle) != 0;
+  base.validate = (w.flags & kOptValidate) != 0;
+  if ((w.flags & kOptExplicitBackend) != 0) {
+    base.backend = static_cast<Backend>(w.backend);
+  }
+  return base;
+}
+
+std::string make_hello() {
+  std::string out;
+  out.reserve(kHelloBytes);
+  ByteWriter w(out);
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u16(0);
+  return out;
+}
+
+std::string make_hello_reply(Status s) {
+  std::string out;
+  out.reserve(kHelloReplyBytes);
+  ByteWriter w(out);
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u8(static_cast<std::uint8_t>(s));
+  w.u8(0);
+  return out;
+}
+
+bool parse_hello(std::string_view bytes, std::uint16_t* version) {
+  if (bytes.size() != kHelloBytes) return false;
+  ByteReader r(bytes);
+  std::uint32_t magic = 0;
+  std::uint16_t reserved = 0;
+  return r.u32(&magic) && r.u16(version) && r.u16(&reserved) &&
+         magic == kMagic;
+}
+
+bool parse_hello_reply(std::string_view bytes, Status* status,
+                       std::uint16_t* version) {
+  if (bytes.size() != kHelloReplyBytes) return false;
+  ByteReader r(bytes);
+  std::uint32_t magic = 0;
+  std::uint8_t s = 0, reserved = 0;
+  if (!(r.u32(&magic) && r.u16(version) && r.u8(&s) && r.u8(&reserved) &&
+        magic == kMagic)) {
+    return false;
+  }
+  if (s > static_cast<std::uint8_t>(Status::VersionMismatch)) return false;
+  *status = static_cast<Status>(s);
+  return true;
+}
+
+void append_frame(std::string& out, std::string_view payload) {
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload);
+}
+
+Extract extract_frame(std::string& buf, std::string* payload) {
+  if (buf.size() < kFrameHeaderBytes) return Extract::NeedMore;
+  ByteReader r(buf);
+  std::uint32_t len = 0;
+  (void)r.u32(&len);
+  if (len == 0 || len > kMaxFrameBytes) return Extract::Corrupt;
+  if (buf.size() < kFrameHeaderBytes + len) return Extract::NeedMore;
+  payload->assign(buf, kFrameHeaderBytes, len);
+  buf.erase(0, kFrameHeaderBytes + len);
+  return Extract::Frame;
+}
+
+void append_solve_request(std::string& out, Verb verb, std::uint64_t seq,
+                          WireOptions opts, std::string_view body) {
+  std::string payload;
+  payload.reserve(1 + 8 + 4 + body.size());
+  ByteWriter w(payload);
+  w.u8(static_cast<std::uint8_t>(verb));
+  w.u64(seq);
+  w.u8(opts.flags);
+  w.u8(opts.backend);
+  w.u16(0);
+  w.bytes(body);
+  append_frame(out, payload);
+}
+
+void append_admin_request(std::string& out, Verb verb, std::uint64_t seq) {
+  std::string payload;
+  payload.reserve(1 + 8);
+  ByteWriter w(payload);
+  w.u8(static_cast<std::uint8_t>(verb));
+  w.u64(seq);
+  append_frame(out, payload);
+}
+
+bool parse_request(std::string_view payload, Request* req) {
+  ByteReader r(payload);
+  std::uint8_t verb = 0;
+  if (!r.u8(&verb) || !r.u64(&req->seq)) return false;
+  if (!known_verb(verb)) return false;
+  req->verb = static_cast<Verb>(verb);
+  if (req->verb == Verb::SolveText || req->verb == Verb::SolveSignature) {
+    std::uint16_t reserved = 0;
+    if (!r.u8(&req->opts.flags) || !r.u8(&req->opts.backend) ||
+        !r.u16(&reserved)) {
+      return false;
+    }
+    req->body = r.rest();
+    // An empty instance is meaningless on both solve paths; refuse it at
+    // the frame layer rather than spinning up a job.
+    return !req->body.empty();
+  }
+  req->opts = WireOptions{};
+  req->body = {};
+  return r.remaining() == 0;
+}
+
+std::string encode_solve_response_frame(std::uint64_t seq, Verb verb,
+                                        Status status,
+                                        const SolveResult* res,
+                                        std::string_view error) {
+  std::string payload;
+  ByteWriter w(payload);
+  append_response_header(w, verb, seq, status);
+  if (status == Status::Ok && res != nullptr) {
+    encode_result_body(w, *res);
+  } else {
+    w.bytes(error);
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  append_frame(out, payload);
+  return out;
+}
+
+std::string encode_stats_response_frame(
+    std::uint64_t seq,
+    std::span<const std::pair<std::string_view, std::uint64_t>> counters) {
+  std::string payload;
+  ByteWriter w(payload);
+  append_response_header(w, Verb::Stats, seq, Status::Ok);
+  w.u32(static_cast<std::uint32_t>(counters.size()));
+  for (const auto& [key, value] : counters) {
+    const std::string_view k = key.substr(0, 255);
+    w.u8(static_cast<std::uint8_t>(k.size()));
+    w.bytes(k);
+    w.u64(value);
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  append_frame(out, payload);
+  return out;
+}
+
+std::string encode_status_response_frame(std::uint64_t seq, Verb verb,
+                                         Status status,
+                                         std::string_view error) {
+  return encode_solve_response_frame(seq, verb, status, nullptr, error);
+}
+
+bool parse_response(std::string_view payload, Response* out) {
+  ByteReader r(payload);
+  std::uint8_t verb = 0, status = 0;
+  if (!r.u8(&verb) || !r.u64(&out->seq) || !r.u8(&status)) return false;
+  if (!known_verb(verb)) return false;
+  if (status > static_cast<std::uint8_t>(Status::VersionMismatch)) {
+    return false;
+  }
+  out->verb = static_cast<Verb>(verb);
+  out->status = static_cast<Status>(status);
+  out->result = WireResult{};
+  out->error.clear();
+  out->stats.clear();
+  if (out->status != Status::Ok) {
+    out->error.assign(r.rest());
+    return true;
+  }
+  switch (out->verb) {
+    case Verb::SolveText:
+    case Verb::SolveSignature:
+      return decode_result_body(r, &out->result) && r.remaining() == 0;
+    case Verb::Stats: {
+      std::uint32_t count = 0;
+      if (!r.u32(&count)) return false;
+      if (count > r.remaining()) return false;
+      out->stats.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint8_t keylen = 0;
+        std::string_view key;
+        std::uint64_t value = 0;
+        if (!r.u8(&keylen) || !r.bytes(keylen, &key) || !r.u64(&value)) {
+          return false;
+        }
+        out->stats.emplace_back(std::string(key), value);
+      }
+      return r.remaining() == 0;
+    }
+    case Verb::Health:
+    case Verb::Drain:
+      return r.remaining() == 0;
+  }
+  return false;
+}
+
+}  // namespace copath::net::protocol

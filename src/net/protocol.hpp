@@ -1,0 +1,214 @@
+// copathd wire protocol v1: length-prefixed binary frames over TCP.
+//
+// Everything is little-endian. A connection opens with a fixed-size
+// handshake, then carries a stream of independent frames in both
+// directions; requests are pipelined (a client may have many outstanding)
+// and responses are tagged with the request's sequence id and written in
+// COMPLETION order, not submission order — the sequence id, not stream
+// position, is the correlation key.
+//
+//   handshake  client -> server   magic u32 | version u16 | reserved u16
+//              server -> client   magic u32 | version u16 | status u8 | 0 u8
+//              (status != Ok means the server is refusing — version
+//               mismatch — and closes after the reply)
+//
+//   frame                         length u32 | payload (length bytes)
+//              `length` counts the payload only and must be in
+//              (0, kMaxFrameBytes]; an oversized length is a framing
+//              attack/corruption and closes the connection after a
+//              structured BadFrame response.
+//
+//   request payload               verb u8 | seq u64 | body
+//     SolveText       body = WireOptions (4 bytes) | cotree algebra text
+//     SolveSignature  body = WireOptions (4 bytes) | CanonicalForm
+//                     signature bytes (see cograph/canonical.hpp) — the
+//                     hot path: the server skips text parsing AND
+//                     canonical sorting, at the price of a full
+//                     stack-machine re-validation of the untrusted bytes
+//     Stats | Health | Drain     body empty (admin verbs)
+//
+//   response payload              verb u8 | seq u64 | status u8 | body
+//     status == Ok, solve verbs  body = encoded result (see WireResult)
+//     status == Ok, Stats        body = u32 count | count * (u8 keylen |
+//                                key bytes | u64 value)
+//     status != Ok               body = UTF-8 error message
+//
+// The encoding favors being obviously correct over squeezing bytes: fixed
+// little-endian integers, one u32 per vertex id. The signature body is the
+// compact part that matters — it is the same byte string the canonical
+// cache keys on, so a client that caches signatures locally addresses the
+// server's result cache directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "copath_solver.hpp"
+
+namespace copath::net::protocol {
+
+inline constexpr std::uint32_t kMagic = 0x48545043u;  // "CPTH" on the wire
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::size_t kHelloBytes = 8;
+inline constexpr std::size_t kHelloReplyBytes = 8;
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+/// Hard payload bound: anything larger is corruption or an attack (a
+/// 16 MiB signature frame already describes a multi-million-vertex
+/// instance).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class Verb : std::uint8_t {
+  SolveText = 1,
+  SolveSignature = 2,
+  Stats = 3,
+  Health = 4,
+  Drain = 5,
+};
+
+enum class Status : std::uint8_t {
+  Ok = 0,
+  /// Frame structure was wrong (unknown verb, truncated body, oversized
+  /// length). Oversized lengths also close the connection.
+  BadFrame = 1,
+  /// SolveSignature body failed the stack-machine validation
+  /// (cograph::signature_valid) — refused before touching the service.
+  InvalidSignature = 2,
+  /// The instance was accepted but solving failed structurally (text that
+  /// does not parse, unregistered backend, engine rejection); the body
+  /// carries the structured error message.
+  SolveError = 3,
+  /// The server (or its service) is draining: the request was refused and
+  /// will never be solved. Resubmit elsewhere.
+  Draining = 4,
+  /// Handshake refusal: protocol version mismatch.
+  VersionMismatch = 5,
+};
+
+[[nodiscard]] const char* to_string(Status s);
+
+// WireOptions flag bits.
+inline constexpr std::uint8_t kOptWantVerdicts = 1u << 0;
+inline constexpr std::uint8_t kOptWantCycle = 1u << 1;
+inline constexpr std::uint8_t kOptValidate = 1u << 2;
+/// When set, `backend` selects the engine; otherwise the server's default
+/// (Adaptive under default daemon options) is used.
+inline constexpr std::uint8_t kOptExplicitBackend = 1u << 3;
+
+/// The per-request knobs a client may set — deliberately the
+/// result-affecting subset (OptionsKey's domain), so wire requests map
+/// cleanly onto cache identities. 4 bytes on the wire (flags, backend,
+/// u16 reserved).
+struct WireOptions {
+  std::uint8_t flags = kOptWantVerdicts;
+  std::uint8_t backend = 0;
+
+  [[nodiscard]] bool operator==(const WireOptions&) const = default;
+};
+
+/// Applies wire options onto the server's default SolveOptions. An
+/// unregistered explicit backend is NOT rejected here — the registry is
+/// open (plug-in engines), so the solve path reports it structurally.
+[[nodiscard]] SolveOptions apply_wire_options(WireOptions w,
+                                              SolveOptions base);
+
+// ------------------------------------------------------------ handshake
+
+[[nodiscard]] std::string make_hello();
+[[nodiscard]] std::string make_hello_reply(Status s);
+/// Validates magic; `version` receives the peer's claimed version.
+[[nodiscard]] bool parse_hello(std::string_view bytes,
+                               std::uint16_t* version);
+[[nodiscard]] bool parse_hello_reply(std::string_view bytes, Status* status,
+                                     std::uint16_t* version);
+
+// -------------------------------------------------------------- framing
+
+/// Appends `length | payload` to `out`.
+void append_frame(std::string& out, std::string_view payload);
+
+enum class Extract : std::uint8_t {
+  NeedMore,
+  Frame,
+  /// Length prefix of zero or beyond kMaxFrameBytes — the stream is not
+  /// trustworthy past this point; close after the error response.
+  Corrupt,
+};
+
+/// Incremental frame extraction for partial reads: consumes one complete
+/// frame from the front of `buf` into `payload`, or reports NeedMore /
+/// Corrupt without consuming. Feed it bytes as they arrive and loop while
+/// it yields Frame.
+[[nodiscard]] Extract extract_frame(std::string& buf, std::string* payload);
+
+// ------------------------------------------------------------- requests
+
+struct Request {
+  Verb verb = Verb::Health;
+  std::uint64_t seq = 0;
+  WireOptions opts{};
+  /// Views into the payload passed to parse_request (algebra text or
+  /// signature bytes); valid while that payload lives.
+  std::string_view body;
+};
+
+void append_solve_request(std::string& out, Verb verb, std::uint64_t seq,
+                          WireOptions opts, std::string_view body);
+void append_admin_request(std::string& out, Verb verb, std::uint64_t seq);
+
+/// False on structurally bad payloads (unknown verb, truncated header or
+/// options). `req->seq` is still recovered when at least verb+seq were
+/// present, so error responses can carry the right correlation id.
+[[nodiscard]] bool parse_request(std::string_view payload, Request* req);
+
+// ------------------------------------------------------------ responses
+
+/// The client-side view of a solve response body.
+struct WireResult {
+  bool ok = false;
+  bool minimum = false;
+  bool hamiltonian_path = false;
+  bool hamiltonian_cycle = false;
+  bool has_verdicts = false;
+  std::int64_t optimal_size = -1;
+  std::uint32_t vertex_count = 0;
+  /// Server-side engine wall time (observability; excludes queueing).
+  double wall_ms = 0.0;
+  std::vector<std::vector<std::uint32_t>> paths;
+  std::optional<std::vector<std::uint32_t>> cycle;
+};
+
+struct Response {
+  Verb verb = Verb::Health;
+  std::uint64_t seq = 0;
+  Status status = Status::Ok;
+  WireResult result{};          // solve verbs, status == Ok
+  std::string error;            // status != Ok
+  std::vector<std::pair<std::string, std::uint64_t>> stats;  // Verb::Stats
+};
+
+/// Encodes a complete response FRAME (header included) for a solve verb:
+/// Ok responses carry the encoded `res`, refusals/errors carry `error`.
+[[nodiscard]] std::string encode_solve_response_frame(std::uint64_t seq,
+                                                      Verb verb,
+                                                      Status status,
+                                                      const SolveResult* res,
+                                                      std::string_view error);
+
+[[nodiscard]] std::string encode_stats_response_frame(
+    std::uint64_t seq,
+    std::span<const std::pair<std::string_view, std::uint64_t>> counters);
+
+/// Status-only response frame (Health, Drain acks, BadFrame, refusals).
+[[nodiscard]] std::string encode_status_response_frame(
+    std::uint64_t seq, Verb verb, Status status, std::string_view error);
+
+/// False on truncated/corrupt payloads (client-side defensive decode —
+/// the server is trusted less than it trusts itself).
+[[nodiscard]] bool parse_response(std::string_view payload, Response* out);
+
+}  // namespace copath::net::protocol

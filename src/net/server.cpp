@@ -1,0 +1,393 @@
+#include "net/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <span>
+
+#include "cograph/canonical.hpp"
+
+namespace copath::net {
+
+namespace proto = protocol;
+
+namespace {
+
+/// Built on the SOLVER WORKER thread — response encoding is the expensive
+/// part of completion, and doing it here keeps the event loop's share of a
+/// completion down to append-and-flush.
+std::string encode_completion(std::uint64_t seq, proto::Verb verb,
+                              const SolveResult& res) {
+  if (res.ok) {
+    return proto::encode_solve_response_frame(seq, verb, proto::Status::Ok,
+                                              &res, {});
+  }
+  // Service-level refusals surface as Draining (the client should go
+  // elsewhere); everything else failed structurally inside the solve.
+  const bool refused = res.error == "service is draining" ||
+                       res.error == "service is shut down";
+  return proto::encode_solve_response_frame(
+      seq, verb, refused ? proto::Status::Draining : proto::Status::SolveError,
+      nullptr, res.error);
+}
+
+std::uint64_t recover_seq(std::string_view payload) {
+  if (payload.size() < 9) return 0;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    seq |= std::uint64_t{static_cast<std::uint8_t>(payload[1 + i])} << (8 * i);
+  }
+  return seq;
+}
+
+}  // namespace
+
+Server::Server(Options opts)
+    : opts_(std::move(opts)), service_(opts_.service) {
+  // In the body, not the init list: listen_tcp writes the ephemeral port
+  // through &port_, which must already be past its own initializer.
+  listener_ = listen_tcp(opts_.host, opts_.port, &port_);
+  loop_.set_wake_handler([this] { on_wake(); });
+  loop_.watch(listener_.get(), EventLoop::kRead,
+              [this](std::uint32_t) { on_listener_ready(); });
+}
+
+Server::~Server() = default;
+
+void Server::run() { loop_.run(); }
+
+void Server::request_drain() {
+  drain_requested_.store(true, std::memory_order_relaxed);
+  loop_.wake();
+}
+
+void Server::on_listener_ready() {
+  for (;;) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN, or a transient accept error — poll will re-arm
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = Fd(fd);
+    conn->id = next_conn_id_++;
+    ++accepted_;
+    const std::uint64_t id = conn->id;
+    loop_.watch(fd, EventLoop::kRead,
+                [this, id](std::uint32_t ev) { on_conn_ready(id, ev); });
+    conns_.emplace(id, std::move(conn));
+  }
+}
+
+void Server::on_conn_ready(std::uint64_t id, std::uint32_t events) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if ((events & EventLoop::kRead) != 0 && !read_conn(conn)) return;
+  if ((events & EventLoop::kWrite) != 0 && !flush_conn(conn)) return;
+  update_interest(conn);
+  if (draining_) sweep_drain();
+}
+
+bool Server::read_conn(Conn& conn) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t r = ::read(conn.fd.get(), buf, sizeof(buf));
+    if (r > 0) {
+      conn.inbuf.append(buf, static_cast<std::size_t>(r));
+      if (static_cast<std::size_t>(r) < sizeof(buf)) break;
+      continue;
+    }
+    if (r == 0) {  // peer closed; any in-service results are dropped
+      destroy_conn(conn.id);
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    destroy_conn(conn.id);
+    return false;
+  }
+
+  if (!conn.handshaken) {
+    if (conn.inbuf.size() < proto::kHelloBytes) return true;
+    std::uint16_t version = 0;
+    const bool ok = proto::parse_hello(
+        std::string_view(conn.inbuf).substr(0, proto::kHelloBytes), &version);
+    if (!ok) {  // not our protocol at all — no reply owed
+      destroy_conn(conn.id);
+      return false;
+    }
+    conn.inbuf.erase(0, proto::kHelloBytes);
+    if (version != proto::kVersion) {
+      conn.close_after_flush = true;
+      return queue_frame(conn,
+                         proto::make_hello_reply(
+                             proto::Status::VersionMismatch));
+    }
+    conn.handshaken = true;
+    if (!queue_frame(conn, proto::make_hello_reply(proto::Status::Ok))) {
+      return false;
+    }
+  }
+  return consume_frames(conn);
+}
+
+bool Server::consume_frames(Conn& conn) {
+  // Stop decoding while the connection is over its window or has parked
+  // requests: the unread bytes stay in inbuf (and eventually in the kernel
+  // buffer — TCP backpressure), and on_wake resumes consumption as
+  // completions drain.
+  std::string payload;
+  while (!conn.close_after_flush && conn.parked.empty() &&
+         conn.inflight < opts_.inflight_window) {
+    switch (proto::extract_frame(conn.inbuf, &payload)) {
+      case proto::Extract::NeedMore:
+        return true;
+      case proto::Extract::Corrupt:
+        ++bad_frames_;
+        conn.inbuf.clear();
+        conn.close_after_flush = true;
+        return queue_frame(conn, proto::encode_status_response_frame(
+                                     0, proto::Verb::Health,
+                                     proto::Status::BadFrame,
+                                     "unframeable length prefix"));
+      case proto::Extract::Frame:
+        break;
+    }
+    if (!handle_frame(conn, payload)) return false;
+  }
+  return true;
+}
+
+bool Server::handle_frame(Conn& conn, std::string_view payload) {
+  ++frames_;
+  proto::Request req;
+  if (!proto::parse_request(payload, &req)) {
+    ++bad_frames_;
+    return queue_frame(conn, proto::encode_status_response_frame(
+                                 recover_seq(payload), proto::Verb::Health,
+                                 proto::Status::BadFrame,
+                                 "malformed request payload"));
+  }
+  switch (req.verb) {
+    case proto::Verb::Health:
+      return queue_frame(conn, proto::encode_status_response_frame(
+                                   req.seq, proto::Verb::Health,
+                                   proto::Status::Ok, {}));
+    case proto::Verb::Stats:
+      return send_stats(conn, req.seq);
+    case proto::Verb::Drain: {
+      // Ack first, then request: begin_drain() tears at the connection
+      // table, so it is deferred to the wake handler rather than run under
+      // this frame's iteration.
+      const bool alive = queue_frame(
+          conn, proto::encode_status_response_frame(
+                    req.seq, proto::Verb::Drain, proto::Status::Ok, {}));
+      request_drain();
+      return alive;
+    }
+    case proto::Verb::SolveText:
+    case proto::Verb::SolveSignature:
+      return handle_solve(conn, req);
+  }
+  return true;
+}
+
+bool Server::handle_solve(Conn& conn, const proto::Request& req) {
+  if (draining_) {
+    return queue_frame(conn, proto::encode_status_response_frame(
+                                 req.seq, req.verb, proto::Status::Draining,
+                                 "server is draining"));
+  }
+  SolveRequest sreq;
+  if (req.verb == proto::Verb::SolveSignature) {
+    // Validate the untrusted bytes here, on the loop thread: rejecting a
+    // hostile signature must not cost a queue slot or a worker wakeup.
+    std::string why;
+    if (!cograph::signature_valid(req.body, &why)) {
+      return queue_frame(conn, proto::encode_status_response_frame(
+                                   req.seq, req.verb,
+                                   proto::Status::InvalidSignature, why));
+    }
+    sreq.instance = Instance::signature(std::string(req.body));
+  } else {
+    sreq.instance = Instance::text(std::string(req.body));
+  }
+  sreq.options = proto::apply_wire_options(req.opts, opts_.service.solve);
+  if (!try_dispatch(conn, req.verb, req.seq, std::move(sreq))) {
+    ++parked_total_;
+    conn.parked.push_back(Parked{req.verb, req.seq, std::move(sreq)});
+  }
+  return true;
+}
+
+bool Server::try_dispatch(Conn& conn, proto::Verb verb, std::uint64_t seq,
+                          SolveRequest&& sreq) {
+  const std::uint64_t id = conn.id;
+  Service::ResultSink sink = [this, id, seq, verb](SolveResult res) {
+    std::string frame = encode_completion(seq, verb, res);
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.emplace_back(id, std::move(frame));
+    }
+    loop_.wake();
+  };
+  if (!service_.try_submit_async(sreq, sink)) return false;
+  ++conn.inflight;
+  return true;
+}
+
+bool Server::send_stats(Conn& conn, std::uint64_t seq) {
+  const Service::Stats s = service_.stats();
+  const std::pair<std::string_view, std::uint64_t> counters[] = {
+      {"submitted", s.submitted},
+      {"completed", s.completed},
+      {"queue_depth", s.queue_depth},
+      {"in_flight", s.in_flight},
+      {"cache_hits", s.cache_hits},
+      {"cache_misses", s.cache_misses},
+      {"coalesced", s.coalesced},
+      {"express_solves", s.express_solves},
+      {"connections", conns_.size()},
+      {"accepted", accepted_},
+      {"frames", frames_},
+      {"bad_frames", bad_frames_},
+      {"parked", parked_total_},
+      {"draining", draining_ ? 1u : 0u},
+  };
+  return queue_frame(conn,
+                     proto::encode_stats_response_frame(seq, counters));
+}
+
+bool Server::queue_frame(Conn& conn, std::string frame) {
+  conn.outbuf += frame;
+  return flush_conn(conn);
+}
+
+bool Server::flush_conn(Conn& conn) {
+  while (!conn.outbuf.empty()) {
+    // MSG_NOSIGNAL: a mid-write peer reset must be a destroyed connection,
+    // not a process-killing SIGPIPE.
+    const ssize_t w = ::send(conn.fd.get(), conn.outbuf.data(),
+                             conn.outbuf.size(), MSG_NOSIGNAL);
+    if (w > 0) {
+      conn.outbuf.erase(0, static_cast<std::size_t>(w));
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    destroy_conn(conn.id);
+    return false;
+  }
+  if (conn.outbuf.empty() && conn.close_after_flush) {
+    destroy_conn(conn.id);
+    return false;
+  }
+  return true;
+}
+
+bool Server::reads_paused(const Conn& conn) const {
+  return conn.inflight >= opts_.inflight_window || !conn.parked.empty() ||
+         conn.outbuf.size() > opts_.outbuf_high_water;
+}
+
+void Server::update_interest(Conn& conn) {
+  std::uint32_t events = 0;
+  if (!conn.close_after_flush && !reads_paused(conn)) {
+    events |= EventLoop::kRead;
+  }
+  if (!conn.outbuf.empty()) events |= EventLoop::kWrite;
+  loop_.modify(conn.fd.get(), events);
+}
+
+void Server::destroy_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  loop_.unwatch(it->second->fd.get());
+  conns_.erase(it);
+}
+
+bool Server::make_progress(Conn& conn) {
+  while (!conn.parked.empty()) {
+    if (draining_) {
+      Parked p = std::move(conn.parked.front());
+      conn.parked.pop_front();
+      if (!queue_frame(conn, proto::encode_status_response_frame(
+                                 p.seq, p.verb, proto::Status::Draining,
+                                 "server is draining"))) {
+        return false;
+      }
+      continue;
+    }
+    Parked& p = conn.parked.front();
+    if (!try_dispatch(conn, p.verb, p.seq, std::move(p.req))) return true;
+    conn.parked.pop_front();
+  }
+  if (!conn.close_after_flush && !conn.inbuf.empty() &&
+      conn.inflight < opts_.inflight_window) {
+    return consume_frames(conn);
+  }
+  return true;
+}
+
+void Server::on_wake() {
+  std::vector<std::pair<std::uint64_t, std::string>> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    done.swap(completions_);
+  }
+  for (auto& [id, frame] : done) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;  // peer left mid-solve; drop
+    Conn& conn = *it->second;
+    if (conn.inflight > 0) --conn.inflight;
+    (void)queue_frame(conn, std::move(frame));
+  }
+
+  if (drain_requested_.load(std::memory_order_relaxed) && !draining_) {
+    begin_drain();
+  }
+
+  // Window slots and queue capacity may have freed: retry parked requests,
+  // resume consuming buffered frames, and recompute poll interest.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn& conn = *it->second;
+    if (!make_progress(conn)) continue;
+    const auto again = conns_.find(id);  // make_progress may destroy
+    if (again != conns_.end()) update_interest(*again->second);
+  }
+
+  if (draining_) sweep_drain();
+}
+
+void Server::begin_drain() {
+  draining_ = true;
+  loop_.unwatch(listener_.get());
+}
+
+void Server::sweep_drain() {
+  std::vector<std::uint64_t> dead;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->inflight == 0 && conn->parked.empty() &&
+        conn->outbuf.empty()) {
+      dead.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : dead) destroy_conn(id);
+  if (conns_.empty()) {
+    // Every accepted request has been answered and flushed; drain the
+    // worker pool (this joins the solver threads) and stop serving.
+    service_.drain();
+    loop_.stop();
+  }
+}
+
+}  // namespace copath::net

@@ -1,0 +1,149 @@
+// net::Server — the copathd serving core: one event-loop thread multiplexing
+// pipelined protocol connections onto a copath::Service worker pool.
+//
+// Threading model (the whole design in four sentences): the loop thread owns
+// every connection object and all socket IO; solver workers run each
+// request's ResultSink inline, which ENCODES the response bytes off the loop
+// thread (the expensive part of completion) and hands the finished frame to
+// the loop through a mutex-guarded completion queue plus an
+// async-signal-safe wake. The loop thread then does nothing per completion
+// but append-and-flush. No connection state is ever touched off the loop
+// thread.
+//
+// Backpressure is a two-level window mapped onto the Service's bounded MPMC
+// queue: a connection stops being read (its fd leaves the poll set) when it
+// has `inflight_window` unanswered solves OR the service queue rejects a
+// submit (the decoded request is parked and retried as completions drain) OR
+// its outbuf exceeds the write high-water mark. TCP then pushes back on the
+// client; a slow or greedy peer costs itself latency, never the server
+// memory.
+//
+// Graceful drain (SIGTERM or the Drain verb): new solves get structured
+// Draining refusals while already-accepted ones keep completing; each
+// connection closes once it has nothing in flight and nothing buffered, and
+// when the last one is gone the Service itself drains and the loop stops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "service/service.hpp"
+
+namespace copath::net {
+
+class Server {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = ephemeral; read the actual port from port() after construction.
+    std::uint16_t port = 0;
+    /// Max unanswered solve requests per connection before its reads pause.
+    std::size_t inflight_window = 64;
+    /// Pause reads while a connection's outbuf exceeds this many bytes.
+    std::size_t outbuf_high_water = 4u << 20;
+    Service::Options service{};
+  };
+
+  /// Binds and listens immediately (throws util::CheckError on failure);
+  /// serving starts with run().
+  explicit Server(Options opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Runs the event loop on the calling thread until drain completes.
+  void run();
+
+  /// Requests a graceful drain from any thread or signal handler
+  /// (async-signal-safe: one atomic store and one self-pipe write).
+  void request_drain();
+
+ private:
+  struct Parked {
+    protocol::Verb verb;
+    std::uint64_t seq;
+    SolveRequest req;
+  };
+  struct Conn {
+    Fd fd;
+    std::uint64_t id = 0;
+    bool handshaken = false;
+    /// Poison: flush outbuf, then close (bad hello, corrupt framing).
+    bool close_after_flush = false;
+    std::size_t inflight = 0;
+    std::string inbuf;
+    std::string outbuf;
+    /// Requests decoded but refused by a full service queue; retried in
+    /// arrival order as completions free queue slots.
+    std::deque<Parked> parked;
+  };
+
+  // The bool-returning members report whether the connection is still
+  // alive (false = they destroyed it); callers must stop touching it on
+  // false.
+  void on_listener_ready();
+  void on_conn_ready(std::uint64_t id, std::uint32_t events);
+  void on_wake();
+
+  bool read_conn(Conn& conn);
+  bool consume_frames(Conn& conn);
+  bool handle_frame(Conn& conn, std::string_view payload);
+  bool handle_solve(Conn& conn, const protocol::Request& req);
+  /// True if the request entered the service (or was refused inline by a
+  /// closed service — the sink fires either way); false = queue full,
+  /// `sreq` intact, caller parks.
+  bool try_dispatch(Conn& conn, protocol::Verb verb, std::uint64_t seq,
+                    SolveRequest&& sreq);
+  bool send_stats(Conn& conn, std::uint64_t seq);
+  /// Retries parked requests (refusing them during drain) and resumes
+  /// consuming buffered frames once the window allows.
+  bool make_progress(Conn& conn);
+
+  bool queue_frame(Conn& conn, std::string frame);
+  bool flush_conn(Conn& conn);
+  void update_interest(Conn& conn);
+  [[nodiscard]] bool reads_paused(const Conn& conn) const;
+  void destroy_conn(std::uint64_t id);
+
+  void begin_drain();
+  /// Closes drained connections; stops the loop when the last is gone.
+  void sweep_drain();
+
+  Options opts_;
+  EventLoop loop_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  bool draining_ = false;
+  std::atomic<bool> drain_requested_{false};
+
+  // Loop-thread observability counters (surfaced via the Stats verb).
+  std::uint64_t accepted_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bad_frames_ = 0;
+  std::uint64_t parked_total_ = 0;
+
+  // Completed responses en route from solver workers to the loop thread.
+  std::mutex completions_mu_;
+  std::vector<std::pair<std::uint64_t, std::string>> completions_;
+
+  /// Last member: its destructor joins the solver workers, so by the time
+  /// anything above is torn down no sink can still be running.
+  Service service_;
+};
+
+}  // namespace copath::net

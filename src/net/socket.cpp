@@ -1,0 +1,123 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace copath::net {
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  COPATH_CHECK_MSG(flags >= 0, "fcntl(F_GETFL): " << std::strerror(errno));
+  COPATH_CHECK_MSG(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                   "fcntl(F_SETFL): " << std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  COPATH_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                   "not an IPv4 dotted-quad host: " << host);
+  return addr;
+}
+
+}  // namespace
+
+Fd listen_tcp(const std::string& host, std::uint16_t port,
+              std::uint16_t* bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  COPATH_CHECK_MSG(fd.valid(), "socket: " << std::strerror(errno));
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  COPATH_CHECK_MSG(
+      ::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "bind " << host << ':' << port << ": " << std::strerror(errno));
+  COPATH_CHECK_MSG(::listen(fd.get(), SOMAXCONN) == 0,
+                   "listen: " << std::strerror(errno));
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    COPATH_CHECK_MSG(::getsockname(fd.get(),
+                                   reinterpret_cast<sockaddr*>(&actual),
+                                   &len) == 0,
+                     "getsockname: " << std::strerror(errno));
+    *bound_port = ntohs(actual.sin_port);
+  }
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  COPATH_CHECK_MSG(fd.valid(), "socket: " << std::strerror(errno));
+  sockaddr_in addr = make_addr(host, port);
+  COPATH_CHECK_MSG(::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) == 0,
+                   "connect " << host << ':' << port << ": "
+                              << std::strerror(errno));
+  set_nodelay(fd.get());
+  return fd;
+}
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      COPATH_CHECK_MSG(got == 0, "connection closed mid-record ("
+                                     << got << " of " << n << " bytes)");
+      return false;
+    }
+    if (errno == EINTR) continue;
+    COPATH_CHECK_MSG(false, "read: " << std::strerror(errno));
+  }
+  return true;
+}
+
+void write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer reset must surface as a CheckError, not a
+    // process-killing SIGPIPE (tests and library users don't install
+    // handlers).
+    const ssize_t w = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    COPATH_CHECK_MSG(false, "write: " << std::strerror(errno));
+  }
+}
+
+}  // namespace copath::net

@@ -1,0 +1,73 @@
+// Thin POSIX socket helpers for the copathd serving tier.
+//
+// Everything here is deliberately small: an RAII fd, loopback-friendly
+// TCP listen/connect (IPv4 dotted-quad hosts — the daemon binds 127.0.0.1
+// by default and production fronting belongs to a load balancer), and the
+// two blocking exact-transfer loops the client library uses. The server
+// side never uses the blocking helpers — its sockets are non-blocking and
+// driven by net::EventLoop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace copath::net {
+
+/// Move-only owning file descriptor. close(2) on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Puts the descriptor in non-blocking mode. Throws util::CheckError.
+void set_nonblocking(int fd);
+
+/// Disables Nagle batching — the daemon's frames are latency-sensitive and
+/// already write-combined per event-loop round. Best-effort (no throw).
+void set_nodelay(int fd);
+
+/// Binds + listens on host:port (IPv4 dotted quad; port 0 = ephemeral).
+/// The returned socket is non-blocking with SO_REUSEADDR set;
+/// `bound_port`, when non-null, receives the actual port (the ephemeral
+/// case). Throws util::CheckError on failure.
+[[nodiscard]] Fd listen_tcp(const std::string& host, std::uint16_t port,
+                            std::uint16_t* bound_port);
+
+/// Blocking TCP connect with TCP_NODELAY. Throws util::CheckError.
+[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Blocking exact-length read. True on success; false on clean EOF before
+/// the first byte; throws util::CheckError on errors or mid-record EOF.
+bool read_exact(int fd, void* buf, std::size_t n);
+
+/// Blocking full write. Throws util::CheckError on error/EOF.
+void write_all(int fd, const void* buf, std::size_t n);
+
+}  // namespace copath::net

@@ -41,12 +41,24 @@ Service::Service(Options opts)
 
 Service::~Service() { shutdown(); }
 
-void Service::shutdown() {
+void Service::stop_workers() {
   queue_.close();
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
-  }
+  // close() wakes every producer/consumer; already-enqueued jobs are still
+  // popped and processed, so joining the workers IS the wait-for-in-flight
+  // half of drain. call_once makes concurrent drain()/shutdown() safe.
+  std::call_once(join_once_, [this] {
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  });
 }
+
+void Service::drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  stop_workers();
+}
+
+void Service::shutdown() { stop_workers(); }
 
 SolveOptions Service::effective_options(const SolveRequest& req) const {
   return req.options.value_or(opts_.solve);
@@ -104,17 +116,48 @@ class BudgetLease {
 }  // namespace
 
 std::future<SolveResult> Service::submit(SolveRequest req) {
+  // std::promise is move-only and std::function requires copyable
+  // callables, so the future path shares the promise. The daemon path uses
+  // submit_async directly and never pays this allocation.
+  auto promise = std::make_shared<std::promise<SolveResult>>();
+  auto fut = promise->get_future();
+  submit_async(std::move(req), [promise](SolveResult res) {
+    promise->set_value(std::move(res));
+  });
+  return fut;
+}
+
+void Service::submit_async(SolveRequest req, ResultSink sink) {
   Job job;
   job.req = std::move(req);
-  auto fut = job.promise.get_future();
+  job.sink = std::move(sink);
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (!queue_.push(job)) {
     completed_.fetch_add(1, std::memory_order_relaxed);
-    job.promise.set_value(failure(job.req.label,
-                                  effective_options(job.req).backend,
-                                  "service is shut down"));
+    job.sink(failure(job.req.label, effective_options(job.req).backend,
+                     refusal_reason()));
   }
-  return fut;
+}
+
+bool Service::try_submit_async(SolveRequest& req, ResultSink& sink) {
+  Job job;
+  job.req = std::move(req);
+  job.sink = std::move(sink);
+  if (queue_.try_push(job)) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (queue_.closed()) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job.sink(failure(job.req.label, effective_options(job.req).backend,
+                     refusal_reason()));
+    return true;
+  }
+  // Queue full: hand the pieces back so the caller can park and retry.
+  req = std::move(job.req);
+  sink = std::move(job.sink);
+  return false;
 }
 
 void Service::worker_loop() {
@@ -146,23 +189,30 @@ void Service::process(Job job) {
 
   // Resolve + canonicalize up front; bad instances fail structurally here
   // and never reach the cache or an engine.
-  // Every branch below must end in set_value: an exception escaping a
+  // Every branch below must end in the sink: an exception escaping a
   // worker would std::terminate the process (std::thread) and strand any
   // parked waiters, so plug-in backends throwing non-standard exceptions
   // and allocation failures are caught and turned into structured results.
   const cograph::CanonicalForm* form = nullptr;
   std::size_t n = 0;
   try {
-    if (opts_.use_cache) form = &job.req.instance.canonical();
-    n = job.req.instance.resolve().vertex_count();
+    if (opts_.use_cache) {
+      // The form's permutation size IS the vertex count, so the cache-hit
+      // path never calls resolve() — a signature-sourced instance serves
+      // warm hits without ever materializing its cotree (the engines
+      // resolve lazily on the miss path).
+      form = &job.req.instance.canonical();
+      n = form->from_canonical.size();
+    } else {
+      n = job.req.instance.resolve().vertex_count();
+    }
   } catch (const std::exception& e) {
     completed_.fetch_add(1, std::memory_order_relaxed);
-    job.promise.set_value(failure(label, opts.backend, e.what()));
+    job.sink(failure(label, opts.backend, e.what()));
     return;
   } catch (...) {
     completed_.fetch_add(1, std::memory_order_relaxed);
-    job.promise.set_value(
-        failure(label, opts.backend, "non-standard exception"));
+    job.sink(failure(label, opts.backend, "non-standard exception"));
     return;
   }
 
@@ -191,7 +241,7 @@ void Service::process(Job job) {
   if (!opts_.use_cache) {
     SolveResult res = solve_once();
     completed_.fetch_add(1, std::memory_order_relaxed);
-    job.promise.set_value(std::move(res));
+    job.sink(std::move(res));
     return;
   }
 
@@ -206,7 +256,7 @@ void Service::process(Job job) {
       res = failure(label, opts.backend, "failed to materialize cache hit");
     }
     completed_.fetch_add(1, std::memory_order_relaxed);
-    job.promise.set_value(std::move(res));
+    job.sink(std::move(res));
     return;
   }
 
@@ -219,7 +269,7 @@ void Service::process(Job job) {
     const auto it = inflight_.find(flight_key);
     if (it != inflight_.end()) {
       coalesced_.fetch_add(1, std::memory_order_relaxed);
-      it->second.waiters.push_back(Waiter{std::move(job.promise),
+      it->second.waiters.push_back(Waiter{std::move(job.sink),
                                           std::move(job.req.instance),
                                           label});
       return;
@@ -264,16 +314,21 @@ void Service::process(Job job) {
       wres = failure({}, opts.backend, "failed to materialize result");
     }
     completed_.fetch_add(1, std::memory_order_relaxed);
-    w.promise.set_value(std::move(wres));
+    w.sink(std::move(wres));
   }
   completed_.fetch_add(1, std::memory_order_relaxed);
-  job.promise.set_value(std::move(res));
+  job.sink(std::move(res));
 }
 
 Service::Stats Service::stats() const {
   Stats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.size();
+  // completed_ never passes submitted_, but the two loads are not one
+  // snapshot — clamp instead of wrapping.
+  s.in_flight = s.submitted >= s.completed ? s.submitted - s.completed : 0;
+  s.draining = draining_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
   s.express_solves = express_.load(std::memory_order_relaxed);
   s.lease_acquires = budgeter_.acquires();

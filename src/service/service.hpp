@@ -43,7 +43,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -84,6 +86,15 @@ class Service {
     std::uint64_t submitted = 0;
     /// Futures fulfilled (hits + misses computed + coalesced + failures).
     std::uint64_t completed = 0;
+    /// Requests sitting in the submit queue, undispatched — the
+    /// backpressure signal the daemon maps its per-connection read window
+    /// onto (stop reading sockets when this approaches queue_capacity).
+    std::uint64_t queue_depth = 0;
+    /// Accepted requests not yet fulfilled (queued + being solved +
+    /// parked on an in-flight twin) = submitted - completed.
+    std::uint64_t in_flight = 0;
+    /// True once drain() has begun: new submits get structured refusals.
+    bool draining = false;
     /// Mirrors of cache.hits / cache.misses (one probe per cache-enabled
     /// request, so the cache counters are the request-level numbers).
     std::uint64_t cache_hits = 0;
@@ -114,13 +125,43 @@ class Service {
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
+  /// Completion callback for the async submit paths. Invoked exactly once
+  /// per accepted or refused request, on whichever thread finishes it
+  /// (a solver worker, the worker computing a coalesced twin, or — for
+  /// refusals — the submitting thread itself). Must not throw.
+  using ResultSink = std::function<void(SolveResult)>;
+
   /// Enqueues a request and returns the future of its result. Blocks while
-  /// the queue is full (backpressure). After shutdown() the future resolves
-  /// immediately to a structured "service is shut down" failure.
+  /// the queue is full (backpressure). After drain()/shutdown() the future
+  /// resolves immediately to a structured refusal failure.
   [[nodiscard]] std::future<SolveResult> submit(SolveRequest req);
 
-  /// Stops intake, drains every already-queued request, joins the workers.
-  /// Idempotent; called by the destructor. Not safe to race with itself.
+  /// Callback form of submit(): `sink` is invoked with the result instead
+  /// of a future resolving. The daemon's completion path — no promise
+  /// shared state, and the worker thread runs the sink inline (response
+  /// encoding happens off the event loop). Same backpressure/refusal
+  /// contract as submit().
+  void submit_async(SolveRequest req, ResultSink sink);
+
+  /// Non-blocking submit_async: returns false when the queue is full,
+  /// leaving `req`/`sink` intact so the caller can park them and retry
+  /// (the daemon pauses the connection's reads instead of blocking its
+  /// event loop). Refusals after drain()/shutdown() consume the request —
+  /// the sink is invoked inline with the structured refusal — and return
+  /// true.
+  [[nodiscard]] bool try_submit_async(SolveRequest& req, ResultSink& sink);
+
+  /// Graceful teardown: refuses every submit from this point on (callers
+  /// get a structured "service is draining" failure), waits until every
+  /// already-accepted request has been fulfilled, then stops the workers.
+  /// Idempotent and safe to race with shutdown()/submit() from other
+  /// threads.
+  void drain();
+
+  /// Destructor teardown: same worker stop as drain() (accepted requests
+  /// are still fulfilled — the queue delivers already-enqueued items after
+  /// close), but refusals say "shut down" and no draining state is
+  /// advertised in stats(). Idempotent; called by the destructor.
   void shutdown();
 
   [[nodiscard]] Stats stats() const;
@@ -130,13 +171,13 @@ class Service {
  private:
   struct Job {
     SolveRequest req;
-    std::promise<SolveResult> promise;
+    ResultSink sink;
   };
   /// A request parked on an in-flight twin. Keeps its own Instance (moved,
   /// cheap) so fulfillment can replay through that instance's canonical
   /// permutation.
   struct Waiter {
-    std::promise<SolveResult> promise;
+    ResultSink sink;
     Instance instance;
     std::string label;
   };
@@ -153,7 +194,14 @@ class Service {
 
   void worker_loop();
   void process(Job job);
+  /// Shared close-and-join half of drain()/shutdown().
+  void stop_workers();
   [[nodiscard]] SolveOptions effective_options(const SolveRequest& req) const;
+  [[nodiscard]] const char* refusal_reason() const {
+    return draining_.load(std::memory_order_relaxed)
+               ? "service is draining"
+               : "service is shut down";
+  }
 
   Options opts_;
   /// Divides the host's threads among concurrently *solving* workers for
@@ -179,6 +227,8 @@ class Service {
   std::atomic<std::uint64_t> arena_acquires_{0};
   std::atomic<std::uint64_t> arena_reuses_{0};
   std::atomic<std::uint64_t> arena_fresh_{0};
+  std::atomic<bool> draining_{false};
+  std::once_flag join_once_;
   std::vector<std::thread> threads_;  // last member: workers see a built *this
 };
 

@@ -82,6 +82,133 @@ TEST(FuzzParser, RawByteSoupParsesOrThrowsCheckError) {
   }
 }
 
+// ----------------------------------------------------- binary signatures
+//
+// The daemon accepts raw CanonicalForm::signature bytes off a socket, so
+// the decoder faces attacker-controlled input. Contract: signature_valid
+// and decode_signature agree exactly (valid == decodes), a decode yields a
+// structurally valid cotree whose re-canonicalization reproduces the input
+// bytes bit-for-bit, and malformed bytes produce util::CheckError — never
+// a crash, hang, over-allocation, or leak (enforced under ASan/UBSan).
+
+/// The signature oracle: the two entry points must agree, and a decode
+/// must produce a valid tree plus a form consistent with re-encoding.
+void expect_decodes_or_rejects(const std::string& bytes) {
+  std::string why;
+  const bool valid = cograph::signature_valid(bytes, &why);
+  if (!valid) {
+    EXPECT_FALSE(why.empty());
+    EXPECT_THROW((void)cograph::decode_signature(bytes), util::CheckError);
+    EXPECT_THROW((void)cograph::decode_signature_form(bytes),
+                 util::CheckError);
+    return;
+  }
+  const cograph::DecodedSignature dec = cograph::decode_signature(bytes);
+  dec.tree.validate();
+  // The decoded tree IS the canonical representative of the bytes.
+  const auto reform = canonical_form(dec.tree, /*with_algebra_key=*/false);
+  EXPECT_EQ(reform.signature, bytes);
+  EXPECT_EQ(reform.hash, dec.form.hash);
+  // The tree-free form decode agrees with the tree-building one.
+  const auto light = cograph::decode_signature_form(bytes);
+  EXPECT_EQ(light.signature, dec.form.signature);
+  EXPECT_EQ(light.hash, dec.form.hash);
+  EXPECT_EQ(light.from_canonical, dec.form.from_canonical);
+  // Identity permutations, by the post-order numbering argument.
+  for (std::size_t v = 0; v < dec.form.to_canonical.size(); ++v) {
+    EXPECT_EQ(dec.form.to_canonical[v], static_cast<cograph::VertexId>(v));
+    EXPECT_EQ(dec.form.from_canonical[v],
+              static_cast<cograph::VertexId>(v));
+  }
+}
+
+TEST(FuzzSignature, ValidSignaturesRoundTripWithIdentityPermutations) {
+  for (unsigned trial = 0; trial < 120; ++trial) {
+    const Cotree t = testing::random_cotree(1 + trial % 60, 31000 + trial);
+    const auto form = canonical_form(t, /*with_algebra_key=*/false);
+    ASSERT_TRUE(cograph::signature_valid(form.signature));
+    expect_decodes_or_rejects(form.signature);
+    // Cross-check the hash against the sort-based canonicalizer.
+    EXPECT_EQ(cograph::decode_signature_form(form.signature).hash,
+              form.hash);
+  }
+}
+
+TEST(FuzzSignature, MutatedValidSignaturesDecodeOrThrowCheckError) {
+  util::Rng rng(20260808);
+  for (unsigned trial = 0; trial < 400; ++trial) {
+    const Cotree t =
+        testing::random_cotree(1 + rng.below(48), 52000 + trial);
+    const std::string valid =
+        canonical_form(t, /*with_algebra_key=*/false).signature;
+    expect_decodes_or_rejects(mutate(valid, 1 + rng.below(6), rng));
+  }
+}
+
+TEST(FuzzSignature, RawByteSoupDecodesOrThrowsCheckError) {
+  util::Rng rng(777);
+  for (unsigned trial = 0; trial < 400; ++trial) {
+    std::string bytes;
+    const std::size_t len = rng.below(96);
+    for (std::size_t i = 0; i < len; ++i) {
+      // Biased toward the three tag bytes so deep stacks actually build.
+      bytes += rng.chance(0.7) ? static_cast<char>(rng.below(3))
+                               : static_cast<char>(rng.below(256));
+    }
+    expect_decodes_or_rejects(bytes);
+  }
+}
+
+TEST(FuzzSignature, MalformedShapesAreRejectedWithStructuredReasons) {
+  using std::string;
+  const auto why_of = [](const string& bytes, std::size_t max_nodes =
+                                                  cograph::kMaxSignatureNodes) {
+    string why;
+    EXPECT_FALSE(cograph::signature_valid(bytes, &why, max_nodes));
+    return why;
+  };
+  // Empty stream.
+  EXPECT_NE(why_of("").find("empty"), string::npos);
+  // Unknown tag byte.
+  EXPECT_NE(why_of("\x07").find("unknown tag"), string::npos);
+  // Truncated LEB128 arity (join tag, then nothing).
+  EXPECT_NE(why_of(string("\x00\x00\x02", 3)).find("truncated"),
+            string::npos);
+  // Arity < 2.
+  EXPECT_NE(why_of(string("\x00\x02\x01", 3)).find("arity < 2"),
+            string::npos);
+  // Arity exceeding the available subtrees.
+  EXPECT_NE(why_of(string("\x00\x00\x02\x03", 4)).find("exceeds"),
+            string::npos);
+  // Two roots (forest, never reduced).
+  EXPECT_NE(why_of(string("\x00\x00", 2)).find("roots"), string::npos);
+  // Same-kind child (non-canonical alternation).
+  //   leaf leaf join(2) leaf join(2) — join under join.
+  EXPECT_NE(
+      why_of(string("\x00\x00\x02\x02\x00\x02\x02", 7)).find("same-kind"),
+      string::npos);
+  // Non-minimal LEB128 (arity 2 encoded in two bytes: 0x82 0x00).
+  EXPECT_NE(
+      why_of(string("\x00\x00\x02\x82\x00", 5)).find("non-minimal"),
+      string::npos);
+  // Node-count bomb: a million leaves against a tiny cap must be refused
+  // at the cap, cheaply, not after building anything.
+  EXPECT_NE(why_of(string(1 << 20, '\x00'), /*max_nodes=*/64)
+                .find("node count"),
+            string::npos);
+  // LEB128 arity far out of range (shift cap).
+  EXPECT_NE(
+      why_of(string("\x00\x00\x02\xff\xff\xff\xff\xff\x7f", 9))
+          .find("out of range"),
+      string::npos);
+}
+
+TEST(FuzzSignature, ErrorsReportTheFailingBytePosition) {
+  std::string why;
+  EXPECT_FALSE(cograph::signature_valid(std::string("\x00\x07", 2), &why));
+  EXPECT_NE(why.find("at byte 2"), std::string::npos) << why;
+}
+
 TEST(FuzzParser, NestingBeyondTheDepthCapIsRejectedNotOverflowed) {
   // A legitimate-looking expression nested past kMaxParseDepth: the parser
   // must throw CheckError at the cap instead of blowing the stack.

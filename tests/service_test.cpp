@@ -466,5 +466,71 @@ TEST(Service, ShutdownDrainsQueuedWorkAndFailsLateSubmits) {
   svc.shutdown();  // idempotent
 }
 
+TEST(Service, DrainRefusesWithItsOwnReasonAndAdvertisesState) {
+  // drain() and shutdown() (the destructor path) are distinct teardowns:
+  // the daemon advertises a drain to clients, so refusals must say
+  // "draining" — a retryable condition — and stats().draining must flip.
+  Service svc;
+  EXPECT_TRUE(svc.submit(SolveRequest{Instance::text("(+ a b)"), {}, {}})
+                  .get()
+                  .ok);
+  EXPECT_FALSE(svc.stats().draining);
+
+  svc.drain();  // blocks until everything accepted has been answered
+  EXPECT_TRUE(svc.stats().draining);
+  EXPECT_EQ(svc.stats().in_flight, 0u);
+
+  auto late = svc.submit(SolveRequest{Instance::text("(* a b)"), {}, {}});
+  const SolveResult res = late.get();
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("draining"), std::string::npos) << res.error;
+  svc.drain();  // idempotent, like shutdown()
+}
+
+TEST(Service, StatsTrackQueueDepthAndInFlight) {
+  // A one-worker service with a slow plug-in backend: while the worker
+  // sleeps inside request #1, requests #2 and #3 must be visible as
+  // queue_depth, and all three as in_flight — the numbers the daemon's
+  // backpressure window is calibrated against. After the futures resolve,
+  // both gauges must read zero.
+  BackendRegistry::instance().add(
+      static_cast<Backend>(212), "slow-for-stats",
+      [](const Cotree& t, const core::BackendConfig&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        core::BackendOutput out;
+        for (std::size_t v = 0; v < t.vertex_count(); ++v) {
+          out.cover.paths.push_back({static_cast<VertexId>(v)});
+        }
+        return out;
+      },
+      /*exact=*/false);
+  Service::Options sopts;
+  sopts.workers = 1;
+  sopts.use_cache = false;  // three distinct computes, no coalescing
+  sopts.solve.backend = static_cast<Backend>(212);
+  Service svc(sopts);
+
+  std::vector<std::future<SolveResult>> futures;
+  futures.push_back(svc.submit(SolveRequest{Instance::text("(+ a b)"), {}, {}}));
+  futures.push_back(svc.submit(SolveRequest{Instance::text("(* a b)"), {}, {}}));
+  futures.push_back(
+      svc.submit(SolveRequest{Instance::text("(+ a b c)"), {}, {}}));
+
+  // The lone worker holds request #1 for 200ms; sample inside that window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const Service::Stats mid = svc.stats();
+  EXPECT_EQ(mid.in_flight, 3u);
+  EXPECT_GE(mid.queue_depth, 1u);  // the worker may have popped #2 already
+
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok);
+  }
+  const Service::Stats done = svc.stats();
+  EXPECT_EQ(done.in_flight, 0u);
+  EXPECT_EQ(done.queue_depth, 0u);
+  EXPECT_EQ(done.submitted, 3u);
+  EXPECT_EQ(done.completed, 3u);
+}
+
 }  // namespace
 }  // namespace copath

@@ -1,0 +1,83 @@
+// copathd — serve minimum path cover over TCP.
+//
+//   copathd [--host 127.0.0.1] [--port 7431] [--workers N]
+//           [--queue N] [--window N] [--no-cache]
+//
+// One process, one event-loop thread, N solver workers. SIGTERM/SIGINT
+// drain gracefully: in-flight requests finish, new ones get structured
+// Draining refusals, and the process exits 0 once the last connection
+// closes. See src/net/server.hpp for the serving model and DESIGN.md §9
+// for the wire protocol.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "net/server.hpp"
+
+namespace {
+
+copath::net::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_drain();
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--workers N] [--queue N] "
+               "[--window N] [--no-cache]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  copath::net::Server::Options opts;
+  opts.port = 7431;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      opts.host = value();
+    } else if (arg == "--port") {
+      opts.port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (arg == "--workers") {
+      opts.service.workers = static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--queue") {
+      opts.service.queue_capacity =
+          static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--window") {
+      opts.inflight_window = static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--no-cache") {
+      opts.service.use_cache = false;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    const std::string host = opts.host;
+    copath::net::Server server(std::move(opts));
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);  // peer resets surface as write errors
+    std::printf("copathd listening on %s:%u\n", host.c_str(),
+                server.port());
+    std::fflush(stdout);
+    server.run();
+    g_server = nullptr;
+    std::printf("copathd drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "copathd: %s\n", e.what());
+    return 1;
+  }
+}
