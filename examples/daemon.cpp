@@ -7,7 +7,9 @@
 // canonical sorting server-side), and the admin verbs — then drains
 // gracefully. Runs under ctest as an end-to-end smoke of the serving tier.
 #include <iostream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "cograph/canonical.hpp"
 #include "copath.hpp"
@@ -48,7 +50,37 @@ int main() {
     if (sig.status != proto::Status::Ok || !sig.result.ok) return 1;
     if (sig.result.paths.size() != text.result.paths.size()) return 1;
 
-    // 3. Admin: health, then stats (expect the cache hit from step 2).
+    // 3. Batch request: one BatchSolve frame, one response frame with a
+    // per-slot status table. Duplicates and the signature twin of slot 0
+    // dedup inside the batch; the malformed text refuses only its slot.
+    const std::vector<proto::BatchItem> items = {
+        {/*is_signature=*/false, algebra},
+        {/*is_signature=*/true, form.signature},  // canonical twin of slot 0
+        {/*is_signature=*/false, "(+ x y)"},
+        {/*is_signature=*/false, "(* broken"},  // fails alone
+    };
+    const proto::Response batch = client.solve_batch(items);
+    if (batch.status != proto::Status::Ok ||
+        batch.batch.size() != items.size()) {
+      return 1;
+    }
+    for (std::size_t i = 0; i < batch.batch.size(); ++i) {
+      const auto& slot = batch.batch[i];
+      std::cout << "batch  : slot=" << i
+                << " status=" << proto::to_string(slot.status)
+                << (slot.status == proto::Status::Ok
+                        ? " paths=" + std::to_string(slot.result.paths.size())
+                        : " error=" + slot.error)
+                << "\n";
+    }
+    if (batch.batch[0].status != proto::Status::Ok ||
+        batch.batch[1].status != proto::Status::Ok ||
+        batch.batch[2].status != proto::Status::Ok ||
+        batch.batch[3].status != proto::Status::SolveError) {
+      return 1;
+    }
+
+    // 4. Admin: health, then stats (expect the cache hit from step 2).
     if (client.health().status != proto::Status::Ok) return 1;
     const proto::Response stats = client.stats();
     for (const auto& [key, value] : stats.stats) {
@@ -57,7 +89,7 @@ int main() {
       }
     }
 
-    // 4. Graceful drain: the ack arrives, then the server refuses new
+    // 5. Graceful drain: the ack arrives, then the server refuses new
     // work and closes once nothing is in flight.
     if (client.drain().status != proto::Status::Ok) return 1;
     std::cout << "drain  : acknowledged\n";

@@ -26,20 +26,10 @@ void BinarizedCotree::validate() const {
                    "binarized cotree must have 2L-1 nodes");
 }
 
-namespace {
-
-/// Mutable output surface shared by both storage shapes; every span is
-/// pre-sized by the caller (2L-1 nodes, L vertices).
-struct BinArrays {
-  std::span<std::int32_t> parent, left, right;
-  std::span<std::uint8_t> is_join;
-  std::span<VertexId> vertex;
-  std::span<par::NodeId> leaf_of_vertex;
-};
-
 /// The single binarization implementation (worklists from `arena`);
 /// returns the root id. Node numbering is deterministic in `t` alone, so
-/// vector-backed and arena-backed callers produce identical trees.
+/// vector-backed, arena-backed, and slab-packed callers produce identical
+/// trees.
 ///
 /// Id invariant the downstream sweeps rely on: ids are assigned in
 /// creation order and every comb node is created after both its children,
@@ -47,7 +37,7 @@ struct BinArrays {
 /// id 2L-2 — ascending id order is a post-order. make_leftist, the
 /// sequential sweep (core/sequential.cpp), and the counting sweeps
 /// (core/count.cpp) all fold in one linear pass on the strength of this.
-std::int32_t binarize_core(const Cotree& t, BinArrays out,
+std::int32_t binarize_into(const Cotree& t, BinSpans out,
                            exec::Arena& arena) {
   std::int32_t next_id = 0;
   const auto new_node = [&](bool join) {
@@ -105,10 +95,10 @@ std::int32_t binarize_core(const Cotree& t, BinArrays out,
 
 /// The single leftist implementation over mutable child spans: fills
 /// descendant-leaf counts, then swaps wherever the right side outweighs
-/// the left. Exploits the binarize_core id invariant (children before
+/// the left. Exploits the binarize_into id invariant (children before
 /// parents): one ascending linear pass IS a post-order fold — no stack,
 /// no order array, sequential memory access.
-void make_leftist_core(std::span<std::int32_t> left,
+void make_leftist_into(std::span<std::int32_t> left,
                        std::span<std::int32_t> right,
                        std::span<std::int64_t> leaf_count) {
   const std::size_t n = left.size();
@@ -129,8 +119,6 @@ void make_leftist_core(std::span<std::int32_t> left,
   }
 }
 
-}  // namespace
-
 BinarizedCotree binarize(const Cotree& t) {
   const std::size_t leaves = t.vertex_count();
   COPATH_CHECK(leaves > 0);
@@ -140,10 +128,10 @@ BinarizedCotree binarize(const Cotree& t) {
   out.is_join.assign(bn, 0);
   out.vertex.assign(bn, kNull);
   out.leaf_of_vertex.assign(leaves, -1);
-  out.tree.root = binarize_core(
+  out.tree.root = binarize_into(
       t,
-      BinArrays{out.tree.parent, out.tree.left, out.tree.right, out.is_join,
-                out.vertex, out.leaf_of_vertex},
+      BinSpans{out.tree.parent, out.tree.left, out.tree.right, out.is_join,
+               out.vertex, out.leaf_of_vertex},
       exec::Arena::for_this_thread());
 #ifndef NDEBUG
   // Constructor self-check (O(n) + scratch): debug builds only — binarize
@@ -165,24 +153,24 @@ void binarize_scratch(const Cotree& t, exec::Arena& arena,
   out.is_join.assign(bn, 0);
   out.vertex.assign(bn, kNull);
   out.leaf_of_vertex.assign(leaves, -1);
-  out.root = binarize_core(
+  out.root = binarize_into(
       t,
-      BinArrays{out.parent.span(), out.left.span(), out.right.span(),
-                out.is_join.span(), out.vertex.span(),
-                out.leaf_of_vertex.span()},
+      BinSpans{out.parent.span(), out.left.span(), out.right.span(),
+               out.is_join.span(), out.vertex.span(),
+               out.leaf_of_vertex.span()},
       arena);
 }
 
 std::vector<std::int64_t> make_leftist(BinarizedCotree& bc) {
   std::vector<std::int64_t> leaf_count(bc.size(), 0);
-  make_leftist_core(bc.tree.left, bc.tree.right, leaf_count);
+  make_leftist_into(bc.tree.left, bc.tree.right, leaf_count);
   return leaf_count;
 }
 
 void make_leftist_scratch(ScratchBinarized& bc,
                           exec::ScratchVec<std::int64_t>& leaf_count) {
   leaf_count.assign(bc.size(), 0);
-  make_leftist_core(bc.left.span(), bc.right.span(), leaf_count.span());
+  make_leftist_into(bc.left.span(), bc.right.span(), leaf_count.span());
 }
 
 }  // namespace copath::cograph

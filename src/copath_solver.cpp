@@ -8,6 +8,9 @@
 #include "core/adaptive.hpp"
 #include "core/count.hpp"
 #include "core/hamiltonian.hpp"
+#include "exec/arena.hpp"
+#include "service/batch.hpp"
+#include "service/express.hpp"
 #include "util/check.hpp"
 #include "util/thread_budget.hpp"
 #include "util/timer.hpp"
@@ -190,6 +193,66 @@ std::vector<SolveResult> Solver::solve_batch(
                                     : defaults_.batch_workers;
     pool_ = std::make_unique<util::ThreadPool>(workers);
   }
+  // Prepare pass: resolve every instance on the pool so parsing stays
+  // parallel (resolve() memoizes inside the Instance; failures re-throw
+  // identically on the solve paths below, which own the structured
+  // failure shape).
+  pool_->parallel_for(0, reqs.size(), [&](std::size_t i) {
+    try {
+      (void)reqs[i].instance.resolve();
+    } catch (...) {
+      // Swallowed here; the routing loop below re-observes it.
+    }
+  });
+
+  // Route: express-eligible instances (below the Adaptive floor, or
+  // explicitly Sequential) go through the fused dedup+pack core on the
+  // calling thread — per-request fan-out overhead beats the actual solve
+  // down there, so one packed sweep wins over pool dispatch. Everything
+  // else (big instances, PRAM/native backends, unresolvable instances)
+  // keeps the budgeted pool path.
+  std::vector<std::size_t> small, big;
+  small.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const SolveOptions opts = reqs[i].options.value_or(defaults_);
+    bool resolved = false;
+    std::size_t n = 0;
+    try {
+      n = reqs[i].instance.resolve().vertex_count();
+      resolved = true;
+    } catch (...) {
+    }
+    if (resolved && service::express_eligible(n, opts)) {
+      small.push_back(i);
+    } else {
+      big.push_back(i);
+    }
+  }
+
+  if (!small.empty()) {
+    // IdenticalTree dedup only (no cache): exactly-identical resolved
+    // trees share one sweep and identity-copied results — bitwise-equal
+    // to solving each directly. Permuted twins are NOT grouped here; their
+    // direct solves may produce different, equally-minimum covers
+    // (service/batch.hpp).
+    std::vector<SolveRequest> sreqs;
+    sreqs.reserve(small.size());
+    for (const std::size_t i : small) sreqs.push_back(reqs[i]);
+    service::BatchConfig cfg;
+    cfg.dedup = service::BatchDedup::IdenticalTree;
+    cfg.cache = nullptr;
+    const service::BatchFallback fb =
+        [this](const SolveRequest& r, const SolveOptions& o) {
+          return solve_with(r.instance, r.label, o);
+        };
+    auto sres = service::solve_batch_fused(sreqs, defaults_, cfg, fb,
+                                           exec::Arena::for_this_thread());
+    for (std::size_t k = 0; k < small.size(); ++k) {
+      results[small[k]] = std::move(sres[k]);
+    }
+  }
+  if (big.empty()) return results;
+
   // Nested-parallelism guard: with R requests sharing W pool workers, the
   // native-capable requests divide the W threads through a budgeter —
   // ceil-distributed so remainders go to the earliest starters, and
@@ -202,8 +265,9 @@ std::vector<SolveResult> Solver::solve_batch(
   // claim. Counting *unfinished* requests here would shrink every grant
   // (finished requests already returned their claim through release) and
   // re-strand the remainder the budgeter exists to distribute.
-  std::atomic<std::size_t> unclaimed{reqs.size()};
-  pool_->parallel_for(0, reqs.size(), [&](std::size_t i) {
+  std::atomic<std::size_t> unclaimed{big.size()};
+  pool_->parallel_for(0, big.size(), [&](std::size_t bi) {
+    const std::size_t i = big[bi];
     SolveOptions opts = reqs[i].options.value_or(defaults_);
     if (core::may_use_native_threads(opts.backend)) {
       const std::size_t peers = std::min(

@@ -26,6 +26,8 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -89,6 +91,23 @@ class Instance {
   /// checks belong on `signature`/`hash`. Resolves the instance first;
   /// throws like resolve() on bad input.
   [[nodiscard]] const cograph::CanonicalForm& canonical() const;
+
+  /// The undecoded source bytes, for byte-identity pre-dedup: (is_signature,
+  /// bytes) for text- and signature-sourced instances, nullopt otherwise
+  /// (tree/graph sources have no cheap byte identity). Identical bytes of
+  /// the same kind denote the same logical instance, so a batch layer may
+  /// share one resolution across them. The view borrows from this
+  /// Instance; it dies with it.
+  [[nodiscard]] std::optional<std::pair<bool, std::string_view>> raw_bytes()
+      const {
+    if (const auto* algebra = std::get_if<std::string>(&source_)) {
+      return std::make_pair(false, std::string_view(*algebra));
+    }
+    if (const auto* sig = std::get_if<SignatureBytes>(&source_)) {
+      return std::make_pair(true, std::string_view(sig->bytes));
+    }
+    return std::nullopt;
+  }
 
  private:
   /// Distinguishes signature bytes from algebra text in the source variant.

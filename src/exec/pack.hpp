@@ -1,0 +1,97 @@
+// exec::Slab — many typed arrays carved out of ONE Arena allocation.
+//
+// The fused batch path (service/batch.cpp) lays the SoA arrays of every
+// instance in a batch side by side: parent/left/right/is_join/vertex/
+// leaf_of_vertex/leaf_count for k instances become seven packed arrays with
+// per-instance offsets, not 7k separate buffers. One Arena::acquire serves
+// the whole batch, the arrays are contiguous (the back-to-back sweeps walk
+// ascending addresses), and release is a single free-list push however many
+// instances were packed.
+//
+// Usage is two-phase so the one allocation can be sized exactly:
+//
+//   exec::SlabLayout layout;
+//   const auto nodes = layout.add<std::int32_t>(total_nodes);
+//   const auto leaves = layout.add<std::int32_t>(total_leaves);
+//   exec::Slab slab(arena, layout);
+//   std::span<std::int32_t> left = slab.at(nodes);
+//   std::span<std::int32_t> lov = slab.at(leaves);
+//
+// Same lifetime rules as every arena loan (DESIGN.md §7): the arena
+// outlives the slab, one thread only. Element types follow the ScratchVec
+// contract (trivially copyable, alignment <= max_align_t — Arena buffers
+// carry operator new[]'s fundamental alignment, so aligning offsets is
+// sufficient).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+
+#include "exec/arena.hpp"
+#include "util/check.hpp"
+
+namespace copath::exec {
+
+/// A typed (offset, count) ticket into a Slab, issued by SlabLayout::add
+/// and redeemed by Slab::at. Carrying the type in the ticket keeps the two
+/// phases from disagreeing about element sizes.
+template <typename T>
+struct SlabSpan {
+  std::size_t offset = 0;
+  std::size_t count = 0;
+};
+
+/// Phase one: accumulate the arrays the slab must hold. add() aligns each
+/// array to its element type and returns the ticket for phase two.
+class SlabLayout {
+ public:
+  template <typename T>
+  [[nodiscard]] SlabSpan<T> add(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    bytes_ = align_up(bytes_, alignof(T));
+    const SlabSpan<T> s{bytes_, count};
+    bytes_ += count * sizeof(T);
+    return s;
+  }
+
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+
+ private:
+  static std::size_t align_up(std::size_t n, std::size_t a) {
+    return (n + a - 1) & ~(a - 1);
+  }
+
+  std::size_t bytes_ = 0;
+};
+
+/// Phase two: the single arena loan. at() redeems tickets into typed spans
+/// over the shared buffer; contents are uninitialized (callers fill every
+/// slot, exactly like ScratchVec::assign-based code).
+class Slab {
+ public:
+  Slab(Arena& arena, const SlabLayout& layout)
+      : arena_(&arena),
+        buf_(arena.acquire(layout.bytes() > 0 ? layout.bytes() : 1)),
+        bytes_(layout.bytes()) {}
+
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+  ~Slab() { arena_->release(buf_); }
+
+  template <typename T>
+  [[nodiscard]] std::span<T> at(SlabSpan<T> s) {
+    COPATH_DCHECK(s.offset + s.count * sizeof(T) <= bytes_ ||
+                  s.count == 0);
+    return {reinterpret_cast<T*>(buf_.data + s.offset), s.count};
+  }
+
+ private:
+  Arena* arena_;
+  Arena::Buffer buf_;
+  std::size_t bytes_;
+};
+
+}  // namespace copath::exec

@@ -41,6 +41,13 @@ std::uint64_t Client::send_solve_signature(std::string_view signature,
   return seq;
 }
 
+std::uint64_t Client::send_solve_batch(
+    std::span<const proto::BatchItem> items, proto::WireOptions opts) {
+  const std::uint64_t seq = next_seq_++;
+  proto::append_batch_request(sendbuf_, seq, opts, items);
+  return seq;
+}
+
 std::uint64_t Client::send_admin(proto::Verb verb) {
   const std::uint64_t seq = next_seq_++;
   proto::append_admin_request(sendbuf_, verb, seq);
@@ -80,6 +87,12 @@ proto::Response Client::solve_text(std::string_view algebra,
 proto::Response Client::solve_signature(std::string_view signature,
                                         proto::WireOptions opts) {
   (void)send_solve_signature(signature, opts);
+  return recv();
+}
+
+proto::Response Client::solve_batch(std::span<const proto::BatchItem> items,
+                                    proto::WireOptions opts) {
+  (void)send_solve_batch(items, opts);
   return recv();
 }
 

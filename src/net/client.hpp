@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -37,6 +38,10 @@ class Client {
   /// `signature` is raw CanonicalForm::signature bytes — the hot path.
   std::uint64_t send_solve_signature(std::string_view signature,
                                      protocol::WireOptions opts = {});
+  /// Buffer a whole BatchSolve frame: one sequence id, one response frame
+  /// with a positionally aligned status per item (Response::batch).
+  std::uint64_t send_solve_batch(std::span<const protocol::BatchItem> items,
+                                 protocol::WireOptions opts = {});
   std::uint64_t send_admin(protocol::Verb verb);
 
   /// Writes every buffered request to the socket.
@@ -53,6 +58,12 @@ class Client {
                                               protocol::WireOptions opts = {});
   [[nodiscard]] protocol::Response solve_signature(
       std::string_view signature, protocol::WireOptions opts = {});
+  /// One round trip for a whole batch. The returned Response carries
+  /// per-item slots on Status::Ok; whole-batch refusals (draining,
+  /// malformed batch) come back as a non-Ok status instead.
+  [[nodiscard]] protocol::Response solve_batch(
+      std::span<const protocol::BatchItem> items,
+      protocol::WireOptions opts = {});
   [[nodiscard]] protocol::Response stats();
   [[nodiscard]] protocol::Response health();
   /// Asks the server to drain. The Ok ack comes back before the server

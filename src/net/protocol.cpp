@@ -1,5 +1,6 @@
 #include "net/protocol.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace copath::net::protocol {
@@ -100,7 +101,7 @@ constexpr std::uint8_t kResHasVerdicts = 1u << 5;
 
 bool known_verb(std::uint8_t v) {
   return v >= static_cast<std::uint8_t>(Verb::SolveText) &&
-         v <= static_cast<std::uint8_t>(Verb::Drain);
+         v <= static_cast<std::uint8_t>(Verb::BatchSolve);
 }
 
 void append_response_header(ByteWriter& w, Verb verb, std::uint64_t seq,
@@ -296,7 +297,8 @@ bool parse_request(std::string_view payload, Request* req) {
   if (!r.u8(&verb) || !r.u64(&req->seq)) return false;
   if (!known_verb(verb)) return false;
   req->verb = static_cast<Verb>(verb);
-  if (req->verb == Verb::SolveText || req->verb == Verb::SolveSignature) {
+  if (req->verb == Verb::SolveText || req->verb == Verb::SolveSignature ||
+      req->verb == Verb::BatchSolve) {
     std::uint16_t reserved = 0;
     if (!r.u8(&req->opts.flags) || !r.u8(&req->opts.backend) ||
         !r.u16(&reserved)) {
@@ -310,6 +312,99 @@ bool parse_request(std::string_view payload, Request* req) {
   req->opts = WireOptions{};
   req->body = {};
   return r.remaining() == 0;
+}
+
+void append_batch_request(std::string& out, std::uint64_t seq,
+                          WireOptions opts,
+                          std::span<const BatchItem> items) {
+  std::string payload;
+  std::size_t body_bytes = 0;
+  for (const BatchItem& item : items) body_bytes += 5 + item.body.size();
+  payload.reserve(1 + 8 + 4 + 2 + body_bytes);
+  ByteWriter w(payload);
+  w.u8(static_cast<std::uint8_t>(Verb::BatchSolve));
+  w.u64(seq);
+  w.u8(opts.flags);
+  w.u8(opts.backend);
+  w.u16(0);
+  w.u16(static_cast<std::uint16_t>(items.size()));
+  for (const BatchItem& item : items) {
+    w.u8(item.is_signature ? kBatchItemSignature : kBatchItemText);
+    w.u32(static_cast<std::uint32_t>(item.body.size()));
+    w.bytes(item.body);
+  }
+  append_frame(out, payload);
+}
+
+bool parse_batch_body(std::string_view body, std::size_t max_items,
+                      std::vector<BatchItem>* items, std::string* why) {
+  // Every rejection names its reason: the server relays `why` in the
+  // BadFrame response body, so a misbehaving client learns which
+  // structural rule it broke (the signature_valid contract, one layer up).
+  const auto fail = [&](std::string reason) {
+    if (why != nullptr) *why = std::move(reason);
+    items->clear();
+    return false;
+  };
+  items->clear();
+  ByteReader r(body);
+  std::uint16_t count = 0;
+  if (!r.u16(&count)) return fail("batch body truncated before count");
+  if (count == 0) return fail("batch count is zero");
+  const std::size_t cap = std::min(max_items, kMaxBatchItems);
+  if (count > cap) {
+    return fail("batch count " + std::to_string(count) +
+                " exceeds cap " + std::to_string(cap));
+  }
+  items->reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::string slot = std::to_string(i);
+    std::uint8_t kind = 0;
+    std::uint32_t len = 0;
+    if (!r.u8(&kind) || !r.u32(&len)) {
+      return fail("batch item " + slot + " header truncated");
+    }
+    if (kind != kBatchItemText && kind != kBatchItemSignature) {
+      return fail("batch item " + slot + " has unknown kind " +
+                  std::to_string(kind));
+    }
+    if (len == 0) return fail("batch item " + slot + " is empty");
+    std::string_view sub;
+    if (!r.bytes(len, &sub)) {
+      return fail("batch item " + slot + " body truncated");
+    }
+    items->push_back(BatchItem{kind == kBatchItemSignature, sub});
+  }
+  if (r.remaining() != 0) {
+    return fail(std::to_string(r.remaining()) +
+                " trailing bytes after batch items");
+  }
+  return true;
+}
+
+std::string encode_batch_response_frame(
+    std::uint64_t seq, std::span<const BatchResponseEntry> entries) {
+  std::string payload;
+  ByteWriter w(payload);
+  append_response_header(w, Verb::BatchSolve, seq, Status::Ok);
+  w.u16(static_cast<std::uint16_t>(entries.size()));
+  std::string sub;
+  for (const BatchResponseEntry& e : entries) {
+    sub.clear();
+    ByteWriter sw(sub);
+    if (e.status == Status::Ok && e.result != nullptr) {
+      encode_result_body(sw, *e.result);
+    } else {
+      sw.bytes(e.error);
+    }
+    w.u8(static_cast<std::uint8_t>(e.status));
+    w.u32(static_cast<std::uint32_t>(sub.size()));
+    w.bytes(sub);
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  append_frame(out, payload);
+  return out;
 }
 
 std::string encode_solve_response_frame(std::uint64_t seq, Verb verb,
@@ -368,6 +463,7 @@ bool parse_response(std::string_view payload, Response* out) {
   out->result = WireResult{};
   out->error.clear();
   out->stats.clear();
+  out->batch.clear();
   if (out->status != Status::Ok) {
     out->error.assign(r.rest());
     return true;
@@ -376,6 +472,36 @@ bool parse_response(std::string_view payload, Response* out) {
     case Verb::SolveText:
     case Verb::SolveSignature:
       return decode_result_body(r, &out->result) && r.remaining() == 0;
+    case Verb::BatchSolve: {
+      std::uint16_t count = 0;
+      if (!r.u16(&count)) return false;
+      if (count > r.remaining()) return false;
+      out->batch.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        std::uint8_t slot_status = 0;
+        std::uint32_t len = 0;
+        std::string_view sub;
+        if (!r.u8(&slot_status) || !r.u32(&len) || !r.bytes(len, &sub)) {
+          return false;
+        }
+        if (slot_status > static_cast<std::uint8_t>(Status::VersionMismatch)) {
+          return false;
+        }
+        auto& slot = out->batch.emplace_back();
+        slot.status = static_cast<Status>(slot_status);
+        if (slot.status == Status::Ok) {
+          // Each sub-body must decode exactly — a slot cannot borrow bytes
+          // from its neighbors.
+          ByteReader sr(sub);
+          if (!decode_result_body(sr, &slot.result) || sr.remaining() != 0) {
+            return false;
+          }
+        } else {
+          slot.error.assign(sub);
+        }
+      }
+      return r.remaining() == 0;
+    }
     case Verb::Stats: {
       std::uint32_t count = 0;
       if (!r.u32(&count)) return false;

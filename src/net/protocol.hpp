@@ -26,9 +26,23 @@
 //                     canonical sorting, at the price of a full
 //                     stack-machine re-validation of the untrusted bytes
 //     Stats | Health | Drain     body empty (admin verbs)
+//     BatchSolve      body = WireOptions (4 bytes, shared by every item) |
+//                     u16 count | count * (u8 kind | u32 len | len bytes)
+//                     where kind selects the sub-body meaning (1 = algebra
+//                     text, 2 = signature bytes). The whole batch is ONE
+//                     frame, ONE sequence id, and ONE service dispatch:
+//                     the server dedups/packs it (service/batch.hpp) and
+//                     answers with ONE response frame carrying a
+//                     positionally aligned status+body per item.
 //
 //   response payload              verb u8 | seq u64 | status u8 | body
 //     status == Ok, solve verbs  body = encoded result (see WireResult)
+//     status == Ok, BatchSolve   body = u16 count | count * (u8 status |
+//                                u32 len | sub-body: encoded result when
+//                                the slot status is Ok, UTF-8 error
+//                                otherwise) — per-item failure isolation:
+//                                one bad signature refuses its slot, not
+//                                the batch
 //     status == Ok, Stats        body = u32 count | count * (u8 keylen |
 //                                key bytes | u64 value)
 //     status != Ok               body = UTF-8 error message
@@ -68,7 +82,17 @@ enum class Verb : std::uint8_t {
   Stats = 3,
   Health = 4,
   Drain = 5,
+  BatchSolve = 6,
 };
+
+/// Protocol-level ceiling on BatchSolve items per frame (servers may
+/// configure a lower operational cap). With the frame bound this caps the
+/// worst-case per-frame work a client can demand in one dispatch.
+inline constexpr std::size_t kMaxBatchItems = 1024;
+
+// BatchSolve item kinds (the u8 `kind` on the wire).
+inline constexpr std::uint8_t kBatchItemText = 1;
+inline constexpr std::uint8_t kBatchItemSignature = 2;
 
 enum class Status : std::uint8_t {
   Ok = 0,
@@ -163,7 +187,33 @@ void append_admin_request(std::string& out, Verb verb, std::uint64_t seq);
 /// False on structurally bad payloads (unknown verb, truncated header or
 /// options). `req->seq` is still recovered when at least verb+seq were
 /// present, so error responses can carry the right correlation id.
+/// For Verb::BatchSolve, `req->body` is the raw item list after the shared
+/// WireOptions — run parse_batch_body over it next.
 [[nodiscard]] bool parse_request(std::string_view payload, Request* req);
+
+// ------------------------------------------------------------ batch verb
+
+/// One BatchSolve item: views into the request payload (text algebra or
+/// signature bytes), valid while that payload lives.
+struct BatchItem {
+  bool is_signature = false;
+  std::string_view body;
+};
+
+void append_batch_request(std::string& out, std::uint64_t seq,
+                          WireOptions opts,
+                          std::span<const BatchItem> items);
+
+/// Structural validation + decode of a BatchSolve item list (the Request
+/// body after the shared options). False on any malformation — zero
+/// count, count above min(max_items, kMaxBatchItems), unknown item kind,
+/// empty or truncated sub-body, trailing bytes — with a structured reason
+/// in `*why` (the server's BadFrame message, mirroring signature_valid's
+/// contract). Item views alias `body`.
+[[nodiscard]] bool parse_batch_body(std::string_view body,
+                                    std::size_t max_items,
+                                    std::vector<BatchItem>* items,
+                                    std::string* why);
 
 // ------------------------------------------------------------ responses
 
@@ -189,7 +239,28 @@ struct Response {
   WireResult result{};          // solve verbs, status == Ok
   std::string error;            // status != Ok
   std::vector<std::pair<std::string, std::uint64_t>> stats;  // Verb::Stats
+  /// Verb::BatchSolve, status == Ok: one slot per requested item, in
+  /// request order.
+  struct BatchSlot {
+    Status status = Status::Ok;
+    WireResult result{};  // status == Ok
+    std::string error;    // status != Ok
+  };
+  std::vector<BatchSlot> batch;
 };
+
+/// One encoded BatchSolve response slot: Ok slots carry `*result`, others
+/// carry `error`.
+struct BatchResponseEntry {
+  Status status = Status::Ok;
+  const SolveResult* result = nullptr;
+  std::string_view error;
+};
+
+/// Encodes the complete BatchSolve response FRAME (outer status Ok;
+/// whole-batch refusals use encode_status_response_frame instead).
+[[nodiscard]] std::string encode_batch_response_frame(
+    std::uint64_t seq, std::span<const BatchResponseEntry> entries);
 
 /// Encodes a complete response FRAME (header included) for a solve verb:
 /// Ok responses carry the encoded `res`, refusals/errors carry `error`.

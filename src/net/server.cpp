@@ -14,6 +14,11 @@ namespace proto = protocol;
 
 namespace {
 
+bool service_refused(const SolveResult& res) {
+  return res.error == "service is draining" ||
+         res.error == "service is shut down";
+}
+
 /// Built on the SOLVER WORKER thread — response encoding is the expensive
 /// part of completion, and doing it here keeps the event loop's share of a
 /// completion down to append-and-flush.
@@ -25,10 +30,10 @@ std::string encode_completion(std::uint64_t seq, proto::Verb verb,
   }
   // Service-level refusals surface as Draining (the client should go
   // elsewhere); everything else failed structurally inside the solve.
-  const bool refused = res.error == "service is draining" ||
-                       res.error == "service is shut down";
   return proto::encode_solve_response_frame(
-      seq, verb, refused ? proto::Status::Draining : proto::Status::SolveError,
+      seq, verb,
+      service_refused(res) ? proto::Status::Draining
+                           : proto::Status::SolveError,
       nullptr, res.error);
 }
 
@@ -192,6 +197,8 @@ bool Server::handle_frame(Conn& conn, std::string_view payload) {
     case proto::Verb::SolveText:
     case proto::Verb::SolveSignature:
       return handle_solve(conn, req);
+    case proto::Verb::BatchSolve:
+      return handle_batch(conn, req);
   }
   return true;
 }
@@ -219,8 +226,111 @@ bool Server::handle_solve(Conn& conn, const proto::Request& req) {
   sreq.options = proto::apply_wire_options(req.opts, opts_.service.solve);
   if (!try_dispatch(conn, req.verb, req.seq, std::move(sreq))) {
     ++parked_total_;
-    conn.parked.push_back(Parked{req.verb, req.seq, std::move(sreq)});
+    conn.parked.push_back(
+        Parked{req.verb, req.seq, std::move(sreq), nullptr});
   }
+  return true;
+}
+
+bool Server::handle_batch(Conn& conn, const proto::Request& req) {
+  if (draining_) {
+    return queue_frame(conn, proto::encode_status_response_frame(
+                                 req.seq, proto::Verb::BatchSolve,
+                                 proto::Status::Draining,
+                                 "server is draining"));
+  }
+  // Structural validation on the loop thread, like single-solve signature
+  // checks: a malformed batch must not cost a queue slot or worker wakeup.
+  std::vector<proto::BatchItem> items;
+  std::string why;
+  if (!proto::parse_batch_body(req.body, opts_.max_batch_items, &items,
+                               &why)) {
+    ++bad_frames_;
+    return queue_frame(conn, proto::encode_status_response_frame(
+                                 req.seq, proto::Verb::BatchSolve,
+                                 proto::Status::BadFrame, why));
+  }
+  auto plan = std::make_shared<BatchPlan>();
+  plan->slots.resize(items.size());
+  plan->reqs.reserve(items.size());
+  plan->req_slot.reserve(items.size());
+  const std::optional<SolveOptions> opts =
+      proto::apply_wire_options(req.opts, opts_.service.solve);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const proto::BatchItem& item = items[i];
+    if (item.is_signature) {
+      // Per-slot isolation: one hostile signature refuses its slot, the
+      // rest of the batch still solves.
+      std::string swhy;
+      if (!cograph::signature_valid(item.body, &swhy)) {
+        plan->slots[i].prefilled = true;
+        plan->slots[i].status = proto::Status::InvalidSignature;
+        plan->slots[i].error = std::move(swhy);
+        continue;
+      }
+    }
+    SolveRequest sreq;
+    sreq.instance = item.is_signature
+                        ? Instance::signature(std::string(item.body))
+                        : Instance::text(std::string(item.body));
+    sreq.options = opts;
+    plan->req_slot.push_back(i);
+    plan->reqs.push_back(std::move(sreq));
+  }
+  if (plan->reqs.empty()) {
+    // Every slot refused up front — answer inline, nothing to dispatch.
+    return queue_frame(conn, encode_batch_completion(req.seq, *plan, {}));
+  }
+  if (!try_dispatch_batch(conn, req.seq, plan)) {
+    ++parked_total_;
+    conn.parked.push_back(
+        Parked{proto::Verb::BatchSolve, req.seq, {}, std::move(plan)});
+  }
+  return true;
+}
+
+std::string Server::encode_batch_completion(
+    std::uint64_t seq, const BatchPlan& plan,
+    std::span<const SolveResult> results) {
+  std::vector<proto::BatchResponseEntry> entries(plan.slots.size());
+  for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+    if (plan.slots[i].prefilled) {
+      entries[i].status = plan.slots[i].status;
+      entries[i].error = plan.slots[i].error;
+    }
+  }
+  for (std::size_t k = 0; k < results.size() && k < plan.req_slot.size();
+       ++k) {
+    proto::BatchResponseEntry& e = entries[plan.req_slot[k]];
+    const SolveResult& res = results[k];
+    if (res.ok) {
+      e.status = proto::Status::Ok;
+      e.result = &res;
+    } else {
+      e.status = service_refused(res) ? proto::Status::Draining
+                                      : proto::Status::SolveError;
+      e.error = res.error;
+    }
+  }
+  return proto::encode_batch_response_frame(seq, entries);
+}
+
+bool Server::try_dispatch_batch(Conn& conn, std::uint64_t seq,
+                                const std::shared_ptr<BatchPlan>& plan) {
+  const std::uint64_t id = conn.id;
+  Service::BatchSink sink =
+      [this, id, seq, plan](std::vector<SolveResult> results) {
+        // Worker thread: encode the whole frame here, hand bytes to the
+        // loop — same division of labor as single-solve completions.
+        std::string frame = encode_batch_completion(seq, *plan, results);
+        {
+          std::lock_guard<std::mutex> lock(completions_mu_);
+          completions_.emplace_back(id, std::move(frame));
+        }
+        loop_.wake();
+      };
+  if (!service_.try_submit_batch_async(plan->reqs, sink)) return false;
+  ++conn.inflight;  // one window slot per batch: it is one dispatch
   return true;
 }
 
@@ -251,6 +361,9 @@ bool Server::send_stats(Conn& conn, std::uint64_t seq) {
       {"cache_misses", s.cache_misses},
       {"coalesced", s.coalesced},
       {"express_solves", s.express_solves},
+      {"batch_submits", s.batch_submits},
+      {"batch_dedup_hits", s.batch_dedup_hits},
+      {"packed_solves", s.packed_solves},
       {"connections", conns_.size()},
       {"accepted", accepted_},
       {"frames", frames_},
@@ -323,7 +436,11 @@ bool Server::make_progress(Conn& conn) {
       continue;
     }
     Parked& p = conn.parked.front();
-    if (!try_dispatch(conn, p.verb, p.seq, std::move(p.req))) return true;
+    if (p.plan != nullptr) {
+      if (!try_dispatch_batch(conn, p.seq, p.plan)) return true;
+    } else {
+      if (!try_dispatch(conn, p.verb, p.seq, std::move(p.req))) return true;
+    }
     conn.parked.pop_front();
   }
   if (!conn.close_after_flush && !conn.inbuf.empty() &&

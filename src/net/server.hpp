@@ -29,6 +29,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -48,7 +49,14 @@ class Server {
     /// 0 = ephemeral; read the actual port from port() after construction.
     std::uint16_t port = 0;
     /// Max unanswered solve requests per connection before its reads pause.
+    /// A BatchSolve frame counts as ONE toward the window however many
+    /// items it carries — the window bounds dispatches, and a batch is one
+    /// dispatch (the service packs it onto one worker).
     std::size_t inflight_window = 64;
+    /// Operational cap on BatchSolve items per frame; clamped to the
+    /// protocol ceiling (protocol::kMaxBatchItems). Oversized batches are
+    /// refused as BadFrame with a structured reason.
+    std::size_t max_batch_items = protocol::kMaxBatchItems;
     /// Pause reads while a connection's outbuf exceeds this many bytes.
     std::size_t outbuf_high_water = 4u << 20;
     Service::Options service{};
@@ -72,10 +80,28 @@ class Server {
   void request_drain();
 
  private:
+  /// Decoded BatchSolve frame en route to (or through) the service. Slots
+  /// refused on the loop thread (invalid signatures) are prefilled here;
+  /// the rest map positionally onto `reqs`. Shared with the worker-side
+  /// sink, which needs the slot plan to encode the response frame.
+  struct BatchPlan {
+    struct Slot {
+      bool prefilled = false;
+      protocol::Status status = protocol::Status::Ok;
+      std::string error;
+    };
+    std::vector<Slot> slots;
+    /// Submitted subset in slot order; moved into the service on dispatch.
+    std::vector<SolveRequest> reqs;
+    /// Slot index of each submitted request.
+    std::vector<std::size_t> req_slot;
+  };
   struct Parked {
     protocol::Verb verb;
     std::uint64_t seq;
     SolveRequest req;
+    /// Non-null for a parked batch (`req` is then unused).
+    std::shared_ptr<BatchPlan> plan;
   };
   struct Conn {
     Fd fd;
@@ -102,11 +128,23 @@ class Server {
   bool consume_frames(Conn& conn);
   bool handle_frame(Conn& conn, std::string_view payload);
   bool handle_solve(Conn& conn, const protocol::Request& req);
+  bool handle_batch(Conn& conn, const protocol::Request& req);
   /// True if the request entered the service (or was refused inline by a
   /// closed service — the sink fires either way); false = queue full,
   /// `sreq` intact, caller parks.
   bool try_dispatch(Conn& conn, protocol::Verb verb, std::uint64_t seq,
                     SolveRequest&& sreq);
+  /// Batch form of try_dispatch: same contract, `plan->reqs` intact on
+  /// false so the caller can park the plan and retry.
+  bool try_dispatch_batch(Conn& conn, std::uint64_t seq,
+                          const std::shared_ptr<BatchPlan>& plan);
+  /// Merges prefilled slots with the service's results (positionally
+  /// aligned with plan.req_slot) into one response frame. Runs on the
+  /// solver worker for dispatched batches, on the loop thread when every
+  /// slot was refused up front.
+  [[nodiscard]] static std::string encode_batch_completion(
+      std::uint64_t seq, const BatchPlan& plan,
+      std::span<const SolveResult> results);
   bool send_stats(Conn& conn, std::uint64_t seq);
   /// Retries parked requests (refusing them during drain) and resumes
   /// consuming buffered frames once the window allows.

@@ -1,0 +1,419 @@
+#include "service/batch.hpp"
+
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "cograph/binarize.hpp"
+#include "core/adaptive.hpp"
+#include "core/count.hpp"
+#include "core/hamiltonian.hpp"
+#include "core/sequential.hpp"
+#include "exec/pack.hpp"
+#include "service/express.hpp"
+#include "util/timer.hpp"
+
+namespace copath::service {
+namespace {
+
+/// Failure shape of the Service's pre-solve path (process()'s canonicalize
+/// catch): label + backend + error, routed left at its default.
+SolveResult prep_failure(const std::string& label, Backend backend,
+                         std::string error) {
+  SolveResult res;
+  res.label = label;
+  res.backend = backend;
+  res.error = std::move(error);
+  return res;
+}
+
+/// Failure shape of solve_express's catch: routed echoes the backend.
+SolveResult solve_failure(const std::string& label, Backend backend,
+                          std::string error) {
+  SolveResult res = prep_failure(label, backend, std::move(error));
+  res.routed = backend;
+  return res;
+}
+
+/// Structural identity hash for BatchDedup::IdenticalTree — two cotrees
+/// collide iff their node arrays are byte-for-byte the same walk (same
+/// ids, same kinds, same children order, same vertex labels). Permuted
+/// twins get different hashes with overwhelming probability, which is the
+/// point: they must NOT be grouped in this mode.
+std::uint64_t identical_tree_hash(const cograph::Cotree& t) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(t.size());
+  mix(static_cast<std::uint64_t>(t.root()));
+  for (std::size_t v = 0; v < t.size(); ++v) {
+    const auto id = static_cast<cograph::NodeId>(v);
+    mix(static_cast<std::uint64_t>(t.kind(id)));
+    if (t.is_leaf(id)) {
+      mix(static_cast<std::uint64_t>(t.vertex_of(id)) + 0x9e3779b97f4a7c15ull);
+    } else {
+      for (const auto c : t.children(id)) {
+        mix(static_cast<std::uint64_t>(c));
+      }
+    }
+  }
+  return h;
+}
+
+bool trees_identical(const cograph::Cotree& a, const cograph::Cotree& b) {
+  if (a.size() != b.size() || a.root() != b.root()) return false;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    const auto id = static_cast<cograph::NodeId>(v);
+    if (a.kind(id) != b.kind(id)) return false;
+    if (a.is_leaf(id)) {
+      if (a.vertex_of(id) != b.vertex_of(id)) return false;
+      continue;
+    }
+    const auto ca = a.children(id);
+    const auto cb = b.children(id);
+    if (ca.size() != cb.size()) return false;
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      if (ca[i] != cb[i]) return false;
+    }
+  }
+  return true;
+}
+
+/// Per-request pre-pass state. `form`/`tree` are borrowed from the request
+/// instances, which the caller keeps alive for the whole call — the dedup
+/// keys below view the forms' signature bytes on the same terms.
+struct Prep {
+  SolveOptions opts;
+  const cograph::CanonicalForm* form = nullptr;  // Canonical mode
+  const cograph::Cotree* tree = nullptr;         // IdenticalTree mode
+  std::uint64_t tree_hash = 0;                   // IdenticalTree mode
+  std::size_t n = 0;
+  bool failed = false;
+};
+
+/// A dedup group: `members` are request indices in arrival order;
+/// members[0] is the rep that actually solves.
+struct Group {
+  std::vector<std::size_t> members;
+};
+
+struct RefHash {
+  std::size_t operator()(const CacheKeyRef& k) const {
+    return static_cast<std::size_t>(k.hash);
+  }
+};
+
+}  // namespace
+
+std::vector<SolveResult> solve_batch_fused(
+    std::span<const SolveRequest> reqs, const SolveOptions& default_opts,
+    const BatchConfig& cfg, const BatchFallback& fallback,
+    exec::Arena& arena, BatchOutcome* outcome) {
+  std::vector<SolveResult> results(reqs.size());
+  BatchOutcome local{};
+  BatchOutcome& out = outcome != nullptr ? *outcome : local;
+  if (reqs.empty()) return results;
+
+  // ---- pre-pass: canonicalize/resolve, failure isolation ---------------
+  // Byte-identity pre-dedup first: duplicate text/signature payloads are
+  // the same logical instance, so the batch pays parse/canonicalize once
+  // per unique payload, not once per member — on duplicate-heavy batches
+  // this is the dominant cost, and it is what N independent submits spread
+  // across N workers while this sweep runs on one. Later members alias the
+  // first arrival's borrowed form/tree (equal by value to what their own
+  // resolution would build, so downstream fan-out is unchanged).
+  std::vector<Prep> preps(reqs.size());
+  std::unordered_map<std::string_view, std::size_t> raw_first[2];
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    Prep& p = preps[i];
+    p.opts = reqs[i].options.value_or(default_opts);
+    if (const auto raw = reqs[i].instance.raw_bytes()) {
+      const auto [it, fresh] =
+          raw_first[raw->first ? 1 : 0].emplace(raw->second, i);
+      if (!fresh) {
+        const std::size_t owner = it->second;
+        const Prep& op = preps[owner];
+        if (op.failed) {
+          p.failed = true;
+          results[i] = prep_failure(reqs[i].label, p.opts.backend,
+                                    results[owner].error);
+        } else {
+          p.form = op.form;
+          p.tree = op.tree;
+          p.tree_hash = op.tree_hash;
+          p.n = op.n;
+        }
+        continue;
+      }
+    }
+    try {
+      if (cfg.dedup == BatchDedup::Canonical) {
+        // The cache-hit path must not materialize trees (signature-sourced
+        // instances serve warm hits form-only), so only the form here;
+        // resolve() is deferred to the groups that actually solve.
+        p.form = &reqs[i].instance.canonical();
+        p.n = p.form->from_canonical.size();
+      } else {
+        p.tree = &reqs[i].instance.resolve();
+        p.tree_hash = identical_tree_hash(*p.tree);
+        p.n = p.tree->vertex_count();
+      }
+    } catch (const std::exception& e) {
+      p.failed = true;
+      results[i] = prep_failure(reqs[i].label, p.opts.backend, e.what());
+    } catch (...) {
+      p.failed = true;
+      results[i] =
+          prep_failure(reqs[i].label, p.opts.backend, "non-standard exception");
+    }
+  }
+
+  // ---- dedup: group duplicates, first member is the rep ----------------
+  // Key lifetime: Canonical keys view signature bytes owned by the request
+  // instances' CanonicalForms; both outlive this call, so the map borrows.
+  std::vector<Group> groups;
+  if (cfg.dedup == BatchDedup::Canonical) {
+    std::unordered_map<CacheKeyRef, std::size_t, RefHash> index;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (preps[i].failed) continue;
+      const CacheKeyRef key = make_cache_key(*preps[i].form, preps[i].opts);
+      const auto [it, fresh] = index.emplace(key, groups.size());
+      if (fresh) groups.push_back(Group{});
+      groups[it->second].members.push_back(i);
+    }
+  } else {
+    // Bucket by structural hash + options, confirm with an exact tree
+    // compare — a hash collision costs a compare, never a wrong merge.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (preps[i].failed) continue;
+      const OptionsKey ok = options_key(preps[i].opts);
+      auto& bucket = buckets[preps[i].tree_hash];
+      std::size_t found = groups.size();
+      for (const std::size_t g : bucket) {
+        const std::size_t rep = groups[g].members.front();
+        if (options_key(preps[rep].opts) == ok &&
+            trees_identical(*preps[rep].tree, *preps[i].tree)) {
+          found = g;
+          break;
+        }
+      }
+      if (found == groups.size()) {
+        groups.push_back(Group{});
+        bucket.push_back(found);
+      }
+      groups[found].members.push_back(i);
+    }
+  }
+
+  // ---- scatter helper: rep result -> every group member ----------------
+  const auto finish_group = [&](const Group& g, SolveResult res) {
+    const std::size_t rep = g.members.front();
+    const Prep& rp = preps[rep];
+    std::shared_ptr<const SolveResult> canonical;
+    if (res.ok && cfg.cache != nullptr && rp.form != nullptr) {
+      try {
+        canonical = std::make_shared<const SolveResult>(
+            to_canonical_space(res, *rp.form));
+        cfg.cache->insert(make_cache_key(*rp.form, rp.opts), canonical);
+      } catch (...) {
+        canonical = nullptr;  // a failed store must not strand the members
+      }
+    }
+    // Canonical fan-out needs the canonical-space result even when no
+    // cache wanted it stored.
+    std::optional<SolveResult> tmp;
+    const SolveResult* canon_src = canonical.get();
+    if (res.ok && cfg.dedup == BatchDedup::Canonical &&
+        canon_src == nullptr && g.members.size() > 1) {
+      try {
+        tmp = to_canonical_space(res, *rp.form);
+        canon_src = &*tmp;
+      } catch (...) {
+        canon_src = nullptr;
+      }
+    }
+    for (std::size_t m = 1; m < g.members.size(); ++m) {
+      const std::size_t j = g.members[m];
+      ++out.dedup_hits;
+      try {
+        if (!res.ok) {
+          results[j] = res;
+          results[j].label = reqs[j].label;
+        } else if (cfg.dedup == BatchDedup::Canonical) {
+          if (canon_src == nullptr) {
+            results[j] = prep_failure(reqs[j].label, preps[j].opts.backend,
+                                      "failed to materialize result");
+            continue;
+          }
+          // The member's instance shares the canonical class but not the
+          // leaf ids: replay through ITS permutation, exactly like a
+          // Service cache hit or coalesced waiter.
+          results[j] = remapped_from_canonical(*canon_src, *preps[j].form);
+          results[j].label = reqs[j].label;
+        } else {
+          // Identical trees: replay is the identity.
+          results[j] = res;
+          results[j].label = reqs[j].label;
+        }
+      } catch (...) {
+        results[j] = prep_failure(reqs[j].label, preps[j].opts.backend,
+                                  "failed to materialize result");
+      }
+    }
+    results[rep] = std::move(res);
+  };
+
+  // ---- cache probe (once per group) + route ----------------------------
+  std::vector<std::size_t> packed;  // group indices headed for the slab
+  packed.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const std::size_t rep = groups[g].members.front();
+    const Prep& rp = preps[rep];
+    if (cfg.cache != nullptr && rp.form != nullptr) {
+      const CacheKeyRef key = make_cache_key(*rp.form, rp.opts);
+      if (const auto hit = cfg.cache->lookup(key)) {
+        ++out.cache_hits;
+        out.dedup_hits += groups[g].members.size() - 1;
+        for (const std::size_t j : groups[g].members) {
+          try {
+            results[j] = remapped_from_canonical(*hit, *preps[j].form);
+            results[j].label = reqs[j].label;
+          } catch (...) {
+            results[j] = prep_failure(reqs[j].label, preps[j].opts.backend,
+                                      "failed to materialize cache hit");
+          }
+        }
+        groups[g].members.clear();  // fully answered
+        continue;
+      }
+    }
+    if (cfg.use_express_pack && express_eligible(rp.n, rp.opts)) {
+      packed.push_back(g);
+    } else {
+      finish_group(groups[g], fallback(reqs[rep], rp.opts));
+    }
+  }
+
+  if (packed.empty()) return results;
+
+  // ---- pack: every survivor's arrays in ONE arena allocation -----------
+  // Sizes are exact up front (2n-1 binarized nodes, n leaves per
+  // instance), so the slab is carved once and sliced per instance.
+  std::vector<const cograph::Cotree*> trees(packed.size(), nullptr);
+  std::size_t total_nodes = 0, total_leaves = 0;
+  for (std::size_t k = 0; k < packed.size(); ++k) {
+    const Group& g = groups[packed[k]];
+    const std::size_t rep = g.members.front();
+    try {
+      // Canonical mode deferred resolution to here — the groups that
+      // actually solve; a decode/parse failure fails this group alone.
+      trees[k] = &reqs[rep].instance.resolve();
+      total_nodes += 2 * preps[rep].n - 1;
+      total_leaves += preps[rep].n;
+    } catch (const std::exception& e) {
+      finish_group(g, solve_failure(reqs[rep].label,
+                                    preps[rep].opts.backend, e.what()));
+    } catch (...) {
+      finish_group(g, solve_failure(reqs[rep].label, preps[rep].opts.backend,
+                                    "non-standard exception"));
+    }
+  }
+
+  exec::SlabLayout layout;
+  const auto sp_parent = layout.add<std::int32_t>(total_nodes);
+  const auto sp_left = layout.add<std::int32_t>(total_nodes);
+  const auto sp_right = layout.add<std::int32_t>(total_nodes);
+  const auto sp_leaf_count = layout.add<std::int64_t>(total_nodes);
+  const auto sp_vertex = layout.add<cograph::VertexId>(total_nodes);
+  const auto sp_lov = layout.add<par::NodeId>(total_leaves);
+  const auto sp_join = layout.add<std::uint8_t>(total_nodes);
+  exec::Slab slab(arena, layout);
+  const auto parent = slab.at(sp_parent);
+  const auto left = slab.at(sp_left);
+  const auto right = slab.at(sp_right);
+  const auto leaf_count = slab.at(sp_leaf_count);
+  const auto vertex = slab.at(sp_vertex);
+  const auto lov = slab.at(sp_lov);
+  const auto is_join = slab.at(sp_join);
+
+  // ---- sweep: back-to-back express solves over the slab slices ---------
+  std::size_t node_off = 0, leaf_off = 0;
+  for (std::size_t k = 0; k < packed.size(); ++k) {
+    if (trees[k] == nullptr) continue;  // resolution failed above
+    const Group& g = groups[packed[k]];
+    const std::size_t rep = g.members.front();
+    const Prep& rp = preps[rep];
+    const cograph::Cotree& t = *trees[k];
+    const std::size_t n = rp.n;
+    const std::size_t bn = 2 * n - 1;
+
+    SolveResult res;
+    res.label = reqs[rep].label;
+    res.backend = rp.opts.backend;
+    try {
+      // Operation-for-operation the solve_express body, with the
+      // ScratchBinarized arrays replaced by slab slices — same layout,
+      // same sweeps, bitwise-equal covers.
+      util::WallTimer timer;
+      const cograph::BinSpans spans{
+          parent.subspan(node_off, bn), left.subspan(node_off, bn),
+          right.subspan(node_off, bn),  is_join.subspan(node_off, bn),
+          vertex.subspan(node_off, bn), lov.subspan(leaf_off, n)};
+      for (std::size_t v = 0; v < bn; ++v) spans.parent[v] = -1;
+      for (std::size_t v = 0; v < bn; ++v) spans.left[v] = -1;
+      for (std::size_t v = 0; v < bn; ++v) spans.right[v] = -1;
+      for (std::size_t v = 0; v < bn; ++v) spans.is_join[v] = 0;
+      for (std::size_t v = 0; v < bn; ++v) spans.vertex[v] = cograph::kNull;
+      for (std::size_t v = 0; v < n; ++v) spans.leaf_of_vertex[v] = -1;
+      const std::int32_t root = cograph::binarize_into(t, spans, arena);
+      const auto lc = leaf_count.subspan(node_off, bn);
+      cograph::make_leftist_into(spans.left, spans.right, lc);
+      const cograph::BinView view{spans.left,   spans.right,
+                                  spans.is_join, spans.vertex,
+                                  spans.leaf_of_vertex, root};
+      res.cover = core::min_path_cover_sequential(view, lc, arena);
+      res.wall_ms = timer.millis();
+
+      res.routed = Backend::Sequential;
+      res.vertex_count = n;
+      if (rp.opts.compute_verdicts) {
+        const core::CountVerdicts v = core::count_verdicts(view, lc, arena);
+        res.optimal_size = v.cover_size;
+        res.minimum =
+            static_cast<std::int64_t>(res.cover.size()) == res.optimal_size;
+        res.hamiltonian_path = v.hamiltonian_path;
+        res.hamiltonian_cycle = v.hamiltonian_cycle;
+        if (rp.opts.want_hamiltonian_cycle && res.hamiltonian_cycle) {
+          res.cycle = core::hamiltonian_cycle(t);
+        }
+      } else {
+        res.optimal_size = -1;
+        if (rp.opts.want_hamiltonian_cycle) {
+          res.cycle = core::hamiltonian_cycle(t);
+          res.hamiltonian_cycle = res.cycle.has_value();
+        }
+      }
+      if (rp.opts.validate) {
+        res.validation =
+            core::validate_path_cover(t, res.cover, /*require_minimum=*/true);
+      }
+      res.ok = true;
+      ++out.packed_solves;
+    } catch (const std::exception& e) {
+      res = solve_failure(reqs[rep].label, rp.opts.backend, e.what());
+    } catch (...) {
+      res = solve_failure(reqs[rep].label, rp.opts.backend,
+                          "non-standard exception");
+    }
+    node_off += bn;
+    leaf_off += n;
+    finish_group(g, std::move(res));
+  }
+  return results;
+}
+
+}  // namespace copath::service

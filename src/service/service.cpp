@@ -6,6 +6,7 @@
 
 #include "core/backend.hpp"
 #include "exec/arena.hpp"
+#include "service/batch.hpp"
 #include "service/express.hpp"
 #include "util/thread_pool.hpp"
 
@@ -160,6 +161,75 @@ bool Service::try_submit_async(SolveRequest& req, ResultSink& sink) {
   return false;
 }
 
+std::future<std::vector<SolveResult>> Service::submit_batch(
+    std::vector<SolveRequest> reqs) {
+  auto promise =
+      std::make_shared<std::promise<std::vector<SolveResult>>>();
+  auto fut = promise->get_future();
+  submit_batch_async(std::move(reqs),
+                     [promise](std::vector<SolveResult> results) {
+                       promise->set_value(std::move(results));
+                     });
+  return fut;
+}
+
+std::future<std::vector<SolveResult>> Service::submit_batch(
+    std::span<const Instance> instances) {
+  std::vector<SolveRequest> reqs;
+  reqs.reserve(instances.size());
+  for (const Instance& inst : instances) {
+    reqs.push_back(SolveRequest{inst, std::nullopt, {}});
+  }
+  return submit_batch(std::move(reqs));
+}
+
+void Service::refuse_batch(std::vector<SolveRequest>& reqs,
+                           BatchSink& sink) {
+  std::vector<SolveResult> out;
+  out.reserve(reqs.size());
+  for (const SolveRequest& r : reqs) {
+    out.push_back(
+        failure(r.label, effective_options(r).backend, refusal_reason()));
+  }
+  completed_.fetch_add(reqs.size(), std::memory_order_relaxed);
+  sink(std::move(out));
+}
+
+void Service::submit_batch_async(std::vector<SolveRequest> reqs,
+                                 BatchSink sink) {
+  Job job;
+  job.is_batch = true;
+  job.batch = std::move(reqs);
+  job.batch_sink = std::move(sink);
+  // One queue slot, k requests: backpressure is per dispatch, the
+  // request-level counters stay per request.
+  submitted_.fetch_add(job.batch.size(), std::memory_order_relaxed);
+  if (!queue_.push(job)) {
+    refuse_batch(job.batch, job.batch_sink);
+  }
+}
+
+bool Service::try_submit_batch_async(std::vector<SolveRequest>& reqs,
+                                     BatchSink& sink) {
+  Job job;
+  job.is_batch = true;
+  job.batch = std::move(reqs);
+  job.batch_sink = std::move(sink);
+  if (queue_.try_push(job)) {
+    submitted_.fetch_add(job.batch.size(), std::memory_order_relaxed);
+    return true;
+  }
+  if (queue_.closed()) {
+    submitted_.fetch_add(job.batch.size(), std::memory_order_relaxed);
+    refuse_batch(job.batch, job.batch_sink);
+    return true;
+  }
+  // Queue full: hand the pieces back so the caller can park and retry.
+  reqs = std::move(job.batch);
+  sink = std::move(job.batch_sink);
+  return false;
+}
+
 void Service::worker_loop() {
   // Per-request arena accounting: everything this worker's front end and
   // engines carve from the thread arena lands in the aggregate counters,
@@ -168,7 +238,11 @@ void Service::worker_loop() {
   exec::Arena& arena = exec::Arena::for_this_thread();
   exec::Arena::Stats last = arena.stats();
   while (auto job = queue_.pop()) {
-    process(std::move(*job));
+    if (job->is_batch) {
+      process_batch(std::move(*job));
+    } else {
+      process(std::move(*job));
+    }
     const exec::Arena::Stats& now = arena.stats();
     arena_acquires_.fetch_add(now.acquires - last.acquires,
                               std::memory_order_relaxed);
@@ -320,6 +394,49 @@ void Service::process(Job job) {
   job.sink(std::move(res));
 }
 
+void Service::process_batch(Job job) {
+  batch_submits_.fetch_add(1, std::memory_order_relaxed);
+
+  service::BatchConfig cfg;
+  // The cacheless differential baseline must still be bitwise-equal to
+  // independent submits, which solve permuted twins separately — so dedup
+  // degrades to exact-tree grouping when the cache is off (batch.hpp).
+  cfg.dedup = opts_.use_cache ? service::BatchDedup::Canonical
+                              : service::BatchDedup::IdenticalTree;
+  cfg.cache = opts_.use_cache ? &cache_ : nullptr;
+  cfg.use_express_pack = opts_.use_express;
+
+  // ONE lease spans the whole batch: the packed sweep is sequential per
+  // instance (no native threads), and above-floor fallback groups reuse
+  // this grant instead of re-acquiring per group — a batch perturbs the
+  // budgeter exactly once, like one big request (DESIGN.md §10).
+  BudgetLease bl(budgeter_, pending_, worker_count_, opts_.solve);
+  const std::size_t grant =
+      std::max<std::size_t>(std::size_t{1}, bl.opts().workers);
+  const service::BatchFallback fallback =
+      [&](const SolveRequest& req, const SolveOptions& opts) -> SolveResult {
+    SolveOptions clamped = opts;
+    clamped.workers = clamped.workers == 0
+                          ? grant
+                          : std::min(clamped.workers, grant);
+    try {
+      return solver_.solve(req.instance, req.label, clamped);
+    } catch (...) {  // solve() catches std::exception; plug-ins may not
+      return failure(req.label, opts.backend, "non-standard exception");
+    }
+  };
+
+  service::BatchOutcome outcome;
+  std::vector<SolveResult> results = service::solve_batch_fused(
+      job.batch, opts_.solve, cfg, fallback,
+      exec::Arena::for_this_thread(), &outcome);
+
+  batch_dedup_.fetch_add(outcome.dedup_hits, std::memory_order_relaxed);
+  packed_.fetch_add(outcome.packed_solves, std::memory_order_relaxed);
+  completed_.fetch_add(job.batch.size(), std::memory_order_relaxed);
+  job.batch_sink(std::move(results));
+}
+
 Service::Stats Service::stats() const {
   Stats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
@@ -331,6 +448,9 @@ Service::Stats Service::stats() const {
   s.draining = draining_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
   s.express_solves = express_.load(std::memory_order_relaxed);
+  s.batch_submits = batch_submits_.load(std::memory_order_relaxed);
+  s.batch_dedup_hits = batch_dedup_.load(std::memory_order_relaxed);
+  s.packed_solves = packed_.load(std::memory_order_relaxed);
   s.lease_acquires = budgeter_.acquires();
   s.arena_acquires = arena_acquires_.load(std::memory_order_relaxed);
   s.arena_reuses = arena_reuses_.load(std::memory_order_relaxed);

@@ -46,6 +46,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -104,6 +105,16 @@ class Service {
     /// Requests solved inline on the express lane (no registry dispatch,
     /// no native-thread lease).
     std::uint64_t express_solves = 0;
+    /// submit_batch calls accepted (each is ONE queue slot and ONE worker
+    /// dispatch however many requests it carries).
+    std::uint64_t batch_submits = 0;
+    /// Batch requests answered from another request in the SAME batch
+    /// (intra-batch dedup by canonical signature — cache hits are counted
+    /// by cache_hits as usual, once per unique group).
+    std::uint64_t batch_dedup_hits = 0;
+    /// Unique batch groups solved inside the packed slab sweep (one arena
+    /// allocation, back-to-back sequential sweeps; see service/batch.hpp).
+    std::uint64_t packed_solves = 0;
     /// Native-thread leases ever claimed from the budgeter — stays flat
     /// while only express-eligible traffic arrives.
     std::uint64_t lease_acquires = 0;
@@ -151,6 +162,37 @@ class Service {
   /// true.
   [[nodiscard]] bool try_submit_async(SolveRequest& req, ResultSink& sink);
 
+  /// Completion callback for the batch submit paths: invoked exactly once
+  /// with results positionally aligned to the submitted requests. Must not
+  /// throw.
+  using BatchSink = std::function<void(std::vector<SolveResult>)>;
+
+  /// Enqueues a whole batch as ONE queue slot and solves it fused on one
+  /// worker (service/batch.hpp): intra-batch dedup by canonical signature,
+  /// one cache probe per unique group, express-eligible survivors packed
+  /// into a single arena slab and swept back-to-back under ONE native-
+  /// thread lease. Results are positionally aligned with `reqs` and
+  /// bitwise-equal to N independent submit() calls (DESIGN.md §10). Blocks
+  /// while the queue is full; after drain()/shutdown() every slot resolves
+  /// to a structured refusal. Batches bypass in-flight coalescing — dedup
+  /// against concurrent singles happens through the cache instead.
+  [[nodiscard]] std::future<std::vector<SolveResult>> submit_batch(
+      std::vector<SolveRequest> reqs);
+
+  /// Convenience: wraps bare instances in default-option requests.
+  [[nodiscard]] std::future<std::vector<SolveResult>> submit_batch(
+      std::span<const Instance> instances);
+
+  /// Callback form of submit_batch (the daemon's completion path).
+  void submit_batch_async(std::vector<SolveRequest> reqs, BatchSink sink);
+
+  /// Non-blocking submit_batch_async: returns false when the queue is
+  /// full, leaving `reqs`/`sink` intact for the caller to park and retry.
+  /// Refusals after drain()/shutdown() consume the batch — the sink runs
+  /// inline with one structured refusal per slot — and return true.
+  [[nodiscard]] bool try_submit_batch_async(std::vector<SolveRequest>& reqs,
+                                            BatchSink& sink);
+
   /// Graceful teardown: refuses every submit from this point on (callers
   /// get a structured "service is draining" failure), waits until every
   /// already-accepted request has been fulfilled, then stops the workers.
@@ -172,6 +214,12 @@ class Service {
   struct Job {
     SolveRequest req;
     ResultSink sink;
+    /// Batch variant: when `is_batch`, `batch`/`batch_sink` carry the whole
+    /// submit_batch payload and `req`/`sink` are unused. One Job = one
+    /// queue slot either way — a batch occupies a single backpressure unit.
+    std::vector<SolveRequest> batch;
+    BatchSink batch_sink;
+    bool is_batch = false;
   };
   /// A request parked on an in-flight twin. Keeps its own Instance (moved,
   /// cheap) so fulfillment can replay through that instance's canonical
@@ -194,6 +242,10 @@ class Service {
 
   void worker_loop();
   void process(Job job);
+  void process_batch(Job job);
+  /// One structured refusal per slot, invoked inline on the submitting
+  /// thread (mirrors the single-request refusal path).
+  void refuse_batch(std::vector<SolveRequest>& reqs, BatchSink& sink);
   /// Shared close-and-join half of drain()/shutdown().
   void stop_workers();
   [[nodiscard]] SolveOptions effective_options(const SolveRequest& req) const;
@@ -224,6 +276,9 @@ class Service {
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> express_{0};
+  std::atomic<std::uint64_t> batch_submits_{0};
+  std::atomic<std::uint64_t> batch_dedup_{0};
+  std::atomic<std::uint64_t> packed_{0};
   std::atomic<std::uint64_t> arena_acquires_{0};
   std::atomic<std::uint64_t> arena_reuses_{0};
   std::atomic<std::uint64_t> arena_fresh_{0};

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "copath.hpp"
+#include "net/protocol.hpp"
 #include "testing.hpp"
 #include "util/rng.hpp"
 
@@ -207,6 +209,119 @@ TEST(FuzzSignature, ErrorsReportTheFailingBytePosition) {
   std::string why;
   EXPECT_FALSE(cograph::signature_valid(std::string("\x00\x07", 2), &why));
   EXPECT_NE(why.find("at byte 2"), std::string::npos) << why;
+}
+
+// ---------------------------------------------------- batch frame bodies
+//
+// BatchSolve bodies are the newest attacker-reachable surface: a u16 count
+// followed by length-prefixed sub-bodies, validated structurally on the
+// server's loop thread before anything is dispatched. Contract: a valid
+// body round-trips through parse_batch_body; any mutation or byte soup
+// either parses (mutations can land on payload bytes and stay
+// well-formed) or is rejected with a non-empty structured reason — never
+// a crash, hang, or over-allocation.
+
+namespace proto = net::protocol;
+
+/// Builds a syntactically valid batch BODY (the bytes after the options),
+/// mixing text and signature items.
+std::string valid_batch_body(util::Rng& rng) {
+  const std::size_t count = 1 + rng.below(6);
+  std::vector<std::string> bodies;
+  std::vector<proto::BatchItem> items;
+  bodies.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Cotree t =
+        testing::random_cotree(1 + rng.below(12), 61000 + rng.below(4096));
+    if (rng.chance(0.5)) {
+      bodies.push_back(t.format());
+      items.push_back(proto::BatchItem{false, bodies.back()});
+    } else {
+      bodies.push_back(
+          canonical_form(t, /*with_algebra_key=*/false).signature);
+      items.push_back(proto::BatchItem{true, bodies.back()});
+    }
+  }
+  std::string frame;
+  proto::append_batch_request(frame, /*seq=*/1, proto::WireOptions{}, items);
+  std::string payload;
+  EXPECT_EQ(proto::extract_frame(frame, &payload), proto::Extract::Frame);
+  proto::Request req;
+  EXPECT_TRUE(proto::parse_request(payload, &req));
+  return std::string(req.body);
+}
+
+/// The batch-body oracle: parse accepts with every item in bounds and
+/// non-empty, or rejects with a structured reason. Both outcomes must
+/// leave the items vector in a deterministic state (cleared on reject).
+void expect_batch_parses_or_rejects(const std::string& body) {
+  std::vector<proto::BatchItem> items;
+  std::string why;
+  if (proto::parse_batch_body(body, proto::kMaxBatchItems, &items, &why)) {
+    EXPECT_FALSE(items.empty());
+    EXPECT_LE(items.size(), proto::kMaxBatchItems);
+    for (const proto::BatchItem& item : items) {
+      EXPECT_FALSE(item.body.empty());
+      // Every view must point inside the body the parser was given.
+      EXPECT_GE(item.body.data(), body.data());
+      EXPECT_LE(item.body.data() + item.body.size(),
+                body.data() + body.size());
+    }
+  } else {
+    EXPECT_FALSE(why.empty());
+    EXPECT_TRUE(items.empty());
+  }
+}
+
+TEST(FuzzBatchFrame, ValidBodiesRoundTrip) {
+  util::Rng rng(20260801);
+  for (unsigned trial = 0; trial < 120; ++trial) {
+    std::vector<proto::BatchItem> items;
+    std::string why;
+    ASSERT_TRUE(proto::parse_batch_body(valid_batch_body(rng),
+                                        proto::kMaxBatchItems, &items,
+                                        &why))
+        << why;
+  }
+}
+
+TEST(FuzzBatchFrame, MutatedValidBodiesParseOrRejectStructurally) {
+  util::Rng rng(20260802);
+  for (unsigned trial = 0; trial < 400; ++trial) {
+    expect_batch_parses_or_rejects(
+        mutate(valid_batch_body(rng), 1 + rng.below(8), rng));
+  }
+}
+
+TEST(FuzzBatchFrame, RawByteSoupParsesOrRejectsStructurally) {
+  util::Rng rng(20260803);
+  for (unsigned trial = 0; trial < 400; ++trial) {
+    std::string body;
+    const std::size_t len = rng.below(96);
+    for (std::size_t i = 0; i < len; ++i) {
+      // Biased toward tiny values so counts/kinds/lengths are often
+      // plausible and the parser gets past the header.
+      body += rng.chance(0.6) ? static_cast<char>(rng.below(4))
+                              : static_cast<char>(rng.below(256));
+    }
+    expect_batch_parses_or_rejects(body);
+  }
+}
+
+TEST(FuzzBatchFrame, LengthBombsAreRefusedWithoutAllocation) {
+  // A count of kMaxBatchItems with a first item claiming a ~4 GiB body:
+  // the parser must refuse on bounds, not reserve or read ahead.
+  std::string body;
+  body += '\xff';
+  body += '\x03';  // count = 1023 (little-endian u16)
+  body += '\x01';  // kind = text
+  body.append(4, '\xff');  // len = 0xffffffff
+  body += 'x';
+  std::vector<proto::BatchItem> items;
+  std::string why;
+  EXPECT_FALSE(proto::parse_batch_body(body, proto::kMaxBatchItems, &items,
+                                       &why));
+  EXPECT_NE(why.find("truncated"), std::string::npos) << why;
 }
 
 TEST(FuzzParser, NestingBeyondTheDepthCapIsRejectedNotOverflowed) {

@@ -1,7 +1,7 @@
 // copathd — serve minimum path cover over TCP.
 //
 //   copathd [--host 127.0.0.1] [--port 7431] [--workers N]
-//           [--queue N] [--window N] [--no-cache]
+//           [--queue N] [--window N] [--max-batch N] [--no-cache]
 //
 // One process, one event-loop thread, N solver workers. SIGTERM/SIGINT
 // drain gracefully: in-flight requests finish, new ones get structured
@@ -28,7 +28,7 @@ void on_signal(int) {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--workers N] [--queue N] "
-               "[--window N] [--no-cache]\n",
+               "[--window N] [--max-batch N] [--no-cache]\n",
                argv0);
   std::exit(2);
 }
@@ -55,6 +55,10 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atol(value()));
     } else if (arg == "--window") {
       opts.inflight_window = static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--max-batch") {
+      // Operational cap on BatchSolve items per frame (protocol ceiling
+      // still applies above it).
+      opts.max_batch_items = static_cast<std::size_t>(std::atol(value()));
     } else if (arg == "--no-cache") {
       opts.service.use_cache = false;
     } else {
