@@ -111,4 +111,9 @@ proto::Response Client::drain() {
   return recv();
 }
 
+proto::Response Client::compact() {
+  (void)send_admin(proto::Verb::CacheCompact);
+  return recv();
+}
+
 }  // namespace copath::net

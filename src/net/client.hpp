@@ -69,6 +69,10 @@ class Client {
   /// Asks the server to drain. The Ok ack comes back before the server
   /// begins refusing.
   [[nodiscard]] protocol::Response drain();
+  /// CacheCompact admin verb: clears+resets the L1 cache, compacts the
+  /// persistent tier. The Ok reply carries a counter body describing what
+  /// happened (l1_dropped, l2_enabled, l2 before/after byte sizes).
+  [[nodiscard]] protocol::Response compact();
 
  private:
   Fd fd_;

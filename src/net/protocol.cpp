@@ -101,7 +101,7 @@ constexpr std::uint8_t kResHasVerdicts = 1u << 5;
 
 bool known_verb(std::uint8_t v) {
   return v >= static_cast<std::uint8_t>(Verb::SolveText) &&
-         v <= static_cast<std::uint8_t>(Verb::BatchSolve);
+         v <= static_cast<std::uint8_t>(Verb::CacheCompact);
 }
 
 void append_response_header(ByteWriter& w, Verb verb, std::uint64_t seq,
@@ -428,9 +428,15 @@ std::string encode_solve_response_frame(std::uint64_t seq, Verb verb,
 std::string encode_stats_response_frame(
     std::uint64_t seq,
     std::span<const std::pair<std::string_view, std::uint64_t>> counters) {
+  return encode_counters_response_frame(seq, Verb::Stats, counters);
+}
+
+std::string encode_counters_response_frame(
+    std::uint64_t seq, Verb verb,
+    std::span<const std::pair<std::string_view, std::uint64_t>> counters) {
   std::string payload;
   ByteWriter w(payload);
-  append_response_header(w, Verb::Stats, seq, Status::Ok);
+  append_response_header(w, verb, seq, Status::Ok);
   w.u32(static_cast<std::uint32_t>(counters.size()));
   for (const auto& [key, value] : counters) {
     const std::string_view k = key.substr(0, 255);
@@ -502,7 +508,8 @@ bool parse_response(std::string_view payload, Response* out) {
       }
       return r.remaining() == 0;
     }
-    case Verb::Stats: {
+    case Verb::Stats:
+    case Verb::CacheCompact: {
       std::uint32_t count = 0;
       if (!r.u32(&count)) return false;
       if (count > r.remaining()) return false;
@@ -523,6 +530,131 @@ bool parse_response(std::string_view payload, Response* out) {
       return r.remaining() == 0;
   }
   return false;
+}
+
+// ------------------------------------------------------ full result codec
+//
+// Layout: wire result body (encode_result_body) followed by the fields the
+// wire deliberately omits. The persistent cache stamps its own format
+// version on the enclosing file, so this codec has no version byte of its
+// own — a format change bumps the file version and invalidates old caches
+// wholesale (they degrade to cold, never to wrong).
+
+namespace {
+
+constexpr std::uint8_t kRecStatsValid = 1u << 0;
+constexpr std::uint8_t kRecTraceValid = 1u << 1;
+constexpr std::uint8_t kRecValidationOk = 1u << 2;
+
+}  // namespace
+
+void encode_result_record(std::string& out, const SolveResult& res) {
+  ByteWriter w(out);
+  encode_result_body(w, res);
+  w.u8(static_cast<std::uint8_t>(res.backend));
+  w.u8(static_cast<std::uint8_t>(res.routed));
+  std::uint8_t extras = 0;
+  if (res.stats_valid) extras |= kRecStatsValid;
+  if (res.trace_valid) extras |= kRecTraceValid;
+  if (res.validation.ok) extras |= kRecValidationOk;
+  w.u8(extras);
+  const auto str = [&w](std::string_view s) {
+    w.u32(static_cast<std::uint32_t>(s.size()));
+    w.bytes(s);
+  };
+  str(res.error);
+  str(res.label);
+  str(res.validation.error);
+  w.u64(res.stats.steps);
+  w.u64(res.stats.work);
+  w.u64(res.stats.max_processors);
+  w.u64(res.stats.reads);
+  w.u64(res.stats.writes);
+  w.u64(res.stats.cells);
+  w.u64(res.trace.bracket_length);
+  w.u64(res.trace.dummy_count);
+  w.u64(res.trace.repair_rounds);
+  w.u64(res.trace.path_count);
+  w.u32(static_cast<std::uint32_t>(res.trace.stages.size()));
+  for (const auto& [name, steps, work] : res.trace.stages) {
+    str(name);
+    w.u64(steps);
+    w.u64(work);
+  }
+}
+
+bool decode_result_record(std::string_view bytes, SolveResult* out) {
+  ByteReader r(bytes);
+  WireResult wire;
+  if (!decode_result_body(r, &wire)) return false;
+  *out = SolveResult{};
+  out->ok = wire.ok;
+  out->vertex_count = wire.vertex_count;
+  out->optimal_size = wire.optimal_size;
+  out->minimum = wire.minimum;
+  out->hamiltonian_path = wire.hamiltonian_path;
+  out->hamiltonian_cycle = wire.hamiltonian_cycle;
+  out->wall_ms = wire.wall_ms;
+  out->cover.paths.reserve(wire.paths.size());
+  for (const auto& p : wire.paths) {
+    auto& q = out->cover.paths.emplace_back();
+    q.reserve(p.size());
+    for (const std::uint32_t v : p) {
+      q.push_back(static_cast<cograph::VertexId>(v));
+    }
+  }
+  if (wire.cycle.has_value()) {
+    auto& cyc = out->cycle.emplace();
+    cyc.reserve(wire.cycle->size());
+    for (const std::uint32_t v : *wire.cycle) {
+      cyc.push_back(static_cast<cograph::VertexId>(v));
+    }
+  }
+  std::uint8_t backend = 0, routed = 0, extras = 0;
+  if (!r.u8(&backend) || !r.u8(&routed) || !r.u8(&extras)) return false;
+  out->backend = static_cast<Backend>(backend);
+  out->routed = static_cast<Backend>(routed);
+  out->stats_valid = (extras & kRecStatsValid) != 0;
+  out->trace_valid = (extras & kRecTraceValid) != 0;
+  out->validation.ok = (extras & kRecValidationOk) != 0;
+  const auto str = [&r](std::string* s) {
+    std::uint32_t len = 0;
+    std::string_view v;
+    if (!r.u32(&len) || !r.bytes(len, &v)) return false;
+    s->assign(v);
+    return true;
+  };
+  if (!str(&out->error) || !str(&out->label) ||
+      !str(&out->validation.error)) {
+    return false;
+  }
+  if (!r.u64(&out->stats.steps) || !r.u64(&out->stats.work) ||
+      !r.u64(&out->stats.max_processors) || !r.u64(&out->stats.reads) ||
+      !r.u64(&out->stats.writes) || !r.u64(&out->stats.cells)) {
+    return false;
+  }
+  std::uint64_t bracket = 0, dummies = 0, repairs = 0, paths = 0;
+  if (!r.u64(&bracket) || !r.u64(&dummies) || !r.u64(&repairs) ||
+      !r.u64(&paths)) {
+    return false;
+  }
+  out->trace.bracket_length = static_cast<std::size_t>(bracket);
+  out->trace.dummy_count = static_cast<std::size_t>(dummies);
+  out->trace.repair_rounds = static_cast<std::size_t>(repairs);
+  out->trace.path_count = static_cast<std::size_t>(paths);
+  std::uint32_t stage_count = 0;
+  if (!r.u32(&stage_count)) return false;
+  // Each stage takes at least 20 bytes (name length + two u64s); bound the
+  // reserve against the remaining bytes before trusting the count.
+  if (stage_count > r.remaining()) return false;
+  out->trace.stages.reserve(stage_count);
+  for (std::uint32_t i = 0; i < stage_count; ++i) {
+    std::string name;
+    std::uint64_t steps = 0, work = 0;
+    if (!str(&name) || !r.u64(&steps) || !r.u64(&work)) return false;
+    out->trace.stages.emplace_back(std::move(name), steps, work);
+  }
+  return r.remaining() == 0;
 }
 
 }  // namespace copath::net::protocol

@@ -25,7 +25,7 @@
 //                     hot path: the server skips text parsing AND
 //                     canonical sorting, at the price of a full
 //                     stack-machine re-validation of the untrusted bytes
-//     Stats | Health | Drain     body empty (admin verbs)
+//     Stats | Health | Drain | CacheCompact    body empty (admin verbs)
 //     BatchSolve      body = WireOptions (4 bytes, shared by every item) |
 //                     u16 count | count * (u8 kind | u32 len | len bytes)
 //                     where kind selects the sub-body meaning (1 = algebra
@@ -43,8 +43,12 @@
 //                                otherwise) — per-item failure isolation:
 //                                one bad signature refuses its slot, not
 //                                the batch
-//     status == Ok, Stats        body = u32 count | count * (u8 keylen |
-//                                key bytes | u64 value)
+//     status == Ok, Stats | CacheCompact
+//                                body = u32 count | count * (u8 keylen |
+//                                key bytes | u64 value) — CacheCompact's
+//                                counters report what the compaction did
+//                                (L1 entries dropped, L2 live records and
+//                                bytes before/after)
 //     status != Ok               body = UTF-8 error message
 //
 // The encoding favors being obviously correct over squeezing bytes: fixed
@@ -83,6 +87,10 @@ enum class Verb : std::uint8_t {
   Health = 4,
   Drain = 5,
   BatchSolve = 6,
+  /// Admin: compact the persistent result cache (drop dead log bytes,
+  /// rebuild the index) and clear + reset the RAM tier. Replies with a
+  /// Stats-shaped counter body describing the compaction.
+  CacheCompact = 7,
 };
 
 /// Protocol-level ceiling on BatchSolve items per frame (servers may
@@ -238,7 +246,8 @@ struct Response {
   Status status = Status::Ok;
   WireResult result{};          // solve verbs, status == Ok
   std::string error;            // status != Ok
-  std::vector<std::pair<std::string, std::uint64_t>> stats;  // Verb::Stats
+  /// Verb::Stats and Verb::CacheCompact (counter-shaped bodies).
+  std::vector<std::pair<std::string, std::uint64_t>> stats;
   /// Verb::BatchSolve, status == Ok: one slot per requested item, in
   /// request order.
   struct BatchSlot {
@@ -274,6 +283,13 @@ struct BatchResponseEntry {
     std::uint64_t seq,
     std::span<const std::pair<std::string_view, std::uint64_t>> counters);
 
+/// Generalized counter-body response frame (Stats-shaped body under any
+/// admin verb — used by CacheCompact; encode_stats_response_frame
+/// delegates here).
+[[nodiscard]] std::string encode_counters_response_frame(
+    std::uint64_t seq, Verb verb,
+    std::span<const std::pair<std::string_view, std::uint64_t>> counters);
+
 /// Status-only response frame (Health, Drain acks, BadFrame, refusals).
 [[nodiscard]] std::string encode_status_response_frame(
     std::uint64_t seq, Verb verb, Status status, std::string_view error);
@@ -281,5 +297,23 @@ struct BatchResponseEntry {
 /// False on truncated/corrupt payloads (client-side defensive decode —
 /// the server is trusted less than it trusts itself).
 [[nodiscard]] bool parse_response(std::string_view payload, Response* out);
+
+// ---------------------------------------------------- full result codec
+
+/// Appends the FULL canonical SolveResult encoding to `out`: the wire
+/// result body (paths/cycle/verdict flags) extended with every remaining
+/// field — backend routing, error/label text, PRAM stats, pipeline trace,
+/// validation report. This is the persistent L2 cache's record value
+/// (service/persist_cache.hpp): decode reproduces the stored result
+/// field-for-field, so a disk-warm hit is indistinguishable from a
+/// RAM-warm one.
+void encode_result_record(std::string& out, const SolveResult& res);
+
+/// Defensive decode of encode_result_record bytes (cache files are less
+/// trusted than the process that wrote them — they survive crashes and
+/// other writers). False on any truncation or structural violation;
+/// `*out` is then unspecified.
+[[nodiscard]] bool decode_result_record(std::string_view bytes,
+                                        SolveResult* out);
 
 }  // namespace copath::net::protocol

@@ -184,6 +184,8 @@ bool Server::handle_frame(Conn& conn, std::string_view payload) {
                                    proto::Status::Ok, {}));
     case proto::Verb::Stats:
       return send_stats(conn, req.seq);
+    case proto::Verb::CacheCompact:
+      return send_compact(conn, req.seq);
     case proto::Verb::Drain: {
       // Ack first, then request: begin_drain() tears at the connection
       // table, so it is deferred to the wake handler rather than run under
@@ -370,9 +372,39 @@ bool Server::send_stats(Conn& conn, std::uint64_t seq) {
       {"bad_frames", bad_frames_},
       {"parked", parked_total_},
       {"draining", draining_ ? 1u : 0u},
+      {"l2_enabled", s.persist_enabled ? 1u : 0u},
+      {"l2_hits", s.persist.hits},
+      {"l2_misses", s.persist.misses},
+      {"l2_promotions", s.persist_promotions},
+      {"l2_appends", s.persist.appends},
+      {"l2_append_dups", s.persist.append_dups},
+      {"l2_append_skips", s.persist.append_skips},
+      {"l2_records", s.persist.records},
+      {"l2_log_bytes", s.persist.log_bytes},
+      {"l2_corrupt_dropped", s.persist.corrupt_dropped},
+      {"l2_compactions", s.persist.compactions},
+      {"l2_reopens", s.persist.reopens},
   };
   return queue_frame(conn,
                      proto::encode_stats_response_frame(seq, counters));
+}
+
+bool Server::send_compact(Conn& conn, std::uint64_t seq) {
+  // Admin verb, run inline on the loop thread: compaction does disk IO
+  // under the cache file lock, which is acceptable for a rare operator
+  // action (solve traffic is on the workers and keeps flowing; only frame
+  // processing on THIS loop pauses).
+  const Service::CompactReport r = service_.compact_caches();
+  const std::pair<std::string_view, std::uint64_t> counters[] = {
+      {"l1_dropped", r.l1_dropped},
+      {"l2_enabled", r.l2_enabled ? 1u : 0u},
+      {"l2_live_records", r.l2.live_records},
+      {"l2_bytes_before", r.l2.bytes_before},
+      {"l2_bytes_after", r.l2.bytes_after},
+      {"l2_dropped_records", r.l2.dropped_records},
+  };
+  return queue_frame(conn, proto::encode_counters_response_frame(
+                               seq, proto::Verb::CacheCompact, counters));
 }
 
 bool Server::queue_frame(Conn& conn, std::string frame) {

@@ -146,6 +146,9 @@ class Server {
       std::uint64_t seq, const BatchPlan& plan,
       std::span<const SolveResult> results);
   bool send_stats(Conn& conn, std::uint64_t seq);
+  /// CacheCompact: clears+resets L1, compacts L2, answers with a counter
+  /// body describing what happened.
+  bool send_compact(Conn& conn, std::uint64_t seq);
   /// Retries parked requests (refusing them during drain) and resumes
   /// consuming buffered frames once the window allows.
   bool make_progress(Conn& conn);

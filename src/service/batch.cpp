@@ -12,6 +12,7 @@
 #include "core/sequential.hpp"
 #include "exec/pack.hpp"
 #include "service/express.hpp"
+#include "service/persist_cache.hpp"
 #include "util/timer.hpp"
 
 namespace copath::service {
@@ -218,7 +219,11 @@ std::vector<SolveResult> solve_batch_fused(
       try {
         canonical = std::make_shared<const SolveResult>(
             to_canonical_space(res, *rp.form));
-        cfg.cache->insert(make_cache_key(*rp.form, rp.opts), canonical);
+        const CacheKeyRef key = make_cache_key(*rp.form, rp.opts);
+        cfg.cache->insert(key, canonical);
+        // Write-through to the persistent tier (never throws; disk trouble
+        // degrades to a skipped write).
+        if (cfg.l2 != nullptr) cfg.l2->append(key, *canonical);
       } catch (...) {
         canonical = nullptr;  // a failed store must not strand the members
       }
@@ -275,8 +280,19 @@ std::vector<SolveResult> solve_batch_fused(
     const Prep& rp = preps[rep];
     if (cfg.cache != nullptr && rp.form != nullptr) {
       const CacheKeyRef key = make_cache_key(*rp.form, rp.opts);
-      if (const auto hit = cfg.cache->lookup(key)) {
+      std::shared_ptr<const SolveResult> hit = cfg.cache->lookup(key);
+      if (hit == nullptr && cfg.l2 != nullptr) {
+        // L1 miss: probe the persistent tier and promote a hit so the
+        // group's twins in future batches stay RAM-warm.
+        hit = cfg.l2->lookup(key);
+        if (hit != nullptr) {
+          cfg.cache->insert(key, hit);
+          ++out.l2_hits;
+        }
+      } else if (hit != nullptr) {
         ++out.cache_hits;
+      }
+      if (hit != nullptr) {
         out.dedup_hits += groups[g].members.size() - 1;
         for (const std::size_t j : groups[g].members) {
           try {

@@ -57,12 +57,16 @@ enum class BatchDedup : std::uint8_t {
   IdenticalTree,
 };
 
+class PersistCache;
+
 /// Per-call counters the callers fold into their stats.
 struct BatchOutcome {
   /// Non-rep group members served from their rep's solve or cache probe.
   std::uint64_t dedup_hits = 0;
   /// Unique groups answered by the ResultCache.
   std::uint64_t cache_hits = 0;
+  /// Unique groups answered by the persistent tier (and promoted into L1).
+  std::uint64_t l2_hits = 0;
   /// Unique groups solved inside the packed slab sweep.
   std::uint64_t packed_solves = 0;
 };
@@ -73,6 +77,10 @@ struct BatchConfig {
   /// cache (the Solver lane). Canonical-space stores follow the Service's
   /// insert discipline (to_canonical_space, label cleared).
   ResultCache* cache = nullptr;
+  /// Persistent tier under `cache`: probed on an L1 group miss (hits are
+  /// promoted into L1), written through on every fresh ok group solve.
+  /// Requires `cache` (the L2 shares its canonical keys); nullptr = none.
+  PersistCache* l2 = nullptr;
   /// Pack express-eligible groups into the slab sweep. Ineligible groups
   /// (above the Adaptive floor, non-sequential backends) — and every group
   /// when this is off — go through `fallback`.

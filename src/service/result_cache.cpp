@@ -1,6 +1,7 @@
 #include "service/result_cache.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <utility>
 
@@ -52,6 +53,11 @@ SolveResult remap_result(SolveResult res,
 
 OptionsKey options_key(const SolveOptions& opts) {
   OptionsKey k;
+  // Byte-stability: value-init covers the members (including the explicit
+  // pad array), but a memset makes the guarantee independent of member
+  // layout edits — the persistent tier memcmps and hashes these 24 bytes
+  // raw, so no byte may ever be indeterminate.
+  std::memset(&k, 0, sizeof(k));
   k.processors = opts.processors;
   k.max_repair_rounds = opts.pipeline.max_repair_rounds;
   k.backend = static_cast<std::uint8_t>(opts.backend);
@@ -213,6 +219,13 @@ void ResultCache::clear() {
     sh->lru.clear();
     sh->by_hash.clear();
   }
+  // Counters describe the entries' epoch: dropping the entries without
+  // resetting them left the Stats verb reporting a hit rate blended across
+  // epochs.
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace copath::service

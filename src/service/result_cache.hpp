@@ -45,6 +45,13 @@ namespace copath::service {
 /// trivially-comparable POD. Worker and batch-worker counts are excluded
 /// on purpose: engines produce identical results for every physical worker
 /// count, so caching across them is sound and desirable.
+///
+/// The POD is *byte-stable*: the trailing 4 bytes that would otherwise be
+/// compiler padding are an explicit zeroed `pad` member and options_key()
+/// memsets the whole object before filling it, so two keys built from
+/// equivalent SolveOptions are memcmp-equal and hash identically from raw
+/// bytes. The persistent L2 cache (service/persist_cache.hpp) depends on
+/// this: it memcmps the 24 raw key bytes straight out of an mmap'd record.
 struct OptionsKey {
   std::uint64_t processors = 0;
   std::uint64_t max_repair_rounds = 0;
@@ -53,10 +60,17 @@ struct OptionsKey {
   std::uint8_t rank_engine = 0;
   /// Bit-packed: trace | validate | hamiltonian-cycle | verdicts.
   std::uint8_t flags = 0;
+  /// Explicit tail padding, always zero (see options_key()).
+  std::uint8_t pad[4] = {0, 0, 0, 0};
 
   [[nodiscard]] bool operator==(const OptionsKey&) const = default;
 };
 static_assert(std::is_trivially_copyable_v<OptionsKey>);
+static_assert(sizeof(OptionsKey) == 24,
+              "OptionsKey is an on-disk format (persist_cache records)");
+static_assert(std::has_unique_object_representations_v<OptionsKey>,
+              "OptionsKey must have no padding bytes: raw-byte memcmp/hash "
+              "of mmap'd records requires byte-stable keys");
 
 [[nodiscard]] OptionsKey options_key(const SolveOptions& opts);
 
@@ -159,6 +173,9 @@ class ResultCache {
 
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
+  /// Drops every entry AND resets the hit/miss/insertion/eviction counters:
+  /// a cleared cache reports hit rate from a clean slate (the Stats wire
+  /// verb would otherwise misattribute pre-clear traffic to the new epoch).
   void clear();
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }

@@ -29,6 +29,11 @@ Service::Service(Options opts)
       budgeter_(util::ThreadPool::default_workers()),
       solver_(opts_.solve),
       cache_(opts_.cache),
+      // The L2 keys canonically like L1 (use_cache computes the canonical
+      // form it needs), so it rides the same master switch.
+      persist_(opts_.use_cache && !opts_.persist.dir.empty()
+                   ? std::make_unique<service::PersistCache>(opts_.persist)
+                   : nullptr),
       queue_(opts_.queue_capacity) {
   const std::size_t workers = opts_.workers == 0
                                   ? util::ThreadPool::default_workers()
@@ -351,17 +356,44 @@ void Service::process(Job job) {
     inflight_.emplace(flight_key, InFlight{});
   }
 
-  SolveResult res = solve_once();
+  // L1 missed; probe the persistent tier before solving. A disk hit is
+  // decoded into the exact canonical-space result another process (or a
+  // previous life of this one) stored, promoted into L1, and replayed
+  // through this instance's permutation exactly like a RAM hit — the two
+  // are indistinguishable to the caller.
+  SolveResult res;
   std::shared_ptr<const SolveResult> canonical;
-  if (res.ok) {
-    try {
-      canonical = std::make_shared<const SolveResult>(
-          service::to_canonical_space(res, *form));
-      cache_.insert(key, canonical);
-    } catch (...) {
-      // A failed store must still release the in-flight entry and answer
-      // every parked waiter below.
-      canonical = nullptr;
+  bool from_l2 = false;
+  if (persist_ != nullptr) {
+    if (auto disk = persist_->lookup(key)) {
+      try {
+        res = service::remapped_from_canonical(*disk, *form);
+        res.label = label;
+        canonical = std::move(disk);
+        cache_.insert(key, canonical);
+        promotions_.fetch_add(1, std::memory_order_relaxed);
+        from_l2 = true;
+      } catch (...) {
+        canonical = nullptr;
+        from_l2 = false;
+      }
+    }
+  }
+  if (!from_l2) {
+    res = solve_once();
+    if (res.ok) {
+      try {
+        canonical = std::make_shared<const SolveResult>(
+            service::to_canonical_space(res, *form));
+        cache_.insert(key, canonical);
+        // Write-through: the result survives this process. append() never
+        // throws — disk trouble degrades to a skipped write.
+        if (persist_ != nullptr) persist_->append(key, *canonical);
+      } catch (...) {
+        // A failed store must still release the in-flight entry and answer
+        // every parked waiter below.
+        canonical = nullptr;
+      }
     }
   }
 
@@ -404,6 +436,7 @@ void Service::process_batch(Job job) {
   cfg.dedup = opts_.use_cache ? service::BatchDedup::Canonical
                               : service::BatchDedup::IdenticalTree;
   cfg.cache = opts_.use_cache ? &cache_ : nullptr;
+  cfg.l2 = opts_.use_cache ? persist_.get() : nullptr;
   cfg.use_express_pack = opts_.use_express;
 
   // ONE lease spans the whole batch: the packed sweep is sequential per
@@ -433,6 +466,7 @@ void Service::process_batch(Job job) {
 
   batch_dedup_.fetch_add(outcome.dedup_hits, std::memory_order_relaxed);
   packed_.fetch_add(outcome.packed_solves, std::memory_order_relaxed);
+  promotions_.fetch_add(outcome.l2_hits, std::memory_order_relaxed);
   completed_.fetch_add(job.batch.size(), std::memory_order_relaxed);
   job.batch_sink(std::move(results));
 }
@@ -460,7 +494,26 @@ Service::Stats Service::stats() const {
   // the cache's own counters ARE the request-level hit/miss numbers.
   s.cache_hits = s.cache.hits;
   s.cache_misses = s.cache.misses;
+  s.persist_enabled = persist_ != nullptr;
+  s.persist_promotions = promotions_.load(std::memory_order_relaxed);
+  if (persist_ != nullptr) s.persist = persist_->stats();
   return s;
+}
+
+Service::CompactReport Service::compact_caches() {
+  CompactReport report;
+  // Clearing L1 first is safe even mid-traffic: every ok result in L1 was
+  // written through to L2 (when configured), so dropped entries are one
+  // disk probe away; with no L2 this is just a cache flush. clear() also
+  // resets the L1 counters — the post-compact Stats verb reports the new
+  // epoch only.
+  report.l1_dropped = cache_.size();
+  cache_.clear();
+  if (persist_ != nullptr) {
+    report.l2_enabled = true;
+    report.l2 = persist_->compact();
+  }
+  return report;
 }
 
 }  // namespace copath

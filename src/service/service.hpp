@@ -45,6 +45,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -53,6 +54,7 @@
 #include <vector>
 
 #include "copath_solver.hpp"
+#include "service/persist_cache.hpp"
 #include "service/result_cache.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/thread_budget.hpp"
@@ -81,6 +83,11 @@ class Service {
     /// dispatches through the backend registry; differential baseline).
     bool use_express = true;
     service::ResultCache::Config cache{};
+    /// Persistent L2 tier (service/persist_cache.hpp). persist.dir empty =
+    /// RAM-only (no files touched). The L2 is keyed canonically like L1,
+    /// so it requires use_cache; probe order is L1 -> L2 (promote on hit)
+    /// and every fresh ok solve is written through.
+    service::PersistCache::Config persist{};
   };
 
   struct Stats {
@@ -127,6 +134,11 @@ class Service {
     std::uint64_t arena_reuses = 0;
     std::uint64_t arena_fresh_allocs = 0;
     service::CacheStats cache{};
+    /// Persistent tier counters (zeros when no cache dir is configured).
+    bool persist_enabled = false;
+    /// L2 hits promoted into L1 (single submits + batch groups).
+    std::uint64_t persist_promotions = 0;
+    service::PersistCache::Stats persist{};
   };
 
   Service() : Service(Options{}) {}
@@ -210,6 +222,18 @@ class Service {
   [[nodiscard]] const Options& options() const { return opts_; }
   [[nodiscard]] std::size_t workers() const { return threads_.size(); }
 
+  /// The admin compaction: clears + stat-resets the RAM tier (safe — every
+  /// ok result was written through to L2 when one is configured) and
+  /// compacts the persistent tier. Callable any time, including while
+  /// workers are solving.
+  struct CompactReport {
+    /// L1 entries dropped by the clear (its counters reset too).
+    std::uint64_t l1_dropped = 0;
+    bool l2_enabled = false;
+    service::PersistCache::CompactReport l2{};
+  };
+  CompactReport compact_caches();
+
  private:
   struct Job {
     SolveRequest req;
@@ -269,6 +293,8 @@ class Service {
   std::size_t worker_count_ = 0;
   Solver solver_;
   service::ResultCache cache_;
+  /// The L2 tier; null when Options::persist.dir is empty.
+  std::unique_ptr<service::PersistCache> persist_;
   util::MpmcQueue<Job> queue_;
   std::mutex inflight_mu_;
   std::unordered_map<service::CacheKey, InFlight, FlightHash> inflight_;
@@ -278,6 +304,7 @@ class Service {
   std::atomic<std::uint64_t> express_{0};
   std::atomic<std::uint64_t> batch_submits_{0};
   std::atomic<std::uint64_t> batch_dedup_{0};
+  std::atomic<std::uint64_t> promotions_{0};
   std::atomic<std::uint64_t> packed_{0};
   std::atomic<std::uint64_t> arena_acquires_{0};
   std::atomic<std::uint64_t> arena_reuses_{0};

@@ -4,14 +4,21 @@
 // ASan/UBSan job runs this suite with leak detection on, which is where
 // the "never leak" half of the contract is enforced; the depth-cap test
 // pins the recursive-descent hardening (kMaxParseDepth) that keeps
-// adversarial nesting from overflowing the stack.
+// adversarial nesting from overflowing the stack. The FuzzCacheFile suite
+// extends the same contract to the persistent L2 cache's on-disk files:
+// mutated logs and indexes must degrade to misses, never crash or lie.
 #include <gtest/gtest.h>
 
+#include <stdlib.h>
+
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "copath.hpp"
 #include "net/protocol.hpp"
+#include "service/persist_cache.hpp"
 #include "testing.hpp"
 #include "util/rng.hpp"
 
@@ -347,6 +354,101 @@ TEST(FuzzParser, NestingBeyondTheDepthCapIsRejectedNotOverflowed) {
   const Cotree t = Cotree::parse(ok);
   t.validate();
   EXPECT_EQ(t.vertex_count(), depth + 1);
+}
+
+// ------------------------------------------------------------- L2 files
+
+/// Seeds a persistent-cache directory with a few real records and hands
+/// back the keys' instances (keys are rebuilt per probe — canonical_form
+/// owns the signature bytes a CacheKeyRef borrows).
+std::vector<Cotree> seed_cache_dir(const std::string& dir) {
+  service::PersistCache::Config cfg;
+  cfg.dir = dir;
+  cfg.index_slots = 64;
+  service::PersistCache cache(cfg);
+  const Solver solver;
+  std::vector<Cotree> trees;
+  for (unsigned i = 0; i < 3; ++i) {
+    trees.push_back(testing::random_cotree(4 + i * 9, 7700 + i));
+    const Instance inst = Instance::view(trees.back());
+    SolveResult res = solver.solve(inst);
+    cache.append(
+        service::make_cache_key(inst.canonical(), SolveOptions{}),
+        service::to_canonical_space(std::move(res), inst.canonical()));
+  }
+  return trees;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(FuzzCacheFile, MutatedLogAndIndexNeverCrashAndNeverAnswerWrong) {
+  // The fuzz oracle for the persistent tier: arbitrary byte edits to
+  // l2.log / l2.idx must leave open + lookup + append working — corrupt
+  // records degrade to misses (per-record checksums), never to crashes,
+  // hangs, leaks (the ASan/UBSan CI job runs this suite), or wrong
+  // answers (a hit must still decode to the exact stored result, which
+  // mutation of THAT record's bytes makes checksum-impossible).
+  char tmpl[] = "/tmp/copath_fuzz_l2_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::vector<Cotree> trees = seed_cache_dir(dir);
+  const std::string log_orig = slurp(dir + "/l2.log");
+  const std::string idx_orig = slurp(dir + "/l2.idx");
+  ASSERT_FALSE(log_orig.empty());
+  ASSERT_FALSE(idx_orig.empty());
+
+  util::Rng rng(20260808);
+  const Solver solver;
+  for (unsigned trial = 0; trial < 60; ++trial) {
+    // Mutate one file (or both), sometimes heavily.
+    const std::size_t edits = 1 + rng.below(trial % 10 == 0 ? 64 : 8);
+    if (rng.chance(0.5)) {
+      spit(dir + "/l2.log", mutate(log_orig, edits, rng));
+    } else {
+      spit(dir + "/l2.log", log_orig);
+    }
+    if (rng.chance(0.5)) {
+      spit(dir + "/l2.idx", mutate(idx_orig, edits, rng));
+    } else {
+      spit(dir + "/l2.idx", idx_orig);
+    }
+
+    service::PersistCache::Config cfg;
+    cfg.dir = dir;
+    cfg.index_slots = 64;
+    service::PersistCache cache(cfg);
+    for (const Cotree& t : trees) {
+      const Instance inst = Instance::view(t);
+      const auto hit = cache.lookup(
+          service::make_cache_key(inst.canonical(), SolveOptions{}));
+      if (hit != nullptr) {
+        // A surviving hit must be the true stored result, bit for bit.
+        SolveResult want = solver.solve(inst);
+        const SolveResult canon = service::to_canonical_space(
+            std::move(want), inst.canonical());
+        EXPECT_EQ(hit->cover.paths, canon.cover.paths);
+        EXPECT_EQ(hit->optimal_size, canon.optimal_size);
+      }
+    }
+    // Appends must keep working over whatever survived.
+    const Cotree extra = testing::random_cotree(11, 90 + trial);
+    const Instance inst = Instance::view(extra);
+    SolveResult res = solver.solve(inst);
+    cache.append(
+        service::make_cache_key(inst.canonical(), SolveOptions{}),
+        service::to_canonical_space(std::move(res), inst.canonical()));
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 //
 //   copathd [--host 127.0.0.1] [--port 7431] [--workers N]
 //           [--queue N] [--window N] [--max-batch N] [--no-cache]
+//           [--cache-dir DIR]
 //
 // One process, one event-loop thread, N solver workers. SIGTERM/SIGINT
 // drain gracefully: in-flight requests finish, new ones get structured
@@ -28,7 +29,8 @@ void on_signal(int) {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--workers N] [--queue N] "
-               "[--window N] [--max-batch N] [--no-cache]\n",
+               "[--window N] [--max-batch N] [--no-cache] "
+               "[--cache-dir DIR]\n",
                argv0);
   std::exit(2);
 }
@@ -61,6 +63,10 @@ int main(int argc, char** argv) {
       opts.max_batch_items = static_cast<std::size_t>(std::atol(value()));
     } else if (arg == "--no-cache") {
       opts.service.use_cache = false;
+    } else if (arg == "--cache-dir") {
+      // Persistent L2 under the RAM cache: survives restarts, shared by
+      // any number of copathd processes pointed at the same directory.
+      opts.service.persist.dir = value();
     } else {
       usage(argv[0]);
     }
