@@ -19,6 +19,12 @@
 //   --json    write BENCH_daemon.json
 //   --smoke   quick regression gate: exit 1 unless warm signature RPS >=
 //             2x warm text RPS at n = 1024. CI runs this in Release.
+//   --chaos   resilience tax: warm closed loop through a RETRYING client,
+//             clean vs 1% injected server-write faults (each injected
+//             fault kills the victim connection — the client reconnects
+//             and retries under backoff). Every request must still
+//             succeed; exits 1 otherwise. Reports both p50/p99 so the
+//             recovery cost is a number, not a feeling.
 //
 // Plain main — no google-benchmark dependency, so the smoke gate builds
 // wherever the library does.
@@ -34,6 +40,7 @@
 #include "cograph/families.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -224,6 +231,64 @@ void run_mixed(const Daemon& daemon, std::size_t n, std::size_t requests,
   }
 }
 
+void run_chaos(std::size_t n, std::size_t requests) {
+  // A fresh daemon (faults must not bleed into the other sections) and a
+  // client armed to survive connection loss: each injected server-write
+  // fault destroys the victim connection mid-response, so the loop only
+  // completes if reconnect + retry actually work.
+  Daemon daemon;
+  net::Client::Config cfg;
+  cfg.retry.max_attempts = 8;
+  cfg.retry.base_delay_ms = 1;
+  cfg.retry.max_delay_ms = 16;
+  cfg.retry.seed = 99;
+  net::Client cli("127.0.0.1", daemon.server->port(), cfg);
+
+  const Workload w = make_workload(n, 1, 42);
+  require_ok(cli.solve_text(w.texts[0]));  // populate the cache
+
+  const auto closed_loop = [&](std::size_t reqs) {
+    std::vector<double> ms;
+    ms.reserve(reqs);
+    for (std::size_t i = 0; i < reqs; ++i) {
+      util::WallTimer t;
+      require_ok(cli.solve_text(w.texts[0]));
+      ms.push_back(t.millis());
+    }
+    std::sort(ms.begin(), ms.end());
+    return ms;
+  };
+
+  const std::vector<double> clean = closed_loop(requests);
+  util::FaultInjector::instance().arm("server.write", 0.01, 99);
+  const std::vector<double> faulty = closed_loop(requests);
+  const std::uint64_t injected =
+      util::FaultInjector::instance().stats("server.write").injected;
+  util::FaultInjector::instance().disarm_all();
+
+  const double clean_p50 = percentile(clean, 0.50) * 1e3;
+  const double clean_p99 = percentile(clean, 0.99) * 1e3;
+  const double chaos_p50 = percentile(faulty, 0.50) * 1e3;
+  const double chaos_p99 = percentile(faulty, 0.99) * 1e3;
+  std::cout << "  chaos clean n=" << n << "  p50=" << clean_p50
+            << "us  p99=" << clean_p99 << "us\n";
+  std::cout << "  chaos 1%wf  n=" << n << "  p50=" << chaos_p50
+            << "us  p99=" << chaos_p99 << "us  (injected " << injected
+            << " write faults over " << requests << " requests; every "
+            << "request still answered)\n";
+  if (g_json != nullptr) {
+    g_json->row("chaos_clean", {{"n", double(n)},
+                                {"p50_us", clean_p50},
+                                {"p99_us", clean_p99},
+                                {"requests", double(requests)}});
+    g_json->row("chaos_write_faults", {{"n", double(n)},
+                                       {"p50_us", chaos_p50},
+                                       {"p99_us", chaos_p99},
+                                       {"requests", double(requests)},
+                                       {"injected", double(injected)}});
+  }
+}
+
 /// Warm text vs signature at one size; returns {text_rps, sig_rps}.
 std::pair<double, double> run_size(const Daemon& daemon, std::size_t n,
                                    std::size_t lat_requests,
@@ -262,11 +327,24 @@ std::pair<double, double> run_size(const Daemon& daemon, std::size_t n,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::JsonReport json(&argc, argv, "daemon");
-  g_json = &json;
   bool smoke = false;
+  bool chaos = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+  }
+  // --chaos writes its own report file so it never clobbers the main
+  // BENCH_daemon.json sections.
+  bench::JsonReport json(&argc, argv, chaos ? "daemon_chaos" : "daemon");
+  g_json = &json;
+
+  if (chaos) {
+    bench::banner("E13-chaos: resilience tax",
+                  "Warm closed loop through a retrying client, clean vs 1% "
+                  "injected server-write faults. Completion IS the gate: "
+                  "any unanswered request exits nonzero.");
+    run_chaos(1024, 2000);
+    return 0;
   }
 
   bench::banner("E13: copathd serving tier",

@@ -177,6 +177,13 @@ struct SolveRequest {
   std::optional<SolveOptions> options;
   /// Free-form tag copied into the result (batch bookkeeping).
   std::string label;
+  /// Relative completion budget in milliseconds (0 = none). Honored by
+  /// copath::Service, which stamps it to an absolute steady-clock deadline
+  /// at admission and SHEDS the request — a structured "deadline exceeded"
+  /// failure, the work never runs — if it is still queued when the budget
+  /// ends. The synchronous Solver ignores it (a direct solve has no queue
+  /// to expire in).
+  std::uint32_t deadline_ms = 0;
 };
 
 /// Structured response. `ok` is false when the instance could not be

@@ -1,17 +1,56 @@
 #include "net/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace copath::net {
 
 namespace proto = protocol;
 
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint32_t RetryPolicy::delay_ms(std::uint32_t retry) const {
+  if (retry == 0) return 0;
+  // Cap the shift so base << k cannot overflow before the min().
+  const std::uint32_t shift = std::min<std::uint32_t>(retry - 1, 20);
+  const std::uint64_t cap = std::min<std::uint64_t>(
+      max_delay_ms, std::uint64_t{base_delay_ms} << shift);
+  // Half-range jitter in [cap/2, cap]: spreads a thundering herd of
+  // retries while keeping a floor, deterministic in (seed, retry).
+  const std::uint64_t z = splitmix64(seed ^ (0xD1B54A32D192ED03ULL * retry));
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  return static_cast<std::uint32_t>(
+      static_cast<double>(cap) * (0.5 + 0.5 * u));
+}
+
 Client::Client(const std::string& host, std::uint16_t port)
-    : fd_(connect_tcp(host, port)) {
+    : Client(host, port, Config()) {}
+
+Client::Client(const std::string& host, std::uint16_t port, Config config)
+    : host_(host), port_(port), config_(config) {
+  connect_and_handshake();
+}
+
+void Client::connect_and_handshake() {
+  fd_ = connect_tcp(host_, port_);
   const std::string hello = proto::make_hello();
   write_all(fd_.get(), hello.data(), hello.size());
   char reply[proto::kHelloReplyBytes];
-  COPATH_CHECK_MSG(read_exact(fd_.get(), reply, sizeof(reply)),
+  COPATH_CHECK_MSG(read_exact_timed(fd_.get(), reply, sizeof(reply),
+                                    config_.request_timeout_ms),
                    "server closed during handshake");
   proto::Status status = proto::Status::Ok;
   std::uint16_t version = 0;
@@ -25,26 +64,36 @@ Client::Client(const std::string& host, std::uint16_t port)
                                                 << version << ")");
 }
 
+void Client::reconnect() {
+  fd_.reset();
+  sendbuf_.clear();
+  connect_and_handshake();
+}
+
 std::uint64_t Client::send_solve_text(std::string_view algebra,
-                                      proto::WireOptions opts) {
+                                      proto::WireOptions opts,
+                                      std::uint32_t deadline_ms) {
   const std::uint64_t seq = next_seq_++;
   proto::append_solve_request(sendbuf_, proto::Verb::SolveText, seq, opts,
-                              algebra);
+                              algebra, pick_deadline(deadline_ms));
   return seq;
 }
 
 std::uint64_t Client::send_solve_signature(std::string_view signature,
-                                           proto::WireOptions opts) {
+                                           proto::WireOptions opts,
+                                           std::uint32_t deadline_ms) {
   const std::uint64_t seq = next_seq_++;
   proto::append_solve_request(sendbuf_, proto::Verb::SolveSignature, seq,
-                              opts, signature);
+                              opts, signature, pick_deadline(deadline_ms));
   return seq;
 }
 
 std::uint64_t Client::send_solve_batch(
-    std::span<const proto::BatchItem> items, proto::WireOptions opts) {
+    std::span<const proto::BatchItem> items, proto::WireOptions opts,
+    std::uint32_t deadline_ms) {
   const std::uint64_t seq = next_seq_++;
-  proto::append_batch_request(sendbuf_, seq, opts, items);
+  proto::append_batch_request(sendbuf_, seq, opts, items,
+                              pick_deadline(deadline_ms));
   return seq;
 }
 
@@ -63,14 +112,17 @@ void Client::flush() {
 proto::Response Client::recv() {
   flush();
   std::uint8_t header[proto::kFrameHeaderBytes];
-  COPATH_CHECK_MSG(read_exact(fd_.get(), header, sizeof(header)),
+  COPATH_CHECK_MSG(read_exact_timed(fd_.get(), header, sizeof(header),
+                                    config_.request_timeout_ms),
                    "server closed the connection");
   std::uint32_t len = 0;
   for (int i = 3; i >= 0; --i) len = (len << 8) | header[i];
   COPATH_CHECK_MSG(len > 0 && len <= proto::kMaxFrameBytes,
                    "unframeable response length " << len);
   std::string payload(len, '\0');
-  COPATH_CHECK_MSG(read_exact(fd_.get(), payload.data(), payload.size()),
+  COPATH_CHECK_MSG(read_exact_timed(fd_.get(), payload.data(),
+                                    payload.size(),
+                                    config_.request_timeout_ms),
                    "server closed mid-frame");
   proto::Response res;
   COPATH_CHECK_MSG(proto::parse_response(payload, &res),
@@ -78,22 +130,58 @@ proto::Response Client::recv() {
   return res;
 }
 
+template <typename SendFn>
+proto::Response Client::roundtrip_with_retry(SendFn&& send_fn) {
+  const RetryPolicy& rp = config_.retry;
+  const std::uint32_t attempts = std::max<std::uint32_t>(1, rp.max_attempts);
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    const bool last = attempt >= attempts;
+    try {
+      if (fd_.get() < 0) connect_and_handshake();
+      const std::uint64_t seq = send_fn();
+      proto::Response res = recv();
+      // Correlate by seq: after a server death, answers to requests from
+      // BEFORE the outage can still sit in the receive buffer. Returning
+      // one of those for THIS call would silently answer the wrong
+      // question — drain them until our response (or the reset) arrives.
+      while (res.seq != seq) res = recv();
+      if (last || !RetryPolicy::retryable(res.status)) return res;
+    } catch (const TimeoutError&) {
+      // The server may still be executing this request; silently
+      // re-submitting could double the work. The caller decides.
+      throw;
+    } catch (const util::CheckError&) {
+      // Connection-level failure: daemon restart, reset, refused dial.
+      // The request never got an answer — safe to retry on a fresh
+      // connection.
+      if (last) throw;
+      fd_.reset();
+      sendbuf_.clear();
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(rp.delay_ms(attempt)));
+  }
+}
+
 proto::Response Client::solve_text(std::string_view algebra,
-                                   proto::WireOptions opts) {
-  (void)send_solve_text(algebra, opts);
-  return recv();
+                                   proto::WireOptions opts,
+                                   std::uint32_t deadline_ms) {
+  return roundtrip_with_retry(
+      [&] { return send_solve_text(algebra, opts, deadline_ms); });
 }
 
 proto::Response Client::solve_signature(std::string_view signature,
-                                        proto::WireOptions opts) {
-  (void)send_solve_signature(signature, opts);
-  return recv();
+                                        proto::WireOptions opts,
+                                        std::uint32_t deadline_ms) {
+  return roundtrip_with_retry(
+      [&] { return send_solve_signature(signature, opts, deadline_ms); });
 }
 
 proto::Response Client::solve_batch(std::span<const proto::BatchItem> items,
-                                    proto::WireOptions opts) {
-  (void)send_solve_batch(items, opts);
-  return recv();
+                                    proto::WireOptions opts,
+                                    std::uint32_t deadline_ms) {
+  return roundtrip_with_retry(
+      [&] { return send_solve_batch(items, opts, deadline_ms); });
 }
 
 proto::Response Client::stats() {

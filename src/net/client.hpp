@@ -1,4 +1,5 @@
-// net::Client — a blocking copathd client with explicit pipelining.
+// net::Client — a blocking copathd client with explicit pipelining and
+// optional resilience (per-op timeouts, reconnect, retry with backoff).
 //
 // One connection, one thread. The split send_*/recv() surface exists so a
 // caller can keep a window of requests in flight (the load generator in
@@ -6,6 +7,17 @@
 // conveniences are send+recv pairs for the one-at-a-time case. Responses
 // come back in COMPLETION order — correlate by Response::seq, not by call
 // order.
+//
+// Resilience model: the plain two-argument constructor behaves exactly like
+// the original client — block forever, no retry, surface every status.
+// Passing a Config turns on per-recv timeouts (TimeoutError), and a
+// RetryPolicy with max_attempts > 1 makes the SOLVE conveniences retry
+// transparently on the statuses that are safe to retry (Draining,
+// Overloaded) and on connection-level failures (a daemon restart looks like
+// one slow call, not an exception). A recv TIMEOUT is never retried — the
+// server may still be executing the request, and the caller must decide
+// whether re-submitting is acceptable. Admin verbs (drain/compact) never
+// retry: re-sending them is a semantic decision, not a transport one.
 //
 // Not thread-safe: share nothing, or give each thread its own Client.
 #pragma once
@@ -20,11 +32,56 @@
 
 namespace copath::net {
 
+/// Seeded-jitter exponential backoff for the solve conveniences. The delay
+/// for retry k is deterministic in (seed, k) — chaos tests assert exact
+/// backoff sequences — and carries half-range jitter so a fleet of clients
+/// sharing a restart moment still spreads its retries.
+struct RetryPolicy {
+  /// Total attempts per solve convenience call. 1 = no retry (default).
+  std::uint32_t max_attempts = 1;
+  /// Backoff before retry k (1-based) is ~ base << (k-1), capped.
+  std::uint32_t base_delay_ms = 10;
+  std::uint32_t max_delay_ms = 2000;
+  /// Seeds the jitter stream; same seed, same delays.
+  std::uint64_t seed = 1;
+
+  /// Statuses safe to retry: the request was REFUSED, not attempted.
+  /// SolveError / BadFrame / InvalidSignature would fail identically again;
+  /// a timeout may still be executing server-side.
+  [[nodiscard]] static bool retryable(protocol::Status s) {
+    return s == protocol::Status::Draining ||
+           s == protocol::Status::Overloaded;
+  }
+
+  /// Backoff before 1-based retry `retry`: uniform in [cap/2, cap] where
+  /// cap = min(max_delay_ms, base_delay_ms << (retry-1)). Pure function of
+  /// (seed, retry).
+  [[nodiscard]] std::uint32_t delay_ms(std::uint32_t retry) const;
+};
+
 class Client {
  public:
+  struct Config {
+    /// Per-recv() timeout; 0 = block forever (the legacy behavior).
+    /// Expiry throws TimeoutError and leaves the response unread — the
+    /// connection is no longer framed-aligned, so resilient callers
+    /// reconnect before reusing it.
+    std::uint32_t request_timeout_ms = 0;
+    /// deadline_ms stamped on every solve frame that doesn't carry its
+    /// own; 0 = none. The server sheds the request with DeadlineExceeded
+    /// if it is still queued when this budget expires.
+    std::uint32_t default_deadline_ms = 0;
+    RetryPolicy retry{};
+  };
+
   /// Connects and completes the handshake. Throws util::CheckError on
   /// connection failure, a non-protocol peer, or a version refusal.
+  /// The two-argument form is the legacy client: no timeout, no retry.
+  /// (Two overloads, not a default argument: a nested class with default
+  /// member initializers can't be a default argument in its enclosing
+  /// class.)
   Client(const std::string& host, std::uint16_t port);
+  Client(const std::string& host, std::uint16_t port, Config config);
 
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
@@ -33,41 +90,58 @@ class Client {
 
   /// Buffer a request; returns its sequence id. Nothing hits the socket
   /// until flush() (or the first recv(), which flushes for you).
+  /// `deadline_ms` (relative; 0 = use Config::default_deadline_ms) rides
+  /// in the frame for the server to enforce.
   std::uint64_t send_solve_text(std::string_view algebra,
-                                protocol::WireOptions opts = {});
+                                protocol::WireOptions opts = {},
+                                std::uint32_t deadline_ms = 0);
   /// `signature` is raw CanonicalForm::signature bytes — the hot path.
   std::uint64_t send_solve_signature(std::string_view signature,
-                                     protocol::WireOptions opts = {});
+                                     protocol::WireOptions opts = {},
+                                     std::uint32_t deadline_ms = 0);
   /// Buffer a whole BatchSolve frame: one sequence id, one response frame
   /// with a positionally aligned status per item (Response::batch).
   std::uint64_t send_solve_batch(std::span<const protocol::BatchItem> items,
-                                 protocol::WireOptions opts = {});
+                                 protocol::WireOptions opts = {},
+                                 std::uint32_t deadline_ms = 0);
   std::uint64_t send_admin(protocol::Verb verb);
 
   /// Writes every buffered request to the socket.
   void flush();
 
-  /// Blocks for the next response frame (flushing first). Throws
+  /// Blocks for the next response frame (flushing first), up to
+  /// Config::request_timeout_ms (TimeoutError past it). Throws
   /// util::CheckError on EOF mid-stream, oversized frames, or undecodable
   /// responses — the server misbehaving is an error, not a status.
   [[nodiscard]] protocol::Response recv();
 
+  /// Drops the current connection (if any) and dials + handshakes a fresh
+  /// one. Buffered unsent requests are discarded — after a transport
+  /// failure their delivery state is unknowable. Throws util::CheckError
+  /// when the server is unreachable.
+  void reconnect();
+
   // -- one-shot conveniences -----------------------------------------------
+  // The solve conveniences run under Config::retry: Draining/Overloaded
+  // responses and connection-level failures are retried with backoff up to
+  // max_attempts; timeouts and structural failures surface immediately.
 
   [[nodiscard]] protocol::Response solve_text(std::string_view algebra,
-                                              protocol::WireOptions opts = {});
+                                              protocol::WireOptions opts = {},
+                                              std::uint32_t deadline_ms = 0);
   [[nodiscard]] protocol::Response solve_signature(
-      std::string_view signature, protocol::WireOptions opts = {});
+      std::string_view signature, protocol::WireOptions opts = {},
+      std::uint32_t deadline_ms = 0);
   /// One round trip for a whole batch. The returned Response carries
   /// per-item slots on Status::Ok; whole-batch refusals (draining,
-  /// malformed batch) come back as a non-Ok status instead.
+  /// overloaded, malformed batch) come back as a non-Ok status instead.
   [[nodiscard]] protocol::Response solve_batch(
       std::span<const protocol::BatchItem> items,
-      protocol::WireOptions opts = {});
+      protocol::WireOptions opts = {}, std::uint32_t deadline_ms = 0);
   [[nodiscard]] protocol::Response stats();
   [[nodiscard]] protocol::Response health();
   /// Asks the server to drain. The Ok ack comes back before the server
-  /// begins refusing.
+  /// begins refusing. Never retried.
   [[nodiscard]] protocol::Response drain();
   /// CacheCompact admin verb: clears+resets the L1 cache, compacts the
   /// persistent tier. The Ok reply carries a counter body describing what
@@ -75,6 +149,22 @@ class Client {
   [[nodiscard]] protocol::Response compact();
 
  private:
+  void connect_and_handshake();
+  /// Sends via `send_fn` (which returns the request's seq) and receives
+  /// until THAT seq answers, retrying per Config::retry. Responses with
+  /// other seqs are discarded — they are stale answers to requests from
+  /// before a reconnect, so the conveniences must not be interleaved with
+  /// the caller's own in-flight pipelined requests. `send_fn` re-buffers
+  /// the request each attempt.
+  template <typename SendFn>
+  protocol::Response roundtrip_with_retry(SendFn&& send_fn);
+  [[nodiscard]] std::uint32_t pick_deadline(std::uint32_t deadline_ms) const {
+    return deadline_ms != 0 ? deadline_ms : config_.default_deadline_ms;
+  }
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  Config config_{};
   Fd fd_;
   std::uint64_t next_seq_ = 1;
   std::string sendbuf_;

@@ -3,11 +3,13 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/clock.hpp"
 
 namespace copath::net {
 
@@ -37,6 +39,14 @@ void EventLoop::unwatch(int fd) {
   if (it != watches_.end()) it->second.dead = true;
 }
 
+void EventLoop::set_tick(std::uint32_t interval_ms, TickHandler handler) {
+  tick_interval_ms_ = interval_ms;
+  tick_handler_ = interval_ms == 0 ? TickHandler{} : std::move(handler);
+  if (interval_ms != 0) {
+    next_tick_ms_ = util::steady_now_ms() + interval_ms;
+  }
+}
+
 void EventLoop::wake() const {
   // A full pipe already guarantees the loop will wake — losing this byte
   // is fine, so EAGAIN is success. No locks, no allocation: safe from a
@@ -59,7 +69,19 @@ void EventLoop::run() {
       pfds.push_back(pollfd{fd, ev, 0});
     }
 
-    const int n = ::poll(pfds.data(), pfds.size(), -1);
+    // Bounded poll when a tick is set: wait exactly until the next tick
+    // deadline, never forever (the old -1 here meant "no fd ready, no
+    // wake() -> no sweeps ever run"). Without a tick the loop keeps its
+    // block-indefinitely behavior — pure IO servers pay nothing.
+    int timeout_ms = -1;
+    if (tick_handler_) {
+      const std::uint64_t now = util::steady_now_ms();
+      timeout_ms = now >= next_tick_ms_
+                       ? 0
+                       : static_cast<int>(std::min<std::uint64_t>(
+                             next_tick_ms_ - now, 60'000));
+    }
+    const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;  // signal delivery; wake() follows up
       COPATH_CHECK_MSG(false, "poll: " << std::strerror(errno));
@@ -91,6 +113,13 @@ void EventLoop::run() {
     }
 
     if (woken && wake_handler_) wake_handler_();
+
+    if (running_ && tick_handler_ && util::steady_now_ms() >= next_tick_ms_) {
+      // Schedule from "now", not the missed deadline: a stalled loop runs
+      // one catch-up tick, never a burst.
+      next_tick_ms_ = util::steady_now_ms() + tick_interval_ms_;
+      tick_handler_();
+    }
 
     // Reap fds unwatched during dispatch.
     for (auto it = watches_.begin(); it != watches_.end();) {

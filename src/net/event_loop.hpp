@@ -33,6 +33,11 @@ class EventLoop {
   /// Invoked on the loop thread after a wake() from any thread/signal.
   /// Multiple wakes may coalesce into one callback.
   using WakeHandler = std::function<void()>;
+  /// Invoked on the loop thread roughly every tick interval (see
+  /// set_tick). Best-effort timing: a long IO dispatch delays the tick, it
+  /// never runs concurrently with handlers, and a busy loop fires it at
+  /// most once per poll round.
+  using TickHandler = std::function<void()>;
 
   EventLoop();
   ~EventLoop() = default;
@@ -51,6 +56,14 @@ class EventLoop {
   void set_wake_handler(WakeHandler handler) {
     wake_handler_ = std::move(handler);
   }
+
+  /// Gives the loop a periodic timer: poll(2) gets a bounded timeout sized
+  /// to the next tick deadline (instead of blocking forever) and `handler`
+  /// runs on the loop thread when it passes — the server's idle-connection
+  /// and deadline sweeps, which must fire even when no fd is ready and no
+  /// wake() arrives. `interval_ms` == 0 removes the tick (poll blocks
+  /// indefinitely again). Loop thread only, like watch().
+  void set_tick(std::uint32_t interval_ms, TickHandler handler);
 
   /// Thread- and async-signal-safe: nudges the loop out of poll(2).
   void wake() const;
@@ -71,6 +84,11 @@ class EventLoop {
   Fd wake_read_;
   Fd wake_write_;
   WakeHandler wake_handler_;
+  TickHandler tick_handler_;
+  std::uint32_t tick_interval_ms_ = 0;
+  /// steady_now_ms() stamp of the next due tick; meaningful only while a
+  /// tick is set.
+  std::uint64_t next_tick_ms_ = 0;
   std::unordered_map<int, Watch> watches_;
   bool running_ = false;
 };

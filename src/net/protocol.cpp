@@ -191,6 +191,8 @@ const char* to_string(Status s) {
     case Status::SolveError: return "solve error";
     case Status::Draining: return "draining";
     case Status::VersionMismatch: return "version mismatch";
+    case Status::DeadlineExceeded: return "deadline exceeded";
+    case Status::Overloaded: return "overloaded";
   }
   return "unknown status";
 }
@@ -245,7 +247,7 @@ bool parse_hello_reply(std::string_view bytes, Status* status,
         magic == kMagic)) {
     return false;
   }
-  if (s > static_cast<std::uint8_t>(Status::VersionMismatch)) return false;
+  if (!known_status(s)) return false;
   *status = static_cast<Status>(s);
   return true;
 }
@@ -268,16 +270,36 @@ Extract extract_frame(std::string& buf, std::string* payload) {
   return Extract::Frame;
 }
 
-void append_solve_request(std::string& out, Verb verb, std::uint64_t seq,
-                          WireOptions opts, std::string_view body) {
-  std::string payload;
-  payload.reserve(1 + 8 + 4 + body.size());
-  ByteWriter w(payload);
+namespace {
+
+// Shared by the solve/batch appenders: the codec owns kOptHasDeadline (set
+// iff a deadline is being written), so callers express deadlines only
+// through the argument and cannot desynchronize flag and field.
+void append_solve_header(ByteWriter& w, Verb verb, std::uint64_t seq,
+                         WireOptions opts, std::uint32_t deadline_ms) {
   w.u8(static_cast<std::uint8_t>(verb));
   w.u64(seq);
-  w.u8(opts.flags);
+  std::uint8_t flags = opts.flags;
+  if (deadline_ms > 0) {
+    flags |= kOptHasDeadline;
+  } else {
+    flags &= static_cast<std::uint8_t>(~kOptHasDeadline);
+  }
+  w.u8(flags);
   w.u8(opts.backend);
   w.u16(0);
+  if (deadline_ms > 0) w.u32(deadline_ms);
+}
+
+}  // namespace
+
+void append_solve_request(std::string& out, Verb verb, std::uint64_t seq,
+                          WireOptions opts, std::string_view body,
+                          std::uint32_t deadline_ms) {
+  std::string payload;
+  payload.reserve(1 + 8 + 8 + body.size());
+  ByteWriter w(payload);
+  append_solve_header(w, verb, seq, opts, deadline_ms);
   w.bytes(body);
   append_frame(out, payload);
 }
@@ -304,29 +326,34 @@ bool parse_request(std::string_view payload, Request* req) {
         !r.u16(&reserved)) {
       return false;
     }
+    // v2 deadline: flag-gated, so a v1 frame (bit never set) parses
+    // byte-identically to the v1 decoder.
+    req->deadline_ms = 0;
+    if ((req->opts.flags & kOptHasDeadline) != 0 &&
+        !r.u32(&req->deadline_ms)) {
+      return false;
+    }
     req->body = r.rest();
     // An empty instance is meaningless on both solve paths; refuse it at
     // the frame layer rather than spinning up a job.
     return !req->body.empty();
   }
   req->opts = WireOptions{};
+  req->deadline_ms = 0;
   req->body = {};
   return r.remaining() == 0;
 }
 
 void append_batch_request(std::string& out, std::uint64_t seq,
                           WireOptions opts,
-                          std::span<const BatchItem> items) {
+                          std::span<const BatchItem> items,
+                          std::uint32_t deadline_ms) {
   std::string payload;
   std::size_t body_bytes = 0;
   for (const BatchItem& item : items) body_bytes += 5 + item.body.size();
-  payload.reserve(1 + 8 + 4 + 2 + body_bytes);
+  payload.reserve(1 + 8 + 8 + 2 + body_bytes);
   ByteWriter w(payload);
-  w.u8(static_cast<std::uint8_t>(Verb::BatchSolve));
-  w.u64(seq);
-  w.u8(opts.flags);
-  w.u8(opts.backend);
-  w.u16(0);
+  append_solve_header(w, Verb::BatchSolve, seq, opts, deadline_ms);
   w.u16(static_cast<std::uint16_t>(items.size()));
   for (const BatchItem& item : items) {
     w.u8(item.is_signature ? kBatchItemSignature : kBatchItemText);
@@ -461,9 +488,7 @@ bool parse_response(std::string_view payload, Response* out) {
   std::uint8_t verb = 0, status = 0;
   if (!r.u8(&verb) || !r.u64(&out->seq) || !r.u8(&status)) return false;
   if (!known_verb(verb)) return false;
-  if (status > static_cast<std::uint8_t>(Status::VersionMismatch)) {
-    return false;
-  }
+  if (!known_status(status)) return false;
   out->verb = static_cast<Verb>(verb);
   out->status = static_cast<Status>(status);
   out->result = WireResult{};
@@ -490,9 +515,7 @@ bool parse_response(std::string_view payload, Response* out) {
         if (!r.u8(&slot_status) || !r.u32(&len) || !r.bytes(len, &sub)) {
           return false;
         }
-        if (slot_status > static_cast<std::uint8_t>(Status::VersionMismatch)) {
-          return false;
-        }
+        if (!known_status(slot_status)) return false;
         auto& slot = out->batch.emplace_back();
         slot.status = static_cast<Status>(slot_status);
         if (slot.status == Status::Ok) {

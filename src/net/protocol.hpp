@@ -1,4 +1,4 @@
-// copathd wire protocol v1: length-prefixed binary frames over TCP.
+// copathd wire protocol v2: length-prefixed binary frames over TCP.
 //
 // Everything is little-endian. A connection opens with a fixed-size
 // handshake, then carries a stream of independent frames in both
@@ -7,10 +7,19 @@
 // COMPLETION order, not submission order — the sequence id, not stream
 // position, is the correlation key.
 //
+// v2 is a minor revision of v1: the only frame-level change is an OPTIONAL
+// trailing `deadline_ms u32` after WireOptions on the solve verbs, gated by
+// a previously-reserved flag bit (kOptHasDeadline) — a v1 frame never sets
+// the bit, so servers accept both versions on one connection type and v1
+// clients keep working unchanged. (A v2 client against a v1 server is
+// refused at the handshake; downgrade by not sending deadlines is the
+// client's call, not the protocol's.)
+//
 //   handshake  client -> server   magic u32 | version u16 | reserved u16
 //              server -> client   magic u32 | version u16 | status u8 | 0 u8
 //              (status != Ok means the server is refusing — version
-//               mismatch — and closes after the reply)
+//               mismatch — and closes after the reply; servers accept any
+//               version in [kMinVersion, kVersion])
 //
 //   frame                         length u32 | payload (length bytes)
 //              `length` counts the payload only and must be in
@@ -19,6 +28,8 @@
 //              structured BadFrame response.
 //
 //   request payload               verb u8 | seq u64 | body
+//     (solve verbs: when WireOptions carries kOptHasDeadline, a
+//      deadline_ms u32 sits between the options and the verb body)
 //     SolveText       body = WireOptions (4 bytes) | cotree algebra text
 //     SolveSignature  body = WireOptions (4 bytes) | CanonicalForm
 //                     signature bytes (see cograph/canonical.hpp) — the
@@ -71,7 +82,10 @@
 namespace copath::net::protocol {
 
 inline constexpr std::uint32_t kMagic = 0x48545043u;  // "CPTH" on the wire
-inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint16_t kVersion = 2;
+/// Oldest client version a server still accepts (v2 only ADDS an optional
+/// flag-gated field, so v1 frames parse under the v2 decoder unchanged).
+inline constexpr std::uint16_t kMinVersion = 1;
 inline constexpr std::size_t kHelloBytes = 8;
 inline constexpr std::size_t kHelloReplyBytes = 8;
 inline constexpr std::size_t kFrameHeaderBytes = 4;
@@ -119,9 +133,23 @@ enum class Status : std::uint8_t {
   Draining = 4,
   /// Handshake refusal: protocol version mismatch.
   VersionMismatch = 5,
+  /// The request carried a deadline and it expired before a worker picked
+  /// the job up (or while it sat parked): the instance was never solved.
+  /// Retrying is pointless unless the caller extends the deadline.
+  DeadlineExceeded = 6,
+  /// The server is past its overload caps (parked-request count/bytes, or
+  /// injected admission pressure): the request was refused without being
+  /// queued. Safe to retry after backoff.
+  Overloaded = 7,
 };
 
 [[nodiscard]] const char* to_string(Status s);
+
+/// True for every status a conforming peer may emit — the decoder-side
+/// range check (one place to extend when the enum grows).
+[[nodiscard]] constexpr bool known_status(std::uint8_t s) {
+  return s <= static_cast<std::uint8_t>(Status::Overloaded);
+}
 
 // WireOptions flag bits.
 inline constexpr std::uint8_t kOptWantVerdicts = 1u << 0;
@@ -130,6 +158,11 @@ inline constexpr std::uint8_t kOptValidate = 1u << 2;
 /// When set, `backend` selects the engine; otherwise the server's default
 /// (Adaptive under default daemon options) is used.
 inline constexpr std::uint8_t kOptExplicitBackend = 1u << 3;
+/// v2: when set, a `deadline_ms u32` follows the 4-byte WireOptions on the
+/// solve verbs (SolveText/SolveSignature/BatchSolve — one deadline for the
+/// whole batch). Absent in v1 frames; the codec manages the bit itself
+/// (append_* set it from their deadline argument).
+inline constexpr std::uint8_t kOptHasDeadline = 1u << 4;
 
 /// The per-request knobs a client may set — deliberately the
 /// result-affecting subset (OptionsKey's domain), so wire requests map
@@ -183,13 +216,20 @@ struct Request {
   Verb verb = Verb::Health;
   std::uint64_t seq = 0;
   WireOptions opts{};
+  /// Relative solve deadline (0 = none): the server sheds the request with
+  /// Status::DeadlineExceeded if it is still queued/parked this many
+  /// milliseconds after the frame arrived. v2 frames only.
+  std::uint32_t deadline_ms = 0;
   /// Views into the payload passed to parse_request (algebra text or
   /// signature bytes); valid while that payload lives.
   std::string_view body;
 };
 
+/// `deadline_ms` > 0 sets kOptHasDeadline and appends the v2 deadline
+/// field; 0 emits a v1-identical frame.
 void append_solve_request(std::string& out, Verb verb, std::uint64_t seq,
-                          WireOptions opts, std::string_view body);
+                          WireOptions opts, std::string_view body,
+                          std::uint32_t deadline_ms = 0);
 void append_admin_request(std::string& out, Verb verb, std::uint64_t seq);
 
 /// False on structurally bad payloads (unknown verb, truncated header or
@@ -210,7 +250,8 @@ struct BatchItem {
 
 void append_batch_request(std::string& out, std::uint64_t seq,
                           WireOptions opts,
-                          std::span<const BatchItem> items);
+                          std::span<const BatchItem> items,
+                          std::uint32_t deadline_ms = 0);
 
 /// Structural validation + decode of a BatchSolve item list (the Request
 /// body after the shared options). False on any malformation — zero

@@ -3,10 +3,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <limits>
 #include <span>
 
 #include "cograph/canonical.hpp"
+#include "util/clock.hpp"
+#include "util/fault.hpp"
 
 namespace copath::net {
 
@@ -14,9 +18,19 @@ namespace proto = protocol;
 
 namespace {
 
-bool service_refused(const SolveResult& res) {
-  return res.error == "service is draining" ||
-         res.error == "service is shut down";
+/// Maps a failed SolveResult to its wire status via the Service's error
+/// string contract (the kErr* constants in service.hpp) — the single place
+/// service-level refusals become protocol statuses. Anything outside the
+/// contract failed structurally inside the solve itself.
+proto::Status failure_status(const SolveResult& res) {
+  if (res.error == kErrDraining || res.error == kErrShutDown) {
+    return proto::Status::Draining;
+  }
+  if (res.error == kErrDeadlineExceeded) {
+    return proto::Status::DeadlineExceeded;
+  }
+  if (res.error == kErrOverloaded) return proto::Status::Overloaded;
+  return proto::Status::SolveError;
 }
 
 /// Built on the SOLVER WORKER thread — response encoding is the expensive
@@ -28,13 +42,19 @@ std::string encode_completion(std::uint64_t seq, proto::Verb verb,
     return proto::encode_solve_response_frame(seq, verb, proto::Status::Ok,
                                               &res, {});
   }
-  // Service-level refusals surface as Draining (the client should go
-  // elsewhere); everything else failed structurally inside the solve.
-  return proto::encode_solve_response_frame(
-      seq, verb,
-      service_refused(res) ? proto::Status::Draining
-                           : proto::Status::SolveError,
-      nullptr, res.error);
+  return proto::encode_solve_response_frame(seq, verb, failure_status(res),
+                                            nullptr, res.error);
+}
+
+/// Effective relative deadline for a solve frame: the frame's own, else
+/// the server default, else none.
+std::uint32_t effective_deadline_ms(const proto::Request& req,
+                                    const Server::Options& opts) {
+  return req.deadline_ms != 0 ? req.deadline_ms : opts.default_deadline_ms;
+}
+
+std::uint64_t deadline_at_from(std::uint32_t deadline_ms) {
+  return deadline_ms == 0 ? 0 : util::steady_now_ms() + deadline_ms;
 }
 
 std::uint64_t recover_seq(std::string_view payload) {
@@ -54,6 +74,9 @@ Server::Server(Options opts)
   // through &port_, which must already be past its own initializer.
   listener_ = listen_tcp(opts_.host, opts_.port, &port_);
   loop_.set_wake_handler([this] { on_wake(); });
+  if (opts_.tick_interval_ms > 0) {
+    loop_.set_tick(opts_.tick_interval_ms, [this] { on_tick(); });
+  }
   loop_.watch(listener_.get(), EventLoop::kRead,
               [this](std::uint32_t) { on_listener_ready(); });
 }
@@ -79,6 +102,7 @@ void Server::on_listener_ready() {
     auto conn = std::make_unique<Conn>();
     conn->fd = Fd(fd);
     conn->id = next_conn_id_++;
+    conn->last_progress_ms = util::steady_now_ms();
     ++accepted_;
     const std::uint64_t id = conn->id;
     loop_.watch(fd, EventLoop::kRead,
@@ -126,7 +150,10 @@ bool Server::read_conn(Conn& conn) {
       return false;
     }
     conn.inbuf.erase(0, proto::kHelloBytes);
-    if (version != proto::kVersion) {
+    // Accept the whole supported range, not just the current version: a v1
+    // client's frames are a strict subset of v2's grammar, so they decode
+    // unchanged.
+    if (version < proto::kMinVersion || version > proto::kVersion) {
       conn.close_after_flush = true;
       return queue_frame(conn,
                          proto::make_hello_reply(
@@ -169,6 +196,7 @@ bool Server::consume_frames(Conn& conn) {
 
 bool Server::handle_frame(Conn& conn, std::string_view payload) {
   ++frames_;
+  conn.last_progress_ms = util::steady_now_ms();
   proto::Request req;
   if (!proto::parse_request(payload, &req)) {
     ++bad_frames_;
@@ -226,10 +254,12 @@ bool Server::handle_solve(Conn& conn, const proto::Request& req) {
     sreq.instance = Instance::text(std::string(req.body));
   }
   sreq.options = proto::apply_wire_options(req.opts, opts_.service.solve);
+  const std::uint32_t deadline_ms = effective_deadline_ms(req, opts_);
+  sreq.deadline_ms = deadline_ms;
   if (!try_dispatch(conn, req.verb, req.seq, std::move(sreq))) {
-    ++parked_total_;
-    conn.parked.push_back(
-        Parked{req.verb, req.seq, std::move(sreq), nullptr});
+    return park_or_refuse(
+        conn, Parked{req.verb, req.seq, std::move(sreq), nullptr,
+                     deadline_at_from(deadline_ms), req.body.size()});
   }
   return true;
 }
@@ -258,6 +288,9 @@ bool Server::handle_batch(Conn& conn, const proto::Request& req) {
   plan->req_slot.reserve(items.size());
   const std::optional<SolveOptions> opts =
       proto::apply_wire_options(req.opts, opts_.service.solve);
+  // One frame, one deadline: every item in the batch shares it (the
+  // service dispatches the batch as one unit anyway).
+  const std::uint32_t deadline_ms = effective_deadline_ms(req, opts_);
   for (std::size_t i = 0; i < items.size(); ++i) {
     const proto::BatchItem& item = items[i];
     if (item.is_signature) {
@@ -276,6 +309,7 @@ bool Server::handle_batch(Conn& conn, const proto::Request& req) {
                         ? Instance::signature(std::string(item.body))
                         : Instance::text(std::string(item.body));
     sreq.options = opts;
+    sreq.deadline_ms = deadline_ms;
     plan->req_slot.push_back(i);
     plan->reqs.push_back(std::move(sreq));
   }
@@ -284,9 +318,9 @@ bool Server::handle_batch(Conn& conn, const proto::Request& req) {
     return queue_frame(conn, encode_batch_completion(req.seq, *plan, {}));
   }
   if (!try_dispatch_batch(conn, req.seq, plan)) {
-    ++parked_total_;
-    conn.parked.push_back(
-        Parked{proto::Verb::BatchSolve, req.seq, {}, std::move(plan)});
+    return park_or_refuse(
+        conn, Parked{proto::Verb::BatchSolve, req.seq, {}, std::move(plan),
+                     deadline_at_from(deadline_ms), req.body.size()});
   }
   return true;
 }
@@ -309,8 +343,7 @@ std::string Server::encode_batch_completion(
       e.status = proto::Status::Ok;
       e.result = &res;
     } else {
-      e.status = service_refused(res) ? proto::Status::Draining
-                                      : proto::Status::SolveError;
+      e.status = failure_status(res);
       e.error = res.error;
     }
   }
@@ -371,6 +404,11 @@ bool Server::send_stats(Conn& conn, std::uint64_t seq) {
       {"frames", frames_},
       {"bad_frames", bad_frames_},
       {"parked", parked_total_},
+      {"parked_refused", parked_refused_},
+      {"parked_bytes", parked_bytes_},
+      {"shed_expired", s.shed_expired},
+      {"shed_parked", shed_parked_},
+      {"idle_closed", idle_closed_},
       {"draining", draining_ ? 1u : 0u},
       {"l2_enabled", s.persist_enabled ? 1u : 0u},
       {"l2_hits", s.persist.hits},
@@ -407,13 +445,86 @@ bool Server::send_compact(Conn& conn, std::uint64_t seq) {
                                seq, proto::Verb::CacheCompact, counters));
 }
 
+bool Server::park_or_refuse(Conn& conn, Parked p) {
+  if (conn.parked.size() >= opts_.max_parked ||
+      parked_bytes_ + p.bytes > opts_.max_parked_bytes) {
+    // The bounded alternative to parking without limit: answer Overloaded
+    // (retryable — the client backs off and tries again) instead of
+    // letting refused work accumulate as server memory.
+    ++parked_refused_;
+    return queue_frame(
+        conn, proto::encode_status_response_frame(
+                  p.seq, p.verb, proto::Status::Overloaded,
+                  "service queue full and parked capacity exhausted"));
+  }
+  ++parked_total_;
+  parked_bytes_ += p.bytes;
+  conn.parked.push_back(std::move(p));
+  return true;
+}
+
+bool Server::shed_expired_parked(Conn& conn, std::uint64_t now) {
+  for (auto it = conn.parked.begin(); it != conn.parked.end();) {
+    if (it->deadline_at == 0 || now < it->deadline_at) {
+      ++it;
+      continue;
+    }
+    const proto::Verb verb = it->verb;
+    const std::uint64_t seq = it->seq;
+    parked_bytes_ -= it->bytes;
+    ++shed_parked_;
+    it = conn.parked.erase(it);
+    if (!queue_frame(conn, proto::encode_status_response_frame(
+                               seq, verb, proto::Status::DeadlineExceeded,
+                               "deadline exceeded while parked"))) {
+      return false;  // conn destroyed; `it` is gone with it
+    }
+  }
+  return true;
+}
+
+void Server::on_tick() {
+  const std::uint64_t now = util::steady_now_ms();
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn& conn = *it->second;
+    if (!shed_expired_parked(conn, now)) continue;
+    if (opts_.idle_timeout_ms > 0 && conn.inflight == 0 &&
+        conn.parked.empty() &&
+        now - conn.last_progress_ms >= opts_.idle_timeout_ms) {
+      // No frame completed, no response owed, nothing computing: silent
+      // idlers and half-frame slowloris peers both land here. Reclaim the
+      // fd instead of leaking it until process exit.
+      ++idle_closed_;
+      destroy_conn(id);
+      continue;
+    }
+    // Shedding may have emptied `parked`, unblocking buffered frames.
+    if (!make_progress(conn)) continue;
+    const auto again = conns_.find(id);
+    if (again != conns_.end()) update_interest(*again->second);
+  }
+  if (draining_) sweep_drain();
+}
+
 bool Server::queue_frame(Conn& conn, std::string frame) {
   conn.outbuf += frame;
+  conn.last_progress_ms = util::steady_now_ms();
   return flush_conn(conn);
 }
 
 bool Server::flush_conn(Conn& conn) {
   while (!conn.outbuf.empty()) {
+    if (util::fault_point("server.write")) {
+      // Injected peer reset: exercise the same path a real mid-write
+      // ECONNRESET takes.
+      destroy_conn(conn.id);
+      return false;
+    }
     // MSG_NOSIGNAL: a mid-write peer reset must be a destroyed connection,
     // not a process-killing SIGPIPE.
     const ssize_t w = ::send(conn.fd.get(), conn.outbuf.data(),
@@ -451,6 +562,7 @@ void Server::update_interest(Conn& conn) {
 void Server::destroy_conn(std::uint64_t id) {
   const auto it = conns_.find(id);
   if (it == conns_.end()) return;
+  for (const Parked& p : it->second->parked) parked_bytes_ -= p.bytes;
   loop_.unwatch(it->second->fd.get());
   conns_.erase(it);
 }
@@ -460,6 +572,7 @@ bool Server::make_progress(Conn& conn) {
     if (draining_) {
       Parked p = std::move(conn.parked.front());
       conn.parked.pop_front();
+      parked_bytes_ -= p.bytes;
       if (!queue_frame(conn, proto::encode_status_response_frame(
                                  p.seq, p.verb, proto::Status::Draining,
                                  "server is draining"))) {
@@ -468,11 +581,42 @@ bool Server::make_progress(Conn& conn) {
       continue;
     }
     Parked& p = conn.parked.front();
+    if (p.deadline_at != 0) {
+      const std::uint64_t now = util::steady_now_ms();
+      if (now >= p.deadline_at) {
+        // Expired while parked and a queue slot only now opened — shed it
+        // here rather than waiting for the next tick.
+        Parked dead = std::move(p);
+        conn.parked.pop_front();
+        parked_bytes_ -= dead.bytes;
+        ++shed_parked_;
+        if (!queue_frame(conn,
+                         proto::encode_status_response_frame(
+                             dead.seq, dead.verb,
+                             proto::Status::DeadlineExceeded,
+                             "deadline exceeded while parked"))) {
+          return false;
+        }
+        continue;
+      }
+      // Time spent parked counts against the budget: hand the service only
+      // what remains, not the original relative deadline.
+      const auto remaining = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(
+              p.deadline_at - now,
+              std::numeric_limits<std::uint32_t>::max()));
+      if (p.plan != nullptr) {
+        for (SolveRequest& r : p.plan->reqs) r.deadline_ms = remaining;
+      } else {
+        p.req.deadline_ms = remaining;
+      }
+    }
     if (p.plan != nullptr) {
       if (!try_dispatch_batch(conn, p.seq, p.plan)) return true;
     } else {
       if (!try_dispatch(conn, p.verb, p.seq, std::move(p.req))) return true;
     }
+    parked_bytes_ -= conn.parked.front().bytes;
     conn.parked.pop_front();
   }
   if (!conn.close_after_flush && !conn.inbuf.empty() &&

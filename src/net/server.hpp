@@ -59,6 +59,30 @@ class Server {
     std::size_t max_batch_items = protocol::kMaxBatchItems;
     /// Pause reads while a connection's outbuf exceeds this many bytes.
     std::size_t outbuf_high_water = 4u << 20;
+    /// Overload bound: max parked (queue-refused, waiting-to-retry)
+    /// requests per connection. Past it the request is refused with
+    /// Status::Overloaded instead of parked; 0 disables parking entirely
+    /// (every queue-full refuses). The old behavior — park without bound —
+    /// let a slow service turn decoded request bodies into unbounded
+    /// server memory.
+    std::size_t max_parked = 64;
+    /// Aggregate decoded-body bytes across ALL parked requests; a park
+    /// that would exceed it is refused Overloaded. Bounds worst-case
+    /// parked memory server-wide (a single batch frame can carry 16 MiB).
+    std::size_t max_parked_bytes = 64u << 20;
+    /// Close a connection that has made no protocol progress (no frame
+    /// completed, no response sent) for this long, unless it has a solve
+    /// in flight. Catches both silent idlers and slowloris peers trickling
+    /// half a frame forever. 0 = never (the default: tests and pipelining
+    /// clients may legitimately sit idle).
+    std::uint32_t idle_timeout_ms = 0;
+    /// Deadline applied to solve frames that carry none (0 = none). Frames
+    /// with their own deadline_ms keep it.
+    std::uint32_t default_deadline_ms = 0;
+    /// Cadence of the periodic sweep (idle closes, parked-deadline sheds)
+    /// via EventLoop::set_tick. 0 disables sweeps — parked deadlines then
+    /// only resolve when completions wake the loop.
+    std::uint32_t tick_interval_ms = 100;
     Service::Options service{};
   };
 
@@ -102,6 +126,13 @@ class Server {
     SolveRequest req;
     /// Non-null for a parked batch (`req` is then unused).
     std::shared_ptr<BatchPlan> plan;
+    /// Absolute steady-clock expiry anchored at FRAME ARRIVAL (0 = none):
+    /// time spent parked counts against the request's deadline, and the
+    /// tick sweep sheds expired entries without waiting for a queue slot.
+    std::uint64_t deadline_at = 0;
+    /// Decoded body bytes this entry pins (counted against
+    /// Options::max_parked_bytes).
+    std::size_t bytes = 0;
   };
   struct Conn {
     Fd fd;
@@ -113,8 +144,13 @@ class Server {
     std::string inbuf;
     std::string outbuf;
     /// Requests decoded but refused by a full service queue; retried in
-    /// arrival order as completions free queue slots.
+    /// arrival order as completions free queue slots. Bounded by
+    /// Options::max_parked / max_parked_bytes — past the caps the server
+    /// answers Status::Overloaded instead of parking.
     std::deque<Parked> parked;
+    /// steady_now_ms() of the last protocol progress (frame completed or
+    /// response queued); the idle sweep's clock.
+    std::uint64_t last_progress_ms = 0;
   };
 
   // The bool-returning members report whether the connection is still
@@ -153,6 +189,15 @@ class Server {
   /// consuming buffered frames once the window allows.
   bool make_progress(Conn& conn);
 
+  /// Parks `p` if the overload caps allow, else answers Overloaded.
+  /// Returns the connection-alive contract like every bool member.
+  bool park_or_refuse(Conn& conn, Parked p);
+  /// Sheds parked entries whose deadline passed (DeadlineExceeded
+  /// responses) and releases their byte accounting.
+  bool shed_expired_parked(Conn& conn, std::uint64_t now);
+  /// The EventLoop tick: parked-deadline sheds, idle closes, drain sweep.
+  void on_tick();
+
   bool queue_frame(Conn& conn, std::string frame);
   bool flush_conn(Conn& conn);
   void update_interest(Conn& conn);
@@ -177,6 +222,14 @@ class Server {
   std::uint64_t frames_ = 0;
   std::uint64_t bad_frames_ = 0;
   std::uint64_t parked_total_ = 0;
+  /// Requests refused Overloaded at the parked caps.
+  std::uint64_t parked_refused_ = 0;
+  /// Parked entries shed by the deadline sweep.
+  std::uint64_t shed_parked_ = 0;
+  /// Connections closed by the idle sweep.
+  std::uint64_t idle_closed_ = 0;
+  /// Decoded bytes currently pinned by parked requests (all conns).
+  std::size_t parked_bytes_ = 0;
 
   // Completed responses en route from solver workers to the loop thread.
   std::mutex completions_mu_;

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,6 +12,7 @@
 #include <cstring>
 
 #include "util/check.hpp"
+#include "util/clock.hpp"
 
 namespace copath::net {
 
@@ -98,6 +100,43 @@ bool read_exact(int fd, void* buf, std::size_t n) {
       return false;
     }
     if (errno == EINTR) continue;
+    COPATH_CHECK_MSG(false, "read: " << std::strerror(errno));
+  }
+  return true;
+}
+
+bool read_exact_timed(int fd, void* buf, std::size_t n,
+                      std::uint32_t timeout_ms) {
+  if (timeout_ms == 0) return read_exact(fd, buf, n);
+  auto* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  const std::uint64_t deadline = util::steady_now_ms() + timeout_ms;
+  while (got < n) {
+    const std::uint64_t now = util::steady_now_ms();
+    if (now >= deadline) {
+      throw TimeoutError("read timed out after " +
+                         std::to_string(timeout_ms) + " ms (" +
+                         std::to_string(got) + " of " + std::to_string(n) +
+                         " bytes)");
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(deadline - now));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      COPATH_CHECK_MSG(false, "poll: " << std::strerror(errno));
+    }
+    if (pr == 0) continue;  // loop re-checks the deadline and throws
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      COPATH_CHECK_MSG(got == 0, "connection closed mid-record ("
+                                     << got << " of " << n << " bytes)");
+      return false;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
     COPATH_CHECK_MSG(false, "read: " << std::strerror(errno));
   }
   return true;

@@ -12,7 +12,19 @@
 #include <cstdint>
 #include <string>
 
+#include "util/check.hpp"
+
 namespace copath::net {
+
+/// Thrown by the deadline-bounded transfer helpers when the peer stays
+/// silent past the allowed time. Derives from CheckError so generic
+/// "connection trouble" handling catches it, while retry logic can single
+/// it out — a timed-out request may still be executing server-side, so it
+/// is NOT one of the safe-to-retry failures.
+class TimeoutError : public util::CheckError {
+ public:
+  explicit TimeoutError(const std::string& what) : CheckError(what) {}
+};
 
 /// Move-only owning file descriptor. close(2) on destruction.
 class Fd {
@@ -66,6 +78,14 @@ void set_nodelay(int fd);
 /// Blocking exact-length read. True on success; false on clean EOF before
 /// the first byte; throws util::CheckError on errors or mid-record EOF.
 bool read_exact(int fd, void* buf, std::size_t n);
+
+/// read_exact with a per-call time budget: poll(2) guards every read so
+/// the caller blocks at most `timeout_ms` waiting for the peer. Throws
+/// TimeoutError when the budget runs out mid-record (the stream position
+/// is then unknown — callers should drop the connection). `timeout_ms`
+/// == 0 degrades to plain read_exact (wait forever).
+bool read_exact_timed(int fd, void* buf, std::size_t n,
+                      std::uint32_t timeout_ms);
 
 /// Blocking full write. Throws util::CheckError on error/EOF.
 void write_all(int fd, const void* buf, std::size_t n);

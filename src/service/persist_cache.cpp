@@ -14,6 +14,7 @@
 
 #include "net/protocol.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/math.hpp"
 
 namespace copath::service {
@@ -84,6 +85,11 @@ class FileLock {
 };
 
 bool write_all(int fd, const char* p, std::uint64_t n, std::uint64_t off) {
+  // Chaos hook: a pwrite that "fails" here exercises the same degradation
+  // as a full disk — append_skips / refused compaction, never corruption
+  // (the log is never truncated and records publish only after a full
+  // write).
+  if (util::fault_point("persist.pwrite")) return false;
   while (n > 0) {
     const ssize_t w = ::pwrite(fd, p, n, static_cast<off_t>(off));
     if (w < 0) {
@@ -304,6 +310,10 @@ void PersistCache::ensure_log_mapped_locked(std::uint64_t min_bytes) {
   if (log_map_ != nullptr) ::munmap(log_map_, log_map_bytes_);
   log_map_ = nullptr;
   log_map_bytes_ = 0;
+  // Chaos hook: an injected mapping failure throws exactly like MAP_FAILED
+  // — lookup() turns it into a miss, append() into a skip.
+  COPATH_CHECK_MSG(!util::fault_point("persist.mmap"),
+                   "injected mmap fault for " + log_path());
   void* m = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, log_fd_, 0);
   COPATH_CHECK_MSG(m != MAP_FAILED, "cannot map " + log_path());
   log_map_ = static_cast<char*>(m);
@@ -339,8 +349,12 @@ bool PersistCache::read_record_locked(std::uint64_t offset,
   ensure_log_mapped_locked(offset + kRecHeaderBytes + len);
   if (offset + kRecHeaderBytes + len > log_map_bytes_) return false;
   const char* payload = log_map_ + offset + kRecHeaderBytes;
-  if (checksum_bytes(payload, len) !=
-      load_raw<std::uint64_t>(log_map_ + offset + 8)) {
+  // Chaos hook first in the || : an injected "checksum mismatch" takes the
+  // identical refusal path as real on-disk corruption (record dropped,
+  // caller degrades to a miss).
+  if (util::fault_point("persist.checksum") ||
+      checksum_bytes(payload, len) !=
+          load_raw<std::uint64_t>(log_map_ + offset + 8)) {
     return false;
   }
   const std::uint64_t sig_len = load_raw<std::uint32_t>(payload + 32);

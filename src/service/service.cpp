@@ -8,6 +8,8 @@
 #include "exec/arena.hpp"
 #include "service/batch.hpp"
 #include "service/express.hpp"
+#include "util/clock.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace copath {
@@ -20,6 +22,23 @@ SolveResult failure(const std::string& label, Backend backend,
   res.backend = backend;
   res.error = std::move(error);
   return res;
+}
+
+std::uint64_t deadline_at_from(std::uint32_t deadline_ms) {
+  return deadline_ms == 0 ? 0 : util::steady_now_ms() + deadline_ms;
+}
+
+/// A batch shares one queue slot, so it expires as a unit: the tightest
+/// nonzero slot deadline governs the whole dispatch.
+std::uint64_t batch_deadline_at(const std::vector<SolveRequest>& reqs) {
+  std::uint64_t tightest = 0;
+  const std::uint64_t now = util::steady_now_ms();
+  for (const SolveRequest& r : reqs) {
+    if (r.deadline_ms == 0) continue;
+    const std::uint64_t at = now + r.deadline_ms;
+    if (tightest == 0 || at < tightest) tightest = at;
+  }
+  return tightest;
 }
 
 }  // namespace
@@ -137,7 +156,14 @@ void Service::submit_async(SolveRequest req, ResultSink sink) {
   Job job;
   job.req = std::move(req);
   job.sink = std::move(sink);
+  job.deadline_at = deadline_at_from(job.req.deadline_ms);
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (util::fault_point("service.admit")) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job.sink(failure(job.req.label, effective_options(job.req).backend,
+                     kErrOverloaded));
+    return;
+  }
   if (!queue_.push(job)) {
     completed_.fetch_add(1, std::memory_order_relaxed);
     job.sink(failure(job.req.label, effective_options(job.req).backend,
@@ -149,6 +175,17 @@ bool Service::try_submit_async(SolveRequest& req, ResultSink& sink) {
   Job job;
   job.req = std::move(req);
   job.sink = std::move(sink);
+  job.deadline_at = deadline_at_from(job.req.deadline_ms);
+  // The injected admission refusal consumes the request (sink fires
+  // inline, like a post-drain refusal): structured Overloaded, not a
+  // park-and-retry — chaos tests prove callers survive the refusal path.
+  if (util::fault_point("service.admit")) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job.sink(failure(job.req.label, effective_options(job.req).backend,
+                     kErrOverloaded));
+    return true;
+  }
   if (queue_.try_push(job)) {
     submitted_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -188,13 +225,12 @@ std::future<std::vector<SolveResult>> Service::submit_batch(
   return submit_batch(std::move(reqs));
 }
 
-void Service::refuse_batch(std::vector<SolveRequest>& reqs,
-                           BatchSink& sink) {
+void Service::refuse_batch(std::vector<SolveRequest>& reqs, BatchSink& sink,
+                           const char* reason) {
   std::vector<SolveResult> out;
   out.reserve(reqs.size());
   for (const SolveRequest& r : reqs) {
-    out.push_back(
-        failure(r.label, effective_options(r).backend, refusal_reason()));
+    out.push_back(failure(r.label, effective_options(r).backend, reason));
   }
   completed_.fetch_add(reqs.size(), std::memory_order_relaxed);
   sink(std::move(out));
@@ -206,11 +242,16 @@ void Service::submit_batch_async(std::vector<SolveRequest> reqs,
   job.is_batch = true;
   job.batch = std::move(reqs);
   job.batch_sink = std::move(sink);
+  job.deadline_at = batch_deadline_at(job.batch);
   // One queue slot, k requests: backpressure is per dispatch, the
   // request-level counters stay per request.
   submitted_.fetch_add(job.batch.size(), std::memory_order_relaxed);
+  if (util::fault_point("service.admit")) {
+    refuse_batch(job.batch, job.batch_sink, kErrOverloaded);
+    return;
+  }
   if (!queue_.push(job)) {
-    refuse_batch(job.batch, job.batch_sink);
+    refuse_batch(job.batch, job.batch_sink, refusal_reason());
   }
 }
 
@@ -220,13 +261,19 @@ bool Service::try_submit_batch_async(std::vector<SolveRequest>& reqs,
   job.is_batch = true;
   job.batch = std::move(reqs);
   job.batch_sink = std::move(sink);
+  job.deadline_at = batch_deadline_at(job.batch);
+  if (util::fault_point("service.admit")) {
+    submitted_.fetch_add(job.batch.size(), std::memory_order_relaxed);
+    refuse_batch(job.batch, job.batch_sink, kErrOverloaded);
+    return true;
+  }
   if (queue_.try_push(job)) {
     submitted_.fetch_add(job.batch.size(), std::memory_order_relaxed);
     return true;
   }
   if (queue_.closed()) {
     submitted_.fetch_add(job.batch.size(), std::memory_order_relaxed);
-    refuse_batch(job.batch, job.batch_sink);
+    refuse_batch(job.batch, job.batch_sink, refusal_reason());
     return true;
   }
   // Queue full: hand the pieces back so the caller can park and retry.
@@ -243,7 +290,13 @@ void Service::worker_loop() {
   exec::Arena& arena = exec::Arena::for_this_thread();
   exec::Arena::Stats last = arena.stats();
   while (auto job = queue_.pop()) {
-    if (job->is_batch) {
+    // Deadline check at pickup, before any cache/canonicalization work: an
+    // expired job is dead work and the caller has (by contract) stopped
+    // waiting — shed it for the price of a clock read.
+    if (job->deadline_at != 0 &&
+        util::steady_now_ms() >= job->deadline_at) {
+      shed_expired_job(std::move(*job));
+    } else if (job->is_batch) {
       process_batch(std::move(*job));
     } else {
       process(std::move(*job));
@@ -257,6 +310,18 @@ void Service::worker_loop() {
                            std::memory_order_relaxed);
     last = now;
   }
+}
+
+void Service::shed_expired_job(Job job) {
+  if (job.is_batch) {
+    shed_.fetch_add(job.batch.size(), std::memory_order_relaxed);
+    refuse_batch(job.batch, job.batch_sink, kErrDeadlineExceeded);
+    return;
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  job.sink(failure(job.req.label, effective_options(job.req).backend,
+                   kErrDeadlineExceeded));
 }
 
 void Service::process(Job job) {
@@ -481,6 +546,7 @@ Service::Stats Service::stats() const {
   s.in_flight = s.submitted >= s.completed ? s.submitted - s.completed : 0;
   s.draining = draining_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.shed_expired = shed_.load(std::memory_order_relaxed);
   s.express_solves = express_.load(std::memory_order_relaxed);
   s.batch_submits = batch_submits_.load(std::memory_order_relaxed);
   s.batch_dedup_hits = batch_dedup_.load(std::memory_order_relaxed);

@@ -61,6 +61,20 @@
 
 namespace copath {
 
+// The structured failure strings Service emits for refusals it originates
+// (as SolveResult::error on an ok == false result). They are part of the
+// service's contract: the serving tier (net/server.cpp) maps each onto a
+// distinct wire status, so compare against these constants, not ad-hoc
+// literals.
+inline constexpr const char* kErrDraining = "service is draining";
+inline constexpr const char* kErrShutDown = "service is shut down";
+/// The request's deadline passed while it was queued; the solve never ran.
+inline constexpr const char* kErrDeadlineExceeded = "deadline exceeded";
+/// Admission refused under overload pressure (today only injected via
+/// util::FaultInjector's "service.admit" point; a real admission limiter
+/// would reuse the same string).
+inline constexpr const char* kErrOverloaded = "service overloaded";
+
 class Service {
  public:
   struct Options {
@@ -109,6 +123,11 @@ class Service {
     std::uint64_t cache_misses = 0;
     /// Requests fulfilled by parking on an in-flight twin computation.
     std::uint64_t coalesced = 0;
+    /// Requests shed at the worker because their deadline passed while
+    /// they sat in the queue: answered with a structured "deadline
+    /// exceeded" failure, the solve never ran. Counted per request (a
+    /// whole expired batch adds its slot count).
+    std::uint64_t shed_expired = 0;
     /// Requests solved inline on the express lane (no registry dispatch,
     /// no native-thread lease).
     std::uint64_t express_solves = 0;
@@ -244,6 +263,11 @@ class Service {
     std::vector<SolveRequest> batch;
     BatchSink batch_sink;
     bool is_batch = false;
+    /// Absolute steady-clock expiry (util::steady_now_ms domain; 0 =
+    /// none), stamped at ADMISSION from the request's relative
+    /// deadline_ms so queue time counts against the budget. A batch
+    /// carries the tightest nonzero deadline among its slots.
+    std::uint64_t deadline_at = 0;
   };
   /// A request parked on an in-flight twin. Keeps its own Instance (moved,
   /// cheap) so fulfillment can replay through that instance's canonical
@@ -267,16 +291,21 @@ class Service {
   void worker_loop();
   void process(Job job);
   void process_batch(Job job);
+  /// Deadline shedding: answers every slot of an expired job with a
+  /// structured "deadline exceeded" failure without touching cache or
+  /// engine — the whole point is to not spend worker time on dead work.
+  void shed_expired_job(Job job);
   /// One structured refusal per slot, invoked inline on the submitting
-  /// thread (mirrors the single-request refusal path).
-  void refuse_batch(std::vector<SolveRequest>& reqs, BatchSink& sink);
+  /// thread (mirrors the single-request refusal path). `reason` is one of
+  /// the kErr* contract strings above.
+  void refuse_batch(std::vector<SolveRequest>& reqs, BatchSink& sink,
+                    const char* reason);
   /// Shared close-and-join half of drain()/shutdown().
   void stop_workers();
   [[nodiscard]] SolveOptions effective_options(const SolveRequest& req) const;
   [[nodiscard]] const char* refusal_reason() const {
-    return draining_.load(std::memory_order_relaxed)
-               ? "service is draining"
-               : "service is shut down";
+    return draining_.load(std::memory_order_relaxed) ? kErrDraining
+                                                     : kErrShutDown;
   }
 
   Options opts_;
@@ -301,6 +330,7 @@ class Service {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> express_{0};
   std::atomic<std::uint64_t> batch_submits_{0};
   std::atomic<std::uint64_t> batch_dedup_{0};

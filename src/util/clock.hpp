@@ -1,0 +1,23 @@
+// Monotonic time base for the serving tier.
+//
+// Deadlines, idle sweeps, and retry backoff all measure elapsed time, so
+// they use the steady clock exclusively — wall time can step backwards
+// under NTP and would turn a 50 ms deadline into an hour or a negative
+// wait. One helper, one unit (milliseconds), shared by service/ and net/.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace copath::util {
+
+/// Milliseconds since the steady clock's (arbitrary) epoch. Only
+/// differences are meaningful; never persist or compare across processes.
+[[nodiscard]] inline std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace copath::util

@@ -1,0 +1,94 @@
+#include "util/fault.hpp"
+
+namespace copath::util {
+namespace {
+
+// splitmix64: the per-point decision stream. One step per hit keeps the
+// k-th decision a pure function of (seed, point, k).
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a over the point name, mixed with the global seed, so "arm a second
+// point" never shifts an armed point's stream.
+std::uint64_t point_seed(std::string_view point, std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ seed;
+  for (const char c : point) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(std::string_view point, double probability,
+                        std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[std::string(point)];
+  p = Point{};
+  p.mode = Point::Mode::Probability;
+  p.probability = probability;
+  p.rng_state = point_seed(point, seed);
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_nth(std::string_view point, std::uint64_t skip,
+                            std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[std::string(point)];
+  p = Point{};
+  p.mode = Point::Mode::Nth;
+  p.skip = skip;
+  p.count = count;
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(std::string(point));
+  any_armed_.store(!points_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fail(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(std::string(point));
+  if (it == points_.end()) return false;
+  Point& p = it->second;
+  const std::uint64_t hit = p.st.evaluations++;
+  bool fail = false;
+  if (p.mode == Point::Mode::Nth) {
+    fail = hit >= p.skip && hit < p.skip + p.count;
+  } else {
+    // Top 53 bits -> uniform double in [0, 1).
+    const double u =
+        static_cast<double>(splitmix64_next(p.rng_state) >> 11) *
+        (1.0 / 9007199254740992.0);
+    fail = u < p.probability;
+  }
+  if (fail) ++p.st.injected;
+  return fail;
+}
+
+FaultInjector::PointStats FaultInjector::stats(
+    std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(std::string(point));
+  return it == points_.end() ? PointStats{} : it->second.st;
+}
+
+}  // namespace copath::util

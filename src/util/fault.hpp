@@ -1,0 +1,110 @@
+// util::FaultInjector — deterministic, compiled-in fault injection.
+//
+// Resilience claims ("an injected pwrite failure degrades to a skipped
+// append, never a crash") are only testable if the failure can actually be
+// made to happen, on demand, repeatably. This is the switchboard: the
+// production code calls COPATH_FAULT_POINT("persist.pwrite") at each site
+// where an external effect can fail, and a chaos test arms that point with
+// a seeded probability (or an exact hit plan) before driving traffic. The
+// same seed produces the same injection sequence on every run — a chaos
+// failure reproduces like any other deterministic test failure.
+//
+// Cost when disarmed (always, in production): one relaxed atomic load per
+// fault point — no lock, no map lookup, no allocation. Arming is a test
+// affair; the injector is process-global because the interesting sites
+// live deep inside the persist cache and the server loop, far from any
+// handle a test could thread a dependency through.
+//
+// Determinism model: each point owns an independent xoshiro stream seeded
+// from (global seed, point name), so arming a second point never perturbs
+// the first point's decision sequence, and the decision for hit #k of a
+// point depends only on the seed and k — not on thread interleaving
+// (evaluations are serialized per point under the injector mutex; fault
+// points sit next to syscalls, so the mutex is noise).
+//
+// The registered fault points (each name appears exactly once in the
+// production sources; chaos_test sweeps this list):
+//   persist.pwrite    PersistCache pwrite loops (append + compact)
+//   persist.mmap      PersistCache log mapping
+//   persist.checksum  PersistCache record checksum verification
+//   server.write      net::Server socket sends (peer-reset simulation)
+//   service.admit     Service queue admission (overload simulation)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace copath::util {
+
+/// Every compiled-in fault point, for test sweeps. Keep in sync with the
+/// COPATH_FAULT_POINT sites (the chaos suite arms each of these and
+/// asserts structured degradation).
+inline constexpr std::string_view kFaultPoints[] = {
+    "persist.pwrite", "persist.mmap", "persist.checksum",
+    "server.write",   "service.admit",
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Arms `point` to fail each hit independently with `probability`,
+  /// decided by a PRNG seeded from (seed, point) — deterministic per
+  /// (seed, hit index). Re-arming resets the point's stream and counters.
+  void arm(std::string_view point, double probability,
+           std::uint64_t seed = 1);
+
+  /// Arms `point` to fail exactly hits [skip, skip + count) (0-based) —
+  /// "fail the third pwrite" — and succeed everywhere else.
+  void arm_nth(std::string_view point, std::uint64_t skip,
+               std::uint64_t count = 1);
+
+  void disarm(std::string_view point);
+  void disarm_all();
+
+  /// The hot-path check, called through COPATH_FAULT_POINT. Returns true
+  /// when this hit should fail. Always false for unarmed points; the
+  /// armed() fast path keeps the disarmed cost to one relaxed load.
+  [[nodiscard]] bool should_fail(std::string_view point);
+
+  /// True if any point is armed (relaxed; the production fast path).
+  [[nodiscard]] bool armed() const {
+    return any_armed_.load(std::memory_order_relaxed);
+  }
+
+  struct PointStats {
+    std::uint64_t evaluations = 0;  // hits observed while armed
+    std::uint64_t injected = 0;     // hits that failed
+  };
+  [[nodiscard]] PointStats stats(std::string_view point) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct Point {
+    enum class Mode { Probability, Nth } mode = Mode::Probability;
+    double probability = 0.0;
+    std::uint64_t rng_state = 0;  // splitmix64 stream, advanced per hit
+    std::uint64_t skip = 0;
+    std::uint64_t count = 0;
+    PointStats st{};
+  };
+
+  mutable std::mutex mu_;
+  std::atomic<bool> any_armed_{false};
+  std::unordered_map<std::string, Point> points_;
+};
+
+/// The production-side hook: true when the named fault should fire now.
+/// Reads one relaxed atomic when nothing is armed.
+[[nodiscard]] inline bool fault_point(std::string_view point) {
+  FaultInjector& fi = FaultInjector::instance();
+  return fi.armed() && fi.should_fail(point);
+}
+
+}  // namespace copath::util

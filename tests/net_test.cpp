@@ -44,8 +44,8 @@ std::string bytes(const char* data, std::size_t n) {
 // ---------------------------------------------------------- NetProtocol
 
 TEST(NetProtocol, HelloGoldenBytesAndRoundTrip) {
-  // v1 hello: "CPTH" magic (LE u32 0x48545043), version 1, reserved 0.
-  EXPECT_EQ(proto::make_hello(), bytes("CPTH\x01\x00\x00\x00", 8));
+  // v2 hello: "CPTH" magic (LE u32 0x48545043), version 2, reserved 0.
+  EXPECT_EQ(proto::make_hello(), bytes("CPTH\x02\x00\x00\x00", 8));
   std::uint16_t version = 0;
   EXPECT_TRUE(proto::parse_hello(proto::make_hello(), &version));
   EXPECT_EQ(version, proto::kVersion);
@@ -71,6 +71,52 @@ TEST(NetProtocol, SolveRequestGoldenBytes) {
       bytes("\x01\x00\x00\x00", 4) +                       // options
       "(+ a b)";
   EXPECT_EQ(out, expected);
+}
+
+TEST(NetProtocol, DeadlineRidesBehindFlagAndV1FramesStillParse) {
+  // A frame WITHOUT a deadline is byte-identical to the v1 encoding (the
+  // golden test above) — that's the whole compatibility argument — and
+  // decodes with deadline_ms == 0.
+  std::string out;
+  proto::WireOptions opts;
+  proto::append_solve_request(out, Verb::SolveText, 7, opts, "(+ a b)");
+  std::string payload;
+  ASSERT_EQ(proto::extract_frame(out, &payload), proto::Extract::Frame);
+  proto::Request req;
+  ASSERT_TRUE(proto::parse_request(payload, &req));
+  EXPECT_EQ(req.opts.flags & proto::kOptHasDeadline, 0u);
+  EXPECT_EQ(req.deadline_ms, 0u);
+  EXPECT_EQ(req.body, "(+ a b)");
+
+  // With a deadline: kOptHasDeadline set, trailing u32 after the options
+  // word, body undisturbed. The codec owns the flag — callers can't desync
+  // flag and field.
+  out.clear();
+  proto::append_solve_request(out, Verb::SolveText, 8, opts, "(+ a b)",
+                              /*deadline_ms=*/250);
+  ASSERT_EQ(proto::extract_frame(out, &payload), proto::Extract::Frame);
+  ASSERT_TRUE(proto::parse_request(payload, &req));
+  EXPECT_NE(req.opts.flags & proto::kOptHasDeadline, 0u);
+  EXPECT_EQ(req.deadline_ms, 250u);
+  EXPECT_EQ(req.body, "(+ a b)");
+
+  // Batch frames carry it the same way.
+  out.clear();
+  const proto::BatchItem items[] = {{false, "(+ a b)"}};
+  proto::append_batch_request(out, 9, opts, items, /*deadline_ms=*/125);
+  ASSERT_EQ(proto::extract_frame(out, &payload), proto::Extract::Frame);
+  ASSERT_TRUE(proto::parse_request(payload, &req));
+  EXPECT_EQ(req.verb, Verb::BatchSolve);
+  EXPECT_EQ(req.deadline_ms, 125u);
+
+  // A flagged frame truncated before the trailing u32 is malformed, not
+  // a zero deadline.
+  out.clear();
+  proto::append_solve_request(out, Verb::SolveText, 10, opts, "x",
+                              /*deadline_ms=*/250);
+  ASSERT_EQ(proto::extract_frame(out, &payload), proto::Extract::Frame);
+  payload.resize(payload.size() - 5);  // drop body byte + one deadline byte
+  EXPECT_FALSE(proto::parse_request(payload, &req));
 }
 
 TEST(NetProtocol, FrameExtractionSurvivesBytewiseFragmentation) {
@@ -534,6 +580,23 @@ TEST(Daemon, DrainAcknowledgesThenStopsTheServer) {
   server.reset();
   // The port is released: a fresh connection attempt must be refused.
   EXPECT_THROW(net::Client("127.0.0.1", port), util::CheckError);
+}
+
+TEST(Daemon, OlderProtocolVersionIsStillAccepted) {
+  // The v2 server accepts the whole [kMinVersion, kVersion] range: a v1
+  // client (no deadline field anywhere) handshakes and solves unchanged.
+  DaemonFixture daemon;
+  RawConn raw(daemon.server->port(), /*version=*/1);
+  ASSERT_EQ(raw.status, Status::Ok);
+  EXPECT_EQ(raw.peer_version, proto::kVersion);
+
+  std::string out;
+  proto::append_solve_request(out, Verb::SolveText, 3, {}, "(+ a b)");
+  raw.send(out);
+  const proto::Response res = raw.read_response();
+  EXPECT_EQ(res.seq, 3u);
+  EXPECT_EQ(res.status, Status::Ok);
+  EXPECT_EQ(res.result.vertex_count, 2u);
 }
 
 }  // namespace

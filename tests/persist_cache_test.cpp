@@ -588,5 +588,71 @@ TEST(PersistCacheDaemon, StatsCompactAndCounterResetOverTheWire) {
   loop.join();
 }
 
+TEST(PersistCacheDaemon, RestartOverTheWireServesDiskWarmBitwiseEqual) {
+  // The in-process restart differential (RestartServesDiskWarmIdentical-
+  // ToFirstRun), extended to the wire path: daemon A populates the cache
+  // directory over TCP and drains cleanly; daemon B on the SAME directory
+  // must serve every instance disk-warm — identical wire results, l2 hits,
+  // zero re-appends.
+  TempDir dir;
+  std::vector<std::string> texts;
+  for (unsigned i = 0; i < 10; ++i) {
+    texts.push_back(testing::random_cotree(3 + i * 7, 8100 + i).format());
+  }
+  const auto serve = [&dir] {
+    net::Server::Options opts;
+    opts.port = 0;
+    opts.service.workers = 2;
+    opts.service.persist.dir = dir.path;
+    return std::make_unique<net::Server>(std::move(opts));
+  };
+  const auto expect_wire_equal = [](const proto::WireResult& got,
+                                    const proto::WireResult& want,
+                                    unsigned i) {
+    EXPECT_EQ(got.vertex_count, want.vertex_count) << i;
+    EXPECT_EQ(got.optimal_size, want.optimal_size) << i;
+    EXPECT_EQ(got.minimum, want.minimum) << i;
+    EXPECT_EQ(got.hamiltonian_path, want.hamiltonian_path) << i;
+    EXPECT_EQ(got.hamiltonian_cycle, want.hamiltonian_cycle) << i;
+    EXPECT_EQ(got.paths, want.paths) << i;
+  };
+
+  std::vector<proto::Response> first;
+  {
+    auto server = serve();
+    std::thread loop([&server] { server->run(); });
+    {
+      net::Client cli("127.0.0.1", server->port());
+      for (const auto& t : texts) {
+        first.push_back(cli.solve_text(t));
+        ASSERT_EQ(first.back().status, proto::Status::Ok)
+            << first.back().error;
+      }
+      const proto::Response st = cli.stats();
+      EXPECT_GE(counter(st, "l2_appends"), texts.size());
+    }
+    server->request_drain();
+    loop.join();
+  }  // daemon A is gone; only the cache directory survives
+
+  auto server = serve();
+  std::thread loop([&server] { server->run(); });
+  {
+    net::Client cli("127.0.0.1", server->port());
+    for (std::size_t i = 0; i < texts.size(); ++i) {
+      const proto::Response again = cli.solve_text(texts[i]);
+      ASSERT_EQ(again.status, proto::Status::Ok) << again.error;
+      expect_wire_equal(again.result, first[i].result,
+                        static_cast<unsigned>(i));
+    }
+    const proto::Response st = cli.stats();
+    EXPECT_GE(counter(st, "l2_hits"), texts.size());
+    EXPECT_GE(counter(st, "l2_promotions"), texts.size());
+    EXPECT_EQ(counter(st, "l2_appends"), 0u);  // nothing recomputed
+  }
+  server->request_drain();
+  loop.join();
+}
+
 }  // namespace
 }  // namespace copath

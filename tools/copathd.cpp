@@ -2,7 +2,8 @@
 //
 //   copathd [--host 127.0.0.1] [--port 7431] [--workers N]
 //           [--queue N] [--window N] [--max-batch N] [--no-cache]
-//           [--cache-dir DIR]
+//           [--cache-dir DIR] [--max-parked N] [--max-parked-bytes N]
+//           [--idle-timeout MS] [--request-timeout MS]
 //
 // One process, one event-loop thread, N solver workers. SIGTERM/SIGINT
 // drain gracefully: in-flight requests finish, new ones get structured
@@ -30,7 +31,8 @@ void on_signal(int) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--workers N] [--queue N] "
                "[--window N] [--max-batch N] [--no-cache] "
-               "[--cache-dir DIR]\n",
+               "[--cache-dir DIR] [--max-parked N] [--max-parked-bytes N] "
+               "[--idle-timeout MS] [--request-timeout MS]\n",
                argv0);
   std::exit(2);
 }
@@ -67,6 +69,23 @@ int main(int argc, char** argv) {
       // Persistent L2 under the RAM cache: survives restarts, shared by
       // any number of copathd processes pointed at the same directory.
       opts.service.persist.dir = value();
+    } else if (arg == "--max-parked") {
+      // Overload bound: queue-refused requests parked per connection
+      // before the server answers Overloaded (0 = never park).
+      opts.max_parked = static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--max-parked-bytes") {
+      // Aggregate decoded bytes parked across all connections.
+      opts.max_parked_bytes = static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--idle-timeout") {
+      // Close connections with no protocol progress and nothing in flight
+      // after this many ms (0 = never; catches slowloris peers).
+      opts.idle_timeout_ms =
+          static_cast<std::uint32_t>(std::atol(value()));
+    } else if (arg == "--request-timeout") {
+      // Default deadline_ms for solve frames that carry none: still-queued
+      // requests past it are shed with DeadlineExceeded (0 = none).
+      opts.default_deadline_ms =
+          static_cast<std::uint32_t>(std::atol(value()));
     } else {
       usage(argv[0]);
     }
