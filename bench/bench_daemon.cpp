@@ -24,7 +24,11 @@
 //             fault kills the victim connection — the client reconnects
 //             and retries under backoff). Every request must still
 //             succeed; exits 1 otherwise. Reports both p50/p99 so the
-//             recovery cost is a number, not a feeling.
+//             recovery cost is a number, not a feeling. Ends with a
+//             cancellation storm: pipelined solves each chased by a wire
+//             Cancel, gated on exactly-once accounting (every solve
+//             answers once as Ok or Cancelled, every Cancel acked, the
+//             server's completed == submitted).
 //
 // Plain main — no google-benchmark dependency, so the smoke gate builds
 // wherever the library does.
@@ -289,6 +293,93 @@ void run_chaos(std::size_t n, std::size_t requests) {
   }
 }
 
+void run_cancel_storm(std::size_t n, std::size_t jobs, std::size_t rounds) {
+  // Cancellation storm: pipeline a window of distinct (cache-off) solves,
+  // then immediately Cancel every one of them while they sit queued or in
+  // flight. The gate is exactly-once accounting — every solve seq answers
+  // exactly once (Ok or Cancelled), every Cancel frame is acked, and the
+  // server's own books balance (completed == submitted) — plus liveness:
+  // the same connection must still solve cleanly after the storm.
+  net::Server::Options sopts;
+  sopts.port = 0;
+  sopts.service.workers = 2;
+  sopts.service.use_cache = false;  // distinct work per request, no coalescing
+  net::Server server(std::move(sopts));
+  std::thread loop([&server] { server.run(); });
+
+  const Workload w = make_workload(n, jobs, 4242);
+  net::Client cli("127.0.0.1", server.port());
+
+  std::size_t ok = 0, cancelled = 0, storm_faults = 0;
+  util::WallTimer timer;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<std::uint64_t> solve_seqs, cancel_seqs;
+    solve_seqs.reserve(jobs);
+    cancel_seqs.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i) {
+      solve_seqs.push_back(cli.send_solve_text(w.texts[i]));
+    }
+    for (const std::uint64_t seq : solve_seqs) {
+      cancel_seqs.push_back(cli.send_cancel(seq));
+    }
+    std::vector<proto::Response> got;
+    got.reserve(2 * jobs);
+    for (std::size_t i = 0; i < 2 * jobs; ++i) got.push_back(cli.recv());
+    for (const std::uint64_t seq : solve_seqs) {
+      std::size_t answers = 0;
+      for (const auto& res : got) {
+        if (res.seq != seq) continue;
+        ++answers;
+        if (res.status == proto::Status::Ok && res.result.ok) {
+          ++ok;
+        } else if (res.status == proto::Status::Cancelled) {
+          ++cancelled;
+        } else {
+          ++storm_faults;  // neither a clean answer nor a clean cancel
+        }
+      }
+      if (answers != 1) ++storm_faults;  // dropped or duplicated response
+    }
+    for (const std::uint64_t seq : cancel_seqs) {
+      std::size_t acks = 0;
+      for (const auto& res : got) {
+        if (res.seq == seq && res.status == proto::Status::Ok) ++acks;
+      }
+      if (acks != 1) ++storm_faults;
+    }
+  }
+  const double wall_ms = timer.millis();
+
+  const proto::Response st = cli.stats();
+  std::uint64_t submitted = 0, completed = 0;
+  for (const auto& [key, value] : st.stats) {
+    if (key == "submitted") submitted = value;
+    if (key == "completed") completed = value;
+  }
+  if (submitted != completed) ++storm_faults;  // a job the service lost
+  require_ok(cli.solve_text(w.texts[0]));      // still serviceable after
+
+  const std::size_t total = jobs * rounds;
+  std::cout << "  cancel storm n=" << n << "  jobs=" << total << "  ok="
+            << ok << "  cancelled=" << cancelled << "  ("
+            << (total > 0 ? 1e3 * wall_ms / double(total) : 0)
+            << "us/job; every request answered exactly once)\n";
+  if (g_json != nullptr) {
+    g_json->row("chaos_cancel_storm", {{"n", double(n)},
+                                       {"jobs", double(total)},
+                                       {"ok", double(ok)},
+                                       {"cancelled", double(cancelled)},
+                                       {"wall_ms", wall_ms}});
+  }
+  server.request_drain();
+  loop.join();
+  if (storm_faults != 0) {
+    std::cerr << "cancel storm accounting failed (" << storm_faults
+              << " violations)\n";
+    std::exit(1);
+  }
+}
+
 /// Warm text vs signature at one size; returns {text_rps, sig_rps}.
 std::pair<double, double> run_size(const Daemon& daemon, std::size_t n,
                                    std::size_t lat_requests,
@@ -344,6 +435,7 @@ int main(int argc, char** argv) {
                   "injected server-write faults. Completion IS the gate: "
                   "any unanswered request exits nonzero.");
     run_chaos(1024, 2000);
+    run_cancel_storm(1024, 16, 8);
     return 0;
   }
 

@@ -134,6 +134,7 @@ SolveResult Solver::solve_with(const Instance& inst,
     cfg.pipeline = opts.pipeline;
     cfg.collect_trace = opts.collect_trace;
     cfg.cost_model = opts.cost_model;
+    cfg.cancel = opts.cancel;
 
     util::WallTimer timer;
     core::BackendOutput out = entry->fn(t, cfg);

@@ -39,6 +39,7 @@
 #include "core/path_cover.hpp"
 #include "core/pipeline.hpp"
 #include "pram/stats.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace copath {
@@ -169,6 +170,12 @@ struct SolveOptions {
   /// overrides are ignored — the pool is shared across the whole batch and
   /// reused for the Solver's lifetime).
   std::size_t batch_workers = 0;
+  /// Cooperative cancellation token, polled at pipeline stage boundaries
+  /// and inside Native's pfor chunks (see util/cancel.hpp). Borrowed: must
+  /// outlive the solve. When it trips, the solve unwinds into a failed
+  /// SolveResult whose error is util::kCancelledMsg or util::kDeadlineMsg.
+  /// Excluded from cache keys (it never changes the computed answer).
+  util::CancelToken* cancel = nullptr;
 };
 
 struct SolveRequest {
@@ -184,6 +191,13 @@ struct SolveRequest {
   /// ends. The synchronous Solver ignores it (a direct solve has no queue
   /// to expire in).
   std::uint32_t deadline_ms = 0;
+  /// Owning handle for this request's cancel token (copath::Service arms
+  /// the deadline on it and registers it with the worker watchdog; the
+  /// net::Server trips it on client disconnect or a wire Cancel). Created
+  /// by the Service at admission when absent and needed. The per-solve
+  /// borrow in SolveOptions::cancel is derived from this, never set by
+  /// callers directly.
+  std::shared_ptr<util::CancelToken> cancel = nullptr;
 };
 
 /// Structured response. `ok` is false when the instance could not be

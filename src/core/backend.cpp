@@ -70,6 +70,7 @@ exec::Native::Config native_config(const BackendConfig& cfg) {
   exec::Native::Config nc;
   nc.workers = cfg.workers;      // 0 = hardware concurrency
   nc.processors = cfg.processors;  // 0 = one block per worker
+  nc.cancel = cfg.cancel;
   return nc;
 }
 
@@ -83,8 +84,17 @@ BackendConfig apply_backend_contract(Backend b, BackendConfig cfg) {
 
 namespace {
 
+// Engines with no internal checkpoints (the sequential sweep, the PRAM
+// simulator's stepped runs) honor cancel once, up front: a solve whose
+// token already tripped (deadline passed while queued, client gone) is
+// refused before any work runs.
+void checkpoint_before_solve(const BackendConfig& cfg) {
+  if (cfg.cancel != nullptr) cfg.cancel->checkpoint();
+}
+
 BackendOutput run_pram_pipeline(const cograph::Cotree& t,
                                 const BackendConfig& cfg) {
+  checkpoint_before_solve(cfg);
   BackendOutput out;
   pram::Machine m(machine_config(t.vertex_count(), cfg));
   out.cover = min_path_cover_pram(m, t, cfg.pipeline,
@@ -116,7 +126,8 @@ BackendOutput run_native(const cograph::Cotree& t,
 }
 
 BackendOutput run_sequential(const cograph::Cotree& t,
-                             const BackendConfig& /*cfg*/) {
+                             const BackendConfig& cfg) {
+  checkpoint_before_solve(cfg);
   BackendOutput out;
   out.cover = min_path_cover_sequential(t);
   return out;
@@ -140,16 +151,24 @@ BackendOutput run_adaptive(const cograph::Cotree& t,
     // thread performs (Service workers, solve_batch pool workers).
     exec::Arena& arena = exec::Arena::for_this_thread();
     nc.arena = &arena;
-    {
+    try {
       exec::Native ex(nc);
       out.cover = min_path_cover_exec(
           ex, t, cfg.pipeline, cfg.collect_trace ? &out.trace : nullptr);
       out.stats = ex.stats();
       out.traced = cfg.collect_trace;
+    } catch (...) {
+      // Cancellation (or any failure) unwinds through here with every
+      // executor array already destroyed — the buffers are back in the
+      // arena free lists. Trim exactly as on success so a cancelled solve
+      // never leaves a worker thread holding peak scratch.
+      arena.trim_over(model.arena_retain_bytes);
+      throw;
     }
     // Every array is dead here; cap what this thread keeps warm.
     arena.trim_over(model.arena_retain_bytes);
   } else {
+    checkpoint_before_solve(cfg);
     out.cover = min_path_cover_sequential(t);
   }
   out.routed = route;

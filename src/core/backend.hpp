@@ -24,6 +24,7 @@
 #include "core/pipeline.hpp"
 #include "exec/native.hpp"
 #include "pram/machine.hpp"
+#include "util/cancel.hpp"
 
 namespace copath::core {
 
@@ -87,6 +88,11 @@ struct BackendConfig {
   /// calibrated default (CostModel::calibrated()). Tests inject a model to
   /// force a route. Must outlive the solve.
   const CostModel* cost_model = nullptr;
+  /// Cooperative cancellation token (util/cancel.hpp); nullptr = never
+  /// cancelled. Borrowed — must outlive the solve. Engines that honor it
+  /// (Sequential routes check it once up front; Native checkpoints every
+  /// parallel phase) unwind with util::CancelledError when it trips.
+  util::CancelToken* cancel = nullptr;
 };
 
 /// What a backend hands back: always a cover; machine stats and a stage

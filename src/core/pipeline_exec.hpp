@@ -104,10 +104,15 @@ PathCover min_path_cover_exec(E& m, const cograph::Cotree& t,
     return PathCover{{{0}}};
   }
 
-  // Stage accounting: record (steps, work) deltas when tracing.
+  // Stage accounting: record (steps, work) deltas when tracing. Stage
+  // boundaries double as cancellation checkpoints for executors that
+  // support them (exec::Native): host-only stretches between parallel
+  // phases (tree copies, cut-depth sweeps, cover assembly) still observe
+  // a tripped token within one stage.
   std::uint64_t stage_steps = m.stats().steps;
   std::uint64_t stage_work = m.stats().work;
   const auto mark_stage = [&](const char* name) {
+    if constexpr (requires { m.cancel_checkpoint(); }) m.cancel_checkpoint();
     if (trace == nullptr) return;
     trace->stages.emplace_back(name, m.stats().steps - stage_steps,
                                m.stats().work - stage_work);
@@ -502,6 +507,9 @@ PathCover min_path_cover_exec(E& m, const cograph::Cotree& t,
 
   std::size_t rounds = 0;
   while (true) {
+    // One checkpoint per repair round: the round count is data-dependent,
+    // so a cancelled solve must not be able to hide inside the loop.
+    if constexpr (requires { m.cancel_checkpoint(); }) m.cancel_checkpoint();
     const BinTree ft = build_host_tree(true);
     const EulerNumbers fn = par::euler_numbers(m, ft, opt.rank_engine);
     auto seq = exec::make_array<i32>(m, fsize, -1);

@@ -48,6 +48,7 @@
 #include "exec/arena.hpp"
 #include "exec/exec.hpp"
 #include "pram/stats.hpp"
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 #include "util/thread_pool.hpp"
@@ -101,6 +102,13 @@ class Native {
     /// performs; the arena must outlive every array created through it and
     /// must not be shared between threads.
     Arena* arena = nullptr;
+    /// Cooperative cancellation token; nullptr = never cancelled.
+    /// Borrowed — must outlive the executor. Pool chunks poll it and bail
+    /// early; the coordinator throws util::CancelledError at the next
+    /// phase end, before any dependent stage can read the partial scratch
+    /// a bailed phase left behind. Disarmed cost: one nullptr test per
+    /// phase plus a masked counter test per ~512 loop iterations.
+    util::CancelToken* cancel = nullptr;
   };
 
   /// Per-processor context. Carries only identity — Native arrays do not
@@ -206,6 +214,7 @@ class Native {
       : grain_(cfg.grain == 0 ? 1 : cfg.grain),
         grains_(cfg.grains),
         arena_(cfg.arena),
+        cancel_(cfg.cancel),
         pool_(cfg.workers == 0 ? util::ThreadPool::default_workers()
                                : cfg.workers) {
     processors_ = cfg.processors == 0 ? pool_.workers() : cfg.processors;
@@ -243,8 +252,23 @@ class Native {
   }
 
   /// Stats charge for a shortcut host pass over `items` elements: one
-  /// step, `items` work, on one processor.
-  void charge_host_pass(std::size_t items) { charge(1, items, 1); }
+  /// step, `items` work, on one processor. Doubles as a cancellation
+  /// checkpoint: the pass is skipped entirely when the token has tripped.
+  void charge_host_pass(std::size_t items) {
+    cancel_checkpoint();
+    charge(1, items, 1);
+  }
+
+  /// Cancellation checkpoint: heartbeats the attached token and throws
+  /// util::CancelledError when it has tripped (deadline or explicit).
+  /// Called at every phase end and, via the pipeline's stage hook, at
+  /// every stage boundary — always on the coordinator thread, so the
+  /// throw unwinds through Solver::solve's error path with executor
+  /// arrays destroyed (arena buffers released) along the way. A nullptr
+  /// test when no token is attached.
+  void cancel_checkpoint() {
+    if (cancel_ != nullptr) cancel_->checkpoint();
+  }
 
   /// One parallel phase: body(ctx, p) for every p in [0, procs). Bodies
   /// must be EREW-clean (see the header comment); writes are visible
@@ -254,6 +278,7 @@ class Native {
     if (procs == 0) return;
     charge(1, procs, procs);
     run(procs, std::forward<Body>(body));
+    cancel_checkpoint();
   }
 
   /// Blocked phase: each processor handles a whole block of work, so the
@@ -265,6 +290,7 @@ class Native {
     if (procs == 0) return;
     charge(1, procs, procs);
     run_blocked(procs, [&body](Ctx& c, std::size_t p) { (void)body(c, p); });
+    cancel_checkpoint();
   }
 
   /// Brent-scheduled loop: body(ctx, i) for every i in [0, items), in one
@@ -277,6 +303,7 @@ class Native {
     // logical processors per charged step.
     charge(pfor_steps(items), items, std::min(items, processors_));
     run(items, std::forward<Body>(body));
+    cancel_checkpoint();
   }
 
   /// Brent bound pfor(items) is charged: ceil(items / processors()).
@@ -320,10 +347,27 @@ class Native {
     run_pool(count, body);
   }
 
+  /// Loop iterations between cancellation polls inside a phase. Small
+  /// enough that a tripped token stops a huge pfor within microseconds,
+  /// large enough that the masked test is noise against any real body.
+  static constexpr std::size_t kPollMask = 511;
+
   template <typename Body>
   void run_inline(std::size_t count, Body& body) {
     Ctx ctx(0);
+    if (cancel_ == nullptr) {
+      for (std::size_t p = 0; p < count; ++p) {
+        ctx.proc_ = p;
+        body(ctx, p);
+      }
+      return;
+    }
+    // Armed: poll mid-phase so even a single-worker (inline) phase
+    // heartbeats, enforces its deadline, and stops early. The bail is a
+    // plain return — the phase-end cancel_checkpoint() turns it into the
+    // structured throw.
     for (std::size_t p = 0; p < count; ++p) {
+      if ((p & kPollMask) == 0 && cancel_->poll()) return;
       ctx.proc_ = p;
       body(ctx, p);
     }
@@ -331,11 +375,30 @@ class Native {
 
   template <typename Body>
   void run_pool(std::size_t count, Body& body) {
+    util::CancelToken* cancel = cancel_;
+    if (cancel == nullptr) {
+      pool_.parallel_blocks(
+          0, count,
+          [&body](std::size_t worker, std::size_t lo, std::size_t hi) {
+            Ctx ctx(worker);
+            for (std::size_t p = lo; p < hi; ++p) {
+              ctx.proc_ = p;
+              body(ctx, p);
+            }
+          });
+      return;
+    }
+    // Armed: each chunk polls every kPollMask+1 iterations and bails by
+    // early return — never by throwing, which would terminate the process
+    // (util::ThreadPool's contract). poll() also heartbeats, so a long
+    // phase making progress is never mistaken for a stuck one by the
+    // Service watchdog.
     pool_.parallel_blocks(
         0, count,
-        [&body](std::size_t worker, std::size_t lo, std::size_t hi) {
+        [&body, cancel](std::size_t worker, std::size_t lo, std::size_t hi) {
           Ctx ctx(worker);
           for (std::size_t p = lo; p < hi; ++p) {
+            if (((p - lo) & kPollMask) == 0 && cancel->poll()) return;
             ctx.proc_ = p;
             body(ctx, p);
           }
@@ -346,6 +409,7 @@ class Native {
   std::size_t grain_;
   Grains grains_;
   Arena* arena_;
+  util::CancelToken* cancel_ = nullptr;
   std::unique_ptr<Arena> owned_arena_;
   util::ThreadPool pool_;
   pram::Stats stats_{};

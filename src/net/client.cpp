@@ -103,6 +103,12 @@ std::uint64_t Client::send_admin(proto::Verb verb) {
   return seq;
 }
 
+std::uint64_t Client::send_cancel(std::uint64_t target_seq) {
+  const std::uint64_t seq = next_seq_++;
+  proto::append_cancel_request(sendbuf_, seq, target_seq);
+  return seq;
+}
+
 void Client::flush() {
   if (sendbuf_.empty()) return;
   write_all(fd_.get(), sendbuf_.data(), sendbuf_.size());

@@ -105,6 +105,12 @@ class Client {
                                  protocol::WireOptions opts = {},
                                  std::uint32_t deadline_ms = 0);
   std::uint64_t send_admin(protocol::Verb verb);
+  /// Buffer a v2 Cancel frame naming an in-flight request by the seq a
+  /// send_solve_* call returned. Two responses follow: an Ok ack under the
+  /// returned seq (idempotent — a finished target is a benign race), and
+  /// the target answering under ITS seq, with Status::Cancelled if the
+  /// cancel caught it.
+  std::uint64_t send_cancel(std::uint64_t target_seq);
 
   /// Writes every buffered request to the socket.
   void flush();
@@ -122,10 +128,10 @@ class Client {
   void reconnect();
 
   // -- one-shot conveniences -----------------------------------------------
-  // The solve conveniences run under Config::retry: Draining/Overloaded
-  // responses and connection-level failures are retried with backoff up to
-  // max_attempts; timeouts and structural failures surface immediately.
 
+  /// The solve conveniences run under Config::retry: Draining/Overloaded
+  /// responses and connection-level failures are retried with backoff up to
+  /// max_attempts; timeouts and structural failures surface immediately.
   [[nodiscard]] protocol::Response solve_text(std::string_view algebra,
                                               protocol::WireOptions opts = {},
                                               std::uint32_t deadline_ms = 0);
@@ -139,6 +145,9 @@ class Client {
       std::span<const protocol::BatchItem> items,
       protocol::WireOptions opts = {}, std::uint32_t deadline_ms = 0);
   [[nodiscard]] protocol::Response stats();
+  /// Health probe. Against a v2 server the Ok reply carries a degraded-
+  /// state counter body in Response::stats (draining, parked pressure,
+  /// stuck_workers, ...); a v1 server's reply leaves it empty.
   [[nodiscard]] protocol::Response health();
   /// Asks the server to drain. The Ok ack comes back before the server
   /// begins refusing. Never retried.

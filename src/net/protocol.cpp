@@ -101,7 +101,7 @@ constexpr std::uint8_t kResHasVerdicts = 1u << 5;
 
 bool known_verb(std::uint8_t v) {
   return v >= static_cast<std::uint8_t>(Verb::SolveText) &&
-         v <= static_cast<std::uint8_t>(Verb::CacheCompact);
+         v <= static_cast<std::uint8_t>(Verb::Cancel);
 }
 
 void append_response_header(ByteWriter& w, Verb verb, std::uint64_t seq,
@@ -193,6 +193,7 @@ const char* to_string(Status s) {
     case Status::VersionMismatch: return "version mismatch";
     case Status::DeadlineExceeded: return "deadline exceeded";
     case Status::Overloaded: return "overloaded";
+    case Status::Cancelled: return "cancelled";
   }
   return "unknown status";
 }
@@ -313,6 +314,17 @@ void append_admin_request(std::string& out, Verb verb, std::uint64_t seq) {
   append_frame(out, payload);
 }
 
+void append_cancel_request(std::string& out, std::uint64_t seq,
+                           std::uint64_t target_seq) {
+  std::string payload;
+  payload.reserve(1 + 8 + 8);
+  ByteWriter w(payload);
+  w.u8(static_cast<std::uint8_t>(Verb::Cancel));
+  w.u64(seq);
+  w.u64(target_seq);
+  append_frame(out, payload);
+}
+
 bool parse_request(std::string_view payload, Request* req) {
   ByteReader r(payload);
   std::uint8_t verb = 0;
@@ -341,6 +353,12 @@ bool parse_request(std::string_view payload, Request* req) {
   req->opts = WireOptions{};
   req->deadline_ms = 0;
   req->body = {};
+  if (req->verb == Verb::Cancel) {
+    // Exactly one u64 naming the seq to cancel — trailing bytes are a
+    // framing bug, not future extension room (extensions bump kVersion).
+    return r.u64(&req->target_seq) && r.remaining() == 0;
+  }
+  req->target_seq = 0;
   return r.remaining() == 0;
 }
 
@@ -531,6 +549,13 @@ bool parse_response(std::string_view payload, Response* out) {
       }
       return r.remaining() == 0;
     }
+    case Verb::Health: {
+      // v1 servers ack Health with an empty body; v2 servers attach a
+      // Stats-shaped counter body describing degraded state. Accept both
+      // so one client binary can talk to either.
+      if (r.remaining() == 0) return true;
+      [[fallthrough]];
+    }
     case Verb::Stats:
     case Verb::CacheCompact: {
       std::uint32_t count = 0;
@@ -548,8 +573,8 @@ bool parse_response(std::string_view payload, Response* out) {
       }
       return r.remaining() == 0;
     }
-    case Verb::Health:
     case Verb::Drain:
+    case Verb::Cancel:
       return r.remaining() == 0;
   }
   return false;

@@ -37,6 +37,13 @@
 //                     canonical sorting, at the price of a full
 //                     stack-machine re-validation of the untrusted bytes
 //     Stats | Health | Drain | CacheCompact    body empty (admin verbs)
+//     Cancel          body = target_seq u64 — cancel the in-flight or
+//                     parked request this CONNECTION submitted under that
+//                     sequence id (v2 verb). The Cancel frame itself is
+//                     acked Ok (idempotently: cancelling a finished or
+//                     unknown seq is a no-op ack); the cancelled request
+//                     answers under ITS OWN seq with Status::Cancelled
+//                     (or DeadlineExceeded if its budget expired first).
 //     BatchSolve      body = WireOptions (4 bytes, shared by every item) |
 //                     u16 count | count * (u8 kind | u32 len | len bytes)
 //                     where kind selects the sub-body meaning (1 = algebra
@@ -105,6 +112,12 @@ enum class Verb : std::uint8_t {
   /// rebuild the index) and clear + reset the RAM tier. Replies with a
   /// Stats-shaped counter body describing the compaction.
   CacheCompact = 7,
+  /// v2: cancel an in-flight/parked request of THIS connection by its
+  /// sequence id (body = target_seq u64). Acked Ok regardless of whether
+  /// the target was found (it may have completed concurrently — the
+  /// caller sees its real response either way); the target, if caught,
+  /// answers with Status::Cancelled.
+  Cancel = 8,
 };
 
 /// Protocol-level ceiling on BatchSolve items per frame (servers may
@@ -141,6 +154,11 @@ enum class Status : std::uint8_t {
   /// injected admission pressure): the request was refused without being
   /// queued. Safe to retry after backoff.
   Overloaded = 7,
+  /// v2: the request was cancelled before completing — a Cancel verb
+  /// named its seq, its client disconnected (only observable server-side),
+  /// or the worker watchdog reclaimed a stuck solve. Never retried
+  /// automatically: the caller asked for this.
+  Cancelled = 8,
 };
 
 [[nodiscard]] const char* to_string(Status s);
@@ -148,7 +166,7 @@ enum class Status : std::uint8_t {
 /// True for every status a conforming peer may emit — the decoder-side
 /// range check (one place to extend when the enum grows).
 [[nodiscard]] constexpr bool known_status(std::uint8_t s) {
-  return s <= static_cast<std::uint8_t>(Status::Overloaded);
+  return s <= static_cast<std::uint8_t>(Status::Cancelled);
 }
 
 // WireOptions flag bits.
@@ -218,8 +236,12 @@ struct Request {
   WireOptions opts{};
   /// Relative solve deadline (0 = none): the server sheds the request with
   /// Status::DeadlineExceeded if it is still queued/parked this many
-  /// milliseconds after the frame arrived. v2 frames only.
+  /// milliseconds after the frame arrived — and, since cancellation became
+  /// cooperative, trips the solve mid-flight when the budget expires on a
+  /// worker. v2 frames only.
   std::uint32_t deadline_ms = 0;
+  /// Verb::Cancel only: the sequence id to cancel.
+  std::uint64_t target_seq = 0;
   /// Views into the payload passed to parse_request (algebra text or
   /// signature bytes); valid while that payload lives.
   std::string_view body;
@@ -231,6 +253,10 @@ void append_solve_request(std::string& out, Verb verb, std::uint64_t seq,
                           WireOptions opts, std::string_view body,
                           std::uint32_t deadline_ms = 0);
 void append_admin_request(std::string& out, Verb verb, std::uint64_t seq);
+
+/// v2: Cancel frame naming the in-flight request to abandon.
+void append_cancel_request(std::string& out, std::uint64_t seq,
+                           std::uint64_t target_seq);
 
 /// False on structurally bad payloads (unknown verb, truncated header or
 /// options). `req->seq` is still recovered when at least verb+seq were

@@ -29,6 +29,7 @@ proto::Status failure_status(const SolveResult& res) {
   if (res.error == kErrDeadlineExceeded) {
     return proto::Status::DeadlineExceeded;
   }
+  if (res.error == kErrCancelled) return proto::Status::Cancelled;
   if (res.error == kErrOverloaded) return proto::Status::Overloaded;
   return proto::Status::SolveError;
 }
@@ -160,6 +161,7 @@ bool Server::read_conn(Conn& conn) {
                              proto::Status::VersionMismatch));
     }
     conn.handshaken = true;
+    conn.version = version;
     if (!queue_frame(conn, proto::make_hello_reply(proto::Status::Ok))) {
       return false;
     }
@@ -207,9 +209,11 @@ bool Server::handle_frame(Conn& conn, std::string_view payload) {
   }
   switch (req.verb) {
     case proto::Verb::Health:
-      return queue_frame(conn, proto::encode_status_response_frame(
-                                   req.seq, proto::Verb::Health,
-                                   proto::Status::Ok, {}));
+      return send_health(conn, req.seq);
+    case proto::Verb::Cancel:
+      // Deliberately NOT gated on draining_: cancelling in-flight work is
+      // exactly what a draining server wants to allow.
+      return handle_cancel(conn, req);
     case proto::Verb::Stats:
       return send_stats(conn, req.seq);
     case proto::Verb::CacheCompact:
@@ -353,6 +357,14 @@ std::string Server::encode_batch_completion(
 bool Server::try_dispatch_batch(Conn& conn, std::uint64_t seq,
                                 const std::shared_ptr<BatchPlan>& plan) {
   const std::uint64_t id = conn.id;
+  // One token per batch frame, riding slot 0 (the service's batch-token
+  // convention): a Cancel or disconnect abandons the whole dispatch, which
+  // matches the one-frame-one-deadline batch contract. Parked retries
+  // reuse the token they already carry.
+  if (plan->reqs.front().cancel == nullptr) {
+    plan->reqs.front().cancel = std::make_shared<util::CancelToken>();
+  }
+  std::shared_ptr<util::CancelToken> token = plan->reqs.front().cancel;
   Service::BatchSink sink =
       [this, id, seq, plan](std::vector<SolveResult> results) {
         // Worker thread: encode the whole frame here, hand bytes to the
@@ -360,11 +372,12 @@ bool Server::try_dispatch_batch(Conn& conn, std::uint64_t seq,
         std::string frame = encode_batch_completion(seq, *plan, results);
         {
           std::lock_guard<std::mutex> lock(completions_mu_);
-          completions_.emplace_back(id, std::move(frame));
+          completions_.push_back({id, seq, std::move(frame)});
         }
         loop_.wake();
       };
   if (!service_.try_submit_batch_async(plan->reqs, sink)) return false;
+  conn.tokens.emplace(seq, std::move(token));
   ++conn.inflight;  // one window slot per batch: it is one dispatch
   return true;
 }
@@ -372,15 +385,20 @@ bool Server::try_dispatch_batch(Conn& conn, std::uint64_t seq,
 bool Server::try_dispatch(Conn& conn, proto::Verb verb, std::uint64_t seq,
                           SolveRequest&& sreq) {
   const std::uint64_t id = conn.id;
+  if (sreq.cancel == nullptr) {
+    sreq.cancel = std::make_shared<util::CancelToken>();
+  }
+  std::shared_ptr<util::CancelToken> token = sreq.cancel;
   Service::ResultSink sink = [this, id, seq, verb](SolveResult res) {
     std::string frame = encode_completion(seq, verb, res);
     {
       std::lock_guard<std::mutex> lock(completions_mu_);
-      completions_.emplace_back(id, std::move(frame));
+      completions_.push_back({id, seq, std::move(frame)});
     }
     loop_.wake();
   };
   if (!service_.try_submit_async(sreq, sink)) return false;
+  conn.tokens.emplace(seq, std::move(token));
   ++conn.inflight;
   return true;
 }
@@ -409,6 +427,10 @@ bool Server::send_stats(Conn& conn, std::uint64_t seq) {
       {"shed_expired", s.shed_expired},
       {"shed_parked", shed_parked_},
       {"idle_closed", idle_closed_},
+      {"cancelled", s.cancelled},
+      {"watchdog_cancels", s.watchdog_cancels},
+      {"stuck_workers", s.stuck_workers},
+      {"cancel_frames", cancel_frames_},
       {"draining", draining_ ? 1u : 0u},
       {"l2_enabled", s.persist_enabled ? 1u : 0u},
       {"l2_hits", s.persist.hits},
@@ -427,6 +449,75 @@ bool Server::send_stats(Conn& conn, std::uint64_t seq) {
                      proto::encode_stats_response_frame(seq, counters));
 }
 
+bool Server::send_health(Conn& conn, std::uint64_t seq) {
+  if (conn.version < 2) {
+    // The v1 Health reply is the empty-body Ok status frame — keep it
+    // byte-for-byte so v1 clients (which reject unexpected bodies) still
+    // parse it.
+    return queue_frame(conn, proto::encode_status_response_frame(
+                                 seq, proto::Verb::Health,
+                                 proto::Status::Ok, {}));
+  }
+  // v2: a degraded-state surface, counter-shaped like Stats but curated —
+  // only the gauges an operator's probe needs to decide "healthy, shedding,
+  // or wedged", not the full counter dump.
+  const Service::Stats s = service_.stats();
+  std::size_t parked_now = 0;
+  for (const auto& [cid, c] : conns_) parked_now += c->parked.size();
+  const std::pair<std::string_view, std::uint64_t> counters[] = {
+      {"draining", draining_ ? 1u : 0u},
+      {"queue_depth", s.queue_depth},
+      {"in_flight", s.in_flight},
+      {"parked_now", parked_now},
+      {"parked_bytes", parked_bytes_},
+      {"parked_refused", parked_refused_},
+      {"shed_expired", s.shed_expired},
+      {"cancelled", s.cancelled},
+      {"watchdog_cancels", s.watchdog_cancels},
+      {"stuck_workers", s.stuck_workers},
+      {"l2_enabled", s.persist_enabled ? 1u : 0u},
+      {"l2_append_skips", s.persist.append_skips},
+      {"l2_corrupt_dropped", s.persist.corrupt_dropped},
+  };
+  return queue_frame(conn, proto::encode_counters_response_frame(
+                               seq, proto::Verb::Health, counters));
+}
+
+bool Server::handle_cancel(Conn& conn, const proto::Request& req) {
+  ++cancel_frames_;
+  const std::uint64_t target = req.target_seq;
+  const auto tok = conn.tokens.find(target);
+  if (tok != conn.tokens.end()) {
+    // In flight: trip the token and let the job answer under ITS OWN seq
+    // with Status::Cancelled once a solve checkpoint observes the trip (or
+    // DeadlineExceeded if its budget raced us and won).
+    tok->second->cancel(util::CancelToken::Reason::kCancelled);
+  } else {
+    // Not dispatched — maybe parked. (Rarely reachable today: reads pause
+    // while anything is parked, so a Cancel frame usually waits out the
+    // park. Kept for defense: the scan is cheap and the semantics must
+    // hold if the backpressure rules ever loosen.)
+    for (auto it = conn.parked.begin(); it != conn.parked.end(); ++it) {
+      if (it->seq != target) continue;
+      const proto::Verb verb = it->verb;
+      parked_bytes_ -= it->bytes;
+      conn.parked.erase(it);
+      if (!queue_frame(conn, proto::encode_status_response_frame(
+                                 target, verb, proto::Status::Cancelled,
+                                 util::kCancelledMsg))) {
+        return false;
+      }
+      break;
+    }
+  }
+  // Ack the Cancel frame itself unconditionally: an unknown or finished
+  // target is a benign race (the caller sees its real response), not an
+  // error worth distinguishing.
+  return queue_frame(conn, proto::encode_status_response_frame(
+                               req.seq, proto::Verb::Cancel,
+                               proto::Status::Ok, {}));
+}
+
 bool Server::send_compact(Conn& conn, std::uint64_t seq) {
   // Admin verb, run inline on the loop thread: compaction does disk IO
   // under the cache file lock, which is acceptable for a rare operator
@@ -440,6 +531,7 @@ bool Server::send_compact(Conn& conn, std::uint64_t seq) {
       {"l2_bytes_before", r.l2.bytes_before},
       {"l2_bytes_after", r.l2.bytes_after},
       {"l2_dropped_records", r.l2.dropped_records},
+      {"l2_lru_dropped", r.l2.lru_dropped},
   };
   return queue_frame(conn, proto::encode_counters_response_frame(
                                seq, proto::Verb::CacheCompact, counters));
@@ -563,6 +655,12 @@ void Server::destroy_conn(std::uint64_t id) {
   const auto it = conns_.find(id);
   if (it == conns_.end()) return;
   for (const Parked& p : it->second->parked) parked_bytes_ -= p.bytes;
+  // Disconnect cancels: nobody is left to read these results, so stop the
+  // workers computing them. The sinks still fire (they hold the plan/seq
+  // by value) and on_wake drops the frames for the missing conn id.
+  for (auto& [seq, token] : it->second->tokens) {
+    token->cancel(util::CancelToken::Reason::kCancelled);
+  }
   loop_.unwatch(it->second->fd.get());
   conns_.erase(it);
 }
@@ -627,17 +725,18 @@ bool Server::make_progress(Conn& conn) {
 }
 
 void Server::on_wake() {
-  std::vector<std::pair<std::uint64_t, std::string>> done;
+  std::vector<Completion> done;
   {
     std::lock_guard<std::mutex> lock(completions_mu_);
     done.swap(completions_);
   }
-  for (auto& [id, frame] : done) {
-    const auto it = conns_.find(id);
+  for (Completion& c : done) {
+    const auto it = conns_.find(c.conn_id);
     if (it == conns_.end()) continue;  // peer left mid-solve; drop
     Conn& conn = *it->second;
+    conn.tokens.erase(c.seq);  // answered: nothing left to cancel
     if (conn.inflight > 0) --conn.inflight;
-    (void)queue_frame(conn, std::move(frame));
+    (void)queue_frame(conn, std::move(c.frame));
   }
 
   if (drain_requested_.load(std::memory_order_relaxed) && !draining_) {

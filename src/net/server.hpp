@@ -39,6 +39,7 @@
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "service/service.hpp"
+#include "util/cancel.hpp"
 
 namespace copath::net {
 
@@ -138,6 +139,10 @@ class Server {
     Fd fd;
     std::uint64_t id = 0;
     bool handshaken = false;
+    /// Negotiated protocol version from the hello. Gates v2-only response
+    /// shapes (the Health counter body) so a v1 client is served
+    /// byte-identically to the v1 server.
+    std::uint16_t version = protocol::kMinVersion;
     /// Poison: flush outbuf, then close (bad hello, corrupt framing).
     bool close_after_flush = false;
     std::size_t inflight = 0;
@@ -151,6 +156,12 @@ class Server {
     /// steady_now_ms() of the last protocol progress (frame completed or
     /// response queued); the idle sweep's clock.
     std::uint64_t last_progress_ms = 0;
+    /// Cancel token per dispatched (in-service) request, keyed by seq.
+    /// Created on dispatch, erased when the completion frame comes back.
+    /// The Cancel verb trips the target's token here; destroy_conn trips
+    /// every one (a disconnected peer's solves stop consuming workers).
+    std::unordered_map<std::uint64_t, std::shared_ptr<util::CancelToken>>
+        tokens;
   };
 
   // The bool-returning members report whether the connection is still
@@ -182,6 +193,14 @@ class Server {
       std::uint64_t seq, const BatchPlan& plan,
       std::span<const SolveResult> results);
   bool send_stats(Conn& conn, std::uint64_t seq);
+  /// Health: v1 conns get the legacy empty Ok frame byte-identically; v2
+  /// conns get a degraded-state counter body (draining, parked pressure,
+  /// L2 skipping, watchdog-stuck workers).
+  bool send_health(Conn& conn, std::uint64_t seq);
+  /// Cancel verb: trips the target seq's in-flight token (or sheds it from
+  /// the parked queue), then acks Ok — idempotently, since the target may
+  /// have completed concurrently.
+  bool handle_cancel(Conn& conn, const protocol::Request& req);
   /// CacheCompact: clears+resets L1, compacts L2, answers with a counter
   /// body describing what happened.
   bool send_compact(Conn& conn, std::uint64_t seq);
@@ -228,12 +247,20 @@ class Server {
   std::uint64_t shed_parked_ = 0;
   /// Connections closed by the idle sweep.
   std::uint64_t idle_closed_ = 0;
+  /// Cancel frames received (whether or not the target was still around).
+  std::uint64_t cancel_frames_ = 0;
   /// Decoded bytes currently pinned by parked requests (all conns).
   std::size_t parked_bytes_ = 0;
 
   // Completed responses en route from solver workers to the loop thread.
+  // `seq` rides along so the loop can retire the request's cancel token.
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::string frame;
+  };
   std::mutex completions_mu_;
-  std::vector<std::pair<std::uint64_t, std::string>> completions_;
+  std::vector<Completion> completions_;
 
   /// Last member: its destructor joins the solver workers, so by the time
   /// anything above is torn down no sink can still be running.

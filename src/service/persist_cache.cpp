@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 
@@ -101,6 +102,17 @@ bool write_all(int fd, const char* p, std::uint64_t n, std::uint64_t off) {
     off += static_cast<std::uint64_t>(w);
   }
   return true;
+}
+
+/// Wall-clock seconds for the last-access stamp. system_clock, not the
+/// steady clock: the stamp is persisted across process lifetimes, and the
+/// steady clock's epoch is per-boot. One-second granularity is plenty for
+/// eviction ordering and lets hot keys dedupe their re-stamps.
+std::uint32_t now_secs() {
+  return static_cast<std::uint32_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
 }
 
 std::uint64_t file_size(int fd) {
@@ -361,6 +373,7 @@ bool PersistCache::read_record_locked(std::uint64_t offset,
   const std::uint64_t res_len = load_raw<std::uint32_t>(payload + 36);
   if (kPayloadFixedBytes + sig_len + res_len != len) return false;
   out->hash = load_raw<std::uint64_t>(payload);
+  out->offset = offset;
   out->opts = payload + 8;
   out->signature = std::string_view(payload + kPayloadFixedBytes, sig_len);
   out->result =
@@ -457,6 +470,18 @@ std::shared_ptr<const SolveResult> PersistCache::lookup(
     if (find_record_locked(key, &rec)) {
       auto res = std::make_shared<SolveResult>();
       if (net::protocol::decode_result_record(rec.result, res.get())) {
+        // LRU stamp, written through the fd (the log mapping is PROT_READ).
+        // No file lock: a 4-byte pwrite into the header's stamp field races
+        // only other stamps, sits outside the checksum, and at worst
+        // perturbs eviction order. Skipped when this second already
+        // stamped — hot keys cost one pwrite per second, not per hit.
+        const std::uint32_t now = now_secs();
+        if (load_raw<std::uint32_t>(log_map_ + rec.offset + 4) != now) {
+          char stamp[4];
+          store_raw<std::uint32_t>(stamp, now);
+          (void)::pwrite(log_fd_, stamp, sizeof(stamp),
+                         static_cast<off_t>(rec.offset + 4));
+        }
         ++stats_.hits;
         return res;
       }
@@ -499,7 +524,9 @@ void PersistCache::append(const CacheKeyRef& key,
         static_cast<std::uint32_t>(scratch_.size() - result_at));
     store_raw<std::uint32_t>(scratch_.data(),
                              static_cast<std::uint32_t>(payload_len));
-    store_raw<std::uint32_t>(scratch_.data() + 4, 0);
+    // Creation counts as the first access: a fresh record must not look
+    // like the coldest entry to the LRU eviction in compact_locked.
+    store_raw<std::uint32_t>(scratch_.data() + 4, now_secs());
     store_raw<std::uint64_t>(
         scratch_.data() + 8,
         checksum_bytes(scratch_.data() + kRecHeaderBytes, payload_len));
@@ -571,22 +598,67 @@ bool PersistCache::compact_locked(CompactReport* report) {
       return false;
     }
   }
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> live;
-  std::uint64_t out_off = kLogHeaderBytes;
+  // Validate every reachable record first, carrying its last-access stamp,
+  // so the size cap can be enforced before any bytes are copied.
+  struct LiveRec {
+    std::uint64_t off = 0;
+    std::uint64_t len = 0;
+    std::uint64_t hash = 0;
+    std::uint32_t stamp = 0;
+  };
+  std::vector<LiveRec> keep;
+  keep.reserve(offsets.size());
   std::uint64_t total = 0;
+  std::uint64_t need = kLogHeaderBytes;
   for (const std::uint64_t off : offsets) {
     ++total;
     RecordView rec;
     if (!read_record_locked(off, &rec)) continue;  // stale slot: drop
     const std::uint64_t len = load_raw<std::uint32_t>(log_map_ + off);
-    if (!write_all(new_log, log_map_ + off, kRecHeaderBytes + len,
+    keep.push_back({off, len, rec.hash,
+                    load_raw<std::uint32_t>(log_map_ + off + 4)});
+    need += kRecHeaderBytes + len;
+  }
+  std::uint64_t lru_dropped = 0;
+  if (need > cfg_.max_log_bytes) {
+    // Even the live set busts the cap: evict coldest-first (stamp 0 — a
+    // pre-LRU record — is the coldest possible; offset breaks ties toward
+    // the oldest append). Target 7/8 of the cap, not the cap itself, so
+    // the next few appends don't each re-trigger a full rewrite.
+    std::stable_sort(keep.begin(), keep.end(),
+                     [](const LiveRec& a, const LiveRec& b) {
+                       return a.stamp != b.stamp ? a.stamp < b.stamp
+                                                 : a.off < b.off;
+                     });
+    const std::uint64_t target =
+        cfg_.max_log_bytes - cfg_.max_log_bytes / 8;
+    std::size_t drop = 0;
+    while (drop < keep.size() && need > target) {
+      need -= kRecHeaderBytes + keep[drop].len;
+      ++drop;
+    }
+    lru_dropped = drop;
+    keep.erase(keep.begin(),
+               keep.begin() + static_cast<std::ptrdiff_t>(drop));
+    // Restore log order for the copy: sequential reads of the old mapping,
+    // and the new log keeps append order (later record wins on rebuild).
+    std::sort(keep.begin(), keep.end(),
+              [](const LiveRec& a, const LiveRec& b) {
+                return a.off < b.off;
+              });
+  }
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> live;
+  std::uint64_t out_off = kLogHeaderBytes;
+  for (const LiveRec& lr : keep) {
+    if (!write_all(new_log, log_map_ + lr.off, kRecHeaderBytes + lr.len,
                    out_off)) {
       ::close(new_log);
       ::unlink(log_tmp.c_str());
       return false;
     }
-    live.emplace_back(rec.hash, out_off);
-    out_off += kRecHeaderBytes + len;
+    live.emplace_back(lr.hash, out_off);
+    out_off += kRecHeaderBytes + lr.len;
   }
   ::fsync(new_log);
   ::close(new_log);
@@ -642,6 +714,7 @@ bool PersistCache::compact_locked(CompactReport* report) {
   report->live_records = live.size();
   report->bytes_after = log_end_;
   report->dropped_records = total - live.size();
+  report->lru_dropped = lru_dropped;
   return true;
 }
 

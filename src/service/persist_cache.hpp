@@ -5,7 +5,13 @@
 //
 //   l2.log   append-only record log. 16-byte header (magic, version), then
 //            back-to-back records:
-//              u32 payload_len | u32 reserved | u64 checksum | payload
+//              u32 payload_len | u32 last_access | u64 checksum | payload
+//            last_access (wall-clock seconds, u32) is stamped at append and
+//            re-stamped in place on every lookup hit; it sits OUTSIDE the
+//            checksummed payload, so stamping never invalidates a record
+//            and a torn stamp only perturbs eviction order. Records from
+//            before this field existed read as 0 — i.e. coldest — which is
+//            exactly the right migration behavior.
 //            payload = u64 key_hash | OptionsKey (24 raw bytes, byte-stable
 //            — see result_cache.hpp) | u32 sig_len | u32 result_len |
 //            signature bytes | encode_result_record bytes. The checksum
@@ -69,8 +75,11 @@ class PersistCache {
     /// grow; past ~capacity, inserts overwrite probe-window slots (old
     /// entries degrade to misses — it is a cache).
     std::size_t index_slots = std::size_t{1} << 16;
-    /// Log size soft cap: an append that would cross it first compacts,
-    /// and is skipped (counted) if the compacted log is still too large.
+    /// Log size cap: an append that would cross it first compacts, and
+    /// compaction itself honors the cap — when the live records alone
+    /// exceed it, the coldest (oldest last_access stamp) are dropped first
+    /// until the rest fit with headroom. The append is skipped (counted)
+    /// only if a single record cannot fit.
     std::size_t max_log_bytes = std::size_t{256} << 20;
     /// fdatasync after every append (durability vs throughput; crash
     /// SAFETY does not depend on this — only whether the last results
@@ -103,9 +112,13 @@ class PersistCache {
     std::uint64_t live_records = 0;
     std::uint64_t bytes_before = 0;
     std::uint64_t bytes_after = 0;
-    /// Records dropped (duplicates superseded in the index, unreachable
-    /// entries).
+    /// Records dropped for any reason: duplicates superseded in the index,
+    /// unreachable entries, and LRU evictions (the latter also counted in
+    /// lru_dropped).
     std::uint64_t dropped_records = 0;
+    /// Live-but-cold records evicted to bring the log under max_log_bytes,
+    /// oldest last-access stamp first.
+    std::uint64_t lru_dropped = 0;
   };
 
   /// Opens (creating/repairing as needed) the cache in cfg.dir. Throws
@@ -141,6 +154,8 @@ class PersistCache {
  private:
   struct RecordView {
     std::uint64_t hash = 0;
+    /// Log offset of the record header (where the last-access stamp lives).
+    std::uint64_t offset = 0;
     const char* opts = nullptr;  // 24 raw OptionsKey bytes
     std::string_view signature;
     std::string_view result;

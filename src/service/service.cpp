@@ -1,7 +1,9 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "core/backend.hpp"
@@ -41,7 +43,55 @@ std::uint64_t batch_deadline_at(const std::vector<SolveRequest>& reqs) {
   return tightest;
 }
 
+/// True when a failed result is a cancellation outcome (either reason) —
+/// the condition under which parked waiters must not inherit it.
+bool is_cancel_error(const SolveResult& res) {
+  return !res.ok &&
+         (res.error == kErrCancelled || res.error == kErrDeadlineExceeded);
+}
+
+/// The "solve.stall" fault: spin WITHOUT heartbeating until the job's
+/// token trips, so the solve looks exactly like a hung backend to the
+/// watchdog and to deadline enforcement. Hard-capped so a mis-armed test
+/// (no watchdog, no deadline, nobody to trip the token) cannot wedge a
+/// worker forever.
+void stall_for_token(util::CancelToken* token) {
+  const std::uint64_t cap_at = util::steady_now_ms() + 5000;
+  while (util::steady_now_ms() < cap_at) {
+    if (token != nullptr && token->cancelled()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 }  // namespace
+
+/// RAII registration of a worker's in-solve cancel token with the
+/// watchdog. No-op (no lock touched) when the watchdog is off or the job
+/// carries no token.
+class WatchGuard {
+ public:
+  WatchGuard(Service& s, std::size_t worker,
+             const std::shared_ptr<util::CancelToken>& token)
+      : s_(s), worker_(worker) {
+    if (s_.opts_.watchdog_ms == 0 || token == nullptr) return;
+    token->poll();  // heartbeat at solve start: the watchdog clock begins now
+    std::lock_guard<std::mutex> lock(s_.watch_mu_);
+    s_.watch_[worker_] = Service::WatchSlot{token, util::steady_now_ms()};
+    armed_ = true;
+  }
+  ~WatchGuard() {
+    if (!armed_) return;
+    std::lock_guard<std::mutex> lock(s_.watch_mu_);
+    s_.watch_[worker_] = Service::WatchSlot{};
+  }
+  WatchGuard(const WatchGuard&) = delete;
+  WatchGuard& operator=(const WatchGuard&) = delete;
+
+ private:
+  Service& s_;
+  std::size_t worker_;
+  bool armed_ = false;
+};
 
 Service::Service(Options opts)
     : opts_(std::move(opts)),
@@ -58,9 +108,13 @@ Service::Service(Options opts)
                                   ? util::ThreadPool::default_workers()
                                   : opts_.workers;
   worker_count_ = workers;
+  watch_.resize(workers);
+  if (opts_.watchdog_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -75,6 +129,14 @@ void Service::stop_workers() {
     for (auto& t : threads_) {
       if (t.joinable()) t.join();
     }
+    // Workers are gone (every slot cleared), so the supervisor has nothing
+    // left to watch: stop it last.
+    {
+      std::lock_guard<std::mutex> lock(watch_mu_);
+      watch_stop_ = true;
+    }
+    watch_cv_.notify_all();
+    if (watchdog_.joinable()) watchdog_.join();
   });
 }
 
@@ -87,6 +149,51 @@ void Service::shutdown() { stop_workers(); }
 
 SolveOptions Service::effective_options(const SolveRequest& req) const {
   return req.options.value_or(opts_.solve);
+}
+
+void Service::arm_job_cancel(Job& job) {
+  job.cancel = job.is_batch
+                   ? (job.batch.empty() ? nullptr : job.batch.front().cancel)
+                   : job.req.cancel;
+  if (job.cancel == nullptr &&
+      (job.deadline_at != 0 || opts_.watchdog_ms > 0)) {
+    // Nobody handed us a token but this job needs one: a deadline must be
+    // enforceable mid-solve, and the watchdog needs something to trip.
+    job.cancel = std::make_shared<util::CancelToken>();
+    if (!job.is_batch) job.req.cancel = job.cancel;
+  }
+  if (job.cancel != nullptr && job.deadline_at != 0) {
+    job.cancel->set_deadline(job.deadline_at);
+  }
+}
+
+void Service::watchdog_loop() {
+  // Wake ~4x per interval so a stall is detected within about 1.25
+  // intervals worst case; the cv exists only for prompt shutdown.
+  const auto period = std::chrono::milliseconds(
+      std::max<std::uint32_t>(1, opts_.watchdog_ms / 4));
+  std::unique_lock<std::mutex> lock(watch_mu_);
+  while (!watch_stop_) {
+    watch_cv_.wait_for(lock, period);
+    if (watch_stop_) break;
+    const std::uint64_t now = util::steady_now_ms();
+    for (WatchSlot& slot : watch_) {
+      if (slot.token == nullptr) continue;
+      const std::uint64_t beat =
+          std::max(slot.token->last_beat_ms(), slot.started_ms);
+      if (now < beat + opts_.watchdog_ms) continue;
+      if (slot.token->cancelled()) continue;  // tripped; waiting to unwind
+      // No checkpoint progress for a whole interval: reclaim the worker.
+      // A passed deadline reports as DeadlineExceeded (the client's
+      // budget expired — that it expired inside a stuck solve is detail);
+      // otherwise the caller sees an explicit Cancelled.
+      const std::uint64_t dl = slot.token->deadline_at_ms();
+      slot.token->cancel(dl != 0 && now >= dl
+                             ? util::CancelToken::Reason::kDeadline
+                             : util::CancelToken::Reason::kCancelled);
+      watchdog_cancels_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 namespace {
@@ -157,6 +264,7 @@ void Service::submit_async(SolveRequest req, ResultSink sink) {
   job.req = std::move(req);
   job.sink = std::move(sink);
   job.deadline_at = deadline_at_from(job.req.deadline_ms);
+  arm_job_cancel(job);
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (util::fault_point("service.admit")) {
     completed_.fetch_add(1, std::memory_order_relaxed);
@@ -176,6 +284,7 @@ bool Service::try_submit_async(SolveRequest& req, ResultSink& sink) {
   job.req = std::move(req);
   job.sink = std::move(sink);
   job.deadline_at = deadline_at_from(job.req.deadline_ms);
+  arm_job_cancel(job);
   // The injected admission refusal consumes the request (sink fires
   // inline, like a post-drain refusal): structured Overloaded, not a
   // park-and-retry — chaos tests prove callers survive the refusal path.
@@ -220,7 +329,9 @@ std::future<std::vector<SolveResult>> Service::submit_batch(
   std::vector<SolveRequest> reqs;
   reqs.reserve(instances.size());
   for (const Instance& inst : instances) {
-    reqs.push_back(SolveRequest{inst, std::nullopt, {}});
+    SolveRequest req;
+    req.instance = inst;
+    reqs.push_back(std::move(req));
   }
   return submit_batch(std::move(reqs));
 }
@@ -243,6 +354,7 @@ void Service::submit_batch_async(std::vector<SolveRequest> reqs,
   job.batch = std::move(reqs);
   job.batch_sink = std::move(sink);
   job.deadline_at = batch_deadline_at(job.batch);
+  arm_job_cancel(job);
   // One queue slot, k requests: backpressure is per dispatch, the
   // request-level counters stay per request.
   submitted_.fetch_add(job.batch.size(), std::memory_order_relaxed);
@@ -262,6 +374,7 @@ bool Service::try_submit_batch_async(std::vector<SolveRequest>& reqs,
   job.batch = std::move(reqs);
   job.batch_sink = std::move(sink);
   job.deadline_at = batch_deadline_at(job.batch);
+  arm_job_cancel(job);
   if (util::fault_point("service.admit")) {
     submitted_.fetch_add(job.batch.size(), std::memory_order_relaxed);
     refuse_batch(job.batch, job.batch_sink, kErrOverloaded);
@@ -282,7 +395,7 @@ bool Service::try_submit_batch_async(std::vector<SolveRequest>& reqs,
   return false;
 }
 
-void Service::worker_loop() {
+void Service::worker_loop(std::size_t worker) {
   // Per-request arena accounting: everything this worker's front end and
   // engines carve from the thread arena lands in the aggregate counters,
   // so tests and dashboards can watch fresh_allocs go flat as the worker
@@ -290,16 +403,21 @@ void Service::worker_loop() {
   exec::Arena& arena = exec::Arena::for_this_thread();
   exec::Arena::Stats last = arena.stats();
   while (auto job = queue_.pop()) {
-    // Deadline check at pickup, before any cache/canonicalization work: an
-    // expired job is dead work and the caller has (by contract) stopped
-    // waiting — shed it for the price of a clock read.
-    if (job->deadline_at != 0 &&
-        util::steady_now_ms() >= job->deadline_at) {
-      shed_expired_job(std::move(*job));
+    // Cancellation/deadline check at pickup, before any cache or
+    // canonicalization work: a dead job is dead work and the caller has
+    // (by contract) stopped waiting — shed it for the price of a clock
+    // read. poll() also folds the deadline into the token, so a queued
+    // Cancel and a queued expiry land in the same place.
+    if (job->cancel != nullptr && job->cancel->poll()) {
+      shed_job(std::move(*job),
+               util::CancelToken::message(job->cancel->reason()));
+    } else if (job->deadline_at != 0 &&
+               util::steady_now_ms() >= job->deadline_at) {
+      shed_job(std::move(*job), kErrDeadlineExceeded);
     } else if (job->is_batch) {
-      process_batch(std::move(*job));
+      process_batch(std::move(*job), worker);
     } else {
-      process(std::move(*job));
+      process(std::move(*job), worker);
     }
     const exec::Arena::Stats& now = arena.stats();
     arena_acquires_.fetch_add(now.acquires - last.acquires,
@@ -312,24 +430,31 @@ void Service::worker_loop() {
   }
 }
 
-void Service::shed_expired_job(Job job) {
+void Service::shed_job(Job job, const char* reason) {
+  // Deadline expiries keep their historical counter (shed_expired);
+  // explicit cancels observed at pickup count as cancellations.
+  auto& counter = reason == kErrCancelled ? cancelled_ : shed_;
   if (job.is_batch) {
-    shed_.fetch_add(job.batch.size(), std::memory_order_relaxed);
-    refuse_batch(job.batch, job.batch_sink, kErrDeadlineExceeded);
+    counter.fetch_add(job.batch.size(), std::memory_order_relaxed);
+    refuse_batch(job.batch, job.batch_sink, reason);
     return;
   }
-  shed_.fetch_add(1, std::memory_order_relaxed);
+  counter.fetch_add(1, std::memory_order_relaxed);
   completed_.fetch_add(1, std::memory_order_relaxed);
   job.sink(failure(job.req.label, effective_options(job.req).backend,
-                   kErrDeadlineExceeded));
+                   reason));
 }
 
-void Service::process(Job job) {
+void Service::process(Job job, std::size_t worker) {
   const std::string label = job.req.label;
+  util::CancelToken* const tok = job.cancel.get();
   // Worker counts are clamped per solve by a BudgetLease scoped around
   // each generic engine call — cache hits, coalesced waiters, and express
-  // solves below never touch the thread budget.
-  const SolveOptions opts = effective_options(job.req);
+  // solves below never touch the thread budget. The cancel borrow rides
+  // the options into the engine; it is NOT part of the cache key
+  // (OptionsKey ignores it — cancellation never changes an answer).
+  SolveOptions opts = effective_options(job.req);
+  opts.cancel = tok;
 
   // Resolve + canonicalize up front; bad instances fail structurally here
   // and never reach the cache or an engine.
@@ -369,6 +494,18 @@ void Service::process(Job job) {
   const bool express =
       opts_.use_express && service::express_eligible(n, opts);
   const auto solve_once = [&]() -> SolveResult {
+    // From here the worker is "in a solve": its token is registered with
+    // the watchdog until solve_once returns.
+    WatchGuard wg(*this, worker, job.cancel);
+    if (util::fault_point("solve.stall")) {
+      // Manufactured hang: spin silently (no heartbeat) until someone —
+      // the watchdog, a deadline, a wire Cancel — trips the token.
+      stall_for_token(tok);
+    }
+    if (tok != nullptr && tok->poll()) {
+      return failure(label, opts.backend,
+                     util::CancelToken::message(tok->reason()));
+    }
     if (express) {
       express_.fetch_add(1, std::memory_order_relaxed);
       return service::solve_express(job.req.instance, label, opts,
@@ -384,6 +521,7 @@ void Service::process(Job job) {
 
   if (!opts_.use_cache) {
     SolveResult res = solve_once();
+    if (is_cancel_error(res)) cancelled_.fetch_add(1, std::memory_order_relaxed);
     completed_.fetch_add(1, std::memory_order_relaxed);
     job.sink(std::move(res));
     return;
@@ -414,8 +552,8 @@ void Service::process(Job job) {
     if (it != inflight_.end()) {
       coalesced_.fetch_add(1, std::memory_order_relaxed);
       it->second.waiters.push_back(Waiter{std::move(job.sink),
-                                          std::move(job.req.instance),
-                                          label});
+                                          std::move(job.req),
+                                          job.deadline_at});
       return;
     }
     inflight_.emplace(flight_key, InFlight{});
@@ -469,30 +607,84 @@ void Service::process(Job job) {
     waiters = std::move(it->second.waiters);
     inflight_.erase(it);
   }
+  const bool leader_cancelled = is_cancel_error(res);
   for (auto& w : waiters) {
+    if (leader_cancelled) {
+      // The leader's cancellation is the leader's business: a waiter whose
+      // own token is clean gets re-queued and solved on its own terms.
+      requeue_waiter(std::move(w));
+      continue;
+    }
     SolveResult wres;
     try {
       if (res.ok && canonical != nullptr) {
         // The waiter's instance shares the canonical class but not
         // necessarily the leaf ids: replay through *its* permutation.
         wres = service::remapped_from_canonical(*canonical,
-                                             w.instance.canonical());
+                                             w.req.instance.canonical());
       } else {
         wres = res;
       }
-      wres.label = std::move(w.label);
+      wres.label = std::move(w.req.label);
     } catch (...) {
       wres = failure({}, opts.backend, "failed to materialize result");
     }
     completed_.fetch_add(1, std::memory_order_relaxed);
     w.sink(std::move(wres));
   }
+  if (leader_cancelled) cancelled_.fetch_add(1, std::memory_order_relaxed);
   completed_.fetch_add(1, std::memory_order_relaxed);
   job.sink(std::move(res));
 }
 
-void Service::process_batch(Job job) {
+void Service::requeue_waiter(Waiter w) {
+  const Backend backend = effective_options(w.req).backend;
+  util::CancelToken* const wtok = w.req.cancel.get();
+  if (wtok != nullptr && wtok->poll()) {
+    // The waiter was cancelled too (its own deadline or an explicit
+    // cancel) — answer with ITS reason, not the leader's.
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    w.sink(failure(w.req.label, backend,
+                   util::CancelToken::message(wtok->reason())));
+    return;
+  }
+  if (w.deadline_at != 0 && util::steady_now_ms() >= w.deadline_at) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    w.sink(failure(w.req.label, backend, kErrDeadlineExceeded));
+    return;
+  }
+  Job j;
+  j.req = std::move(w.req);
+  j.sink = std::move(w.sink);
+  j.deadline_at = w.deadline_at;
+  j.cancel = j.req.cancel;
+  // try_push, never push: a blocking push from a worker thread could
+  // deadlock a full queue against itself. Already counted in submitted_
+  // at original admission — a successful requeue counts nothing.
+  if (!queue_.try_push(j)) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    j.sink(failure(j.req.label, backend,
+                   queue_.closed() ? refusal_reason() : kErrOverloaded));
+  }
+}
+
+void Service::process_batch(Job job, std::size_t worker) {
   batch_submits_.fetch_add(1, std::memory_order_relaxed);
+  util::CancelToken* const tok = job.cancel.get();
+  // The whole batch is one dispatch, so it is one watchdog unit too.
+  WatchGuard wg(*this, worker, job.cancel);
+  if (util::fault_point("solve.stall")) {
+    stall_for_token(tok);
+  }
+  if (tok != nullptr && tok->poll()) {
+    const char* reason = util::CancelToken::message(tok->reason());
+    auto& counter = reason == kErrCancelled ? cancelled_ : shed_;
+    counter.fetch_add(job.batch.size(), std::memory_order_relaxed);
+    refuse_batch(job.batch, job.batch_sink, reason);
+    return;
+  }
 
   service::BatchConfig cfg;
   // The cacheless differential baseline must still be bitwise-equal to
@@ -517,6 +709,10 @@ void Service::process_batch(Job job) {
     clamped.workers = clamped.workers == 0
                           ? grant
                           : std::min(clamped.workers, grant);
+    // The frame token governs every above-floor fallback solve; the
+    // packed small-instance sweep runs to completion (each sweep is a
+    // bounded O(n) pass — cancellation lands between groups at worst).
+    clamped.cancel = tok;
     try {
       return solver_.solve(req.instance, req.label, clamped);
     } catch (...) {  // solve() catches std::exception; plug-ins may not
@@ -532,6 +728,9 @@ void Service::process_batch(Job job) {
   batch_dedup_.fetch_add(outcome.dedup_hits, std::memory_order_relaxed);
   packed_.fetch_add(outcome.packed_solves, std::memory_order_relaxed);
   promotions_.fetch_add(outcome.l2_hits, std::memory_order_relaxed);
+  for (const SolveResult& r : results) {
+    if (is_cancel_error(r)) cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
   completed_.fetch_add(job.batch.size(), std::memory_order_relaxed);
   job.batch_sink(std::move(results));
 }
@@ -563,6 +762,22 @@ Service::Stats Service::stats() const {
   s.persist_enabled = persist_ != nullptr;
   s.persist_promotions = promotions_.load(std::memory_order_relaxed);
   if (persist_ != nullptr) s.persist = persist_->stats();
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.watchdog_cancels = watchdog_cancels_.load(std::memory_order_relaxed);
+  if (opts_.watchdog_ms > 0) {
+    // A stuck worker is one whose solve was (or is about to be) cancelled
+    // by the watchdog but has not unwound: no heartbeat for a full
+    // interval. Tripped-and-polling solves disappear from here quickly;
+    // anything that lingers is genuinely wedged capacity.
+    const std::uint64_t now = util::steady_now_ms();
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    for (const WatchSlot& slot : watch_) {
+      if (slot.token == nullptr) continue;
+      const std::uint64_t beat =
+          std::max(slot.token->last_beat_ms(), slot.started_ms);
+      if (now >= beat + opts_.watchdog_ms) ++s.stuck_workers;
+    }
+  }
   return s;
 }
 

@@ -42,6 +42,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -68,8 +69,15 @@ namespace copath {
 // literals.
 inline constexpr const char* kErrDraining = "service is draining";
 inline constexpr const char* kErrShutDown = "service is shut down";
-/// The request's deadline passed while it was queued; the solve never ran.
-inline constexpr const char* kErrDeadlineExceeded = "deadline exceeded";
+/// The request's deadline passed — either while it was queued (the solve
+/// never ran) or mid-solve (the cancel token tripped and the engine
+/// unwound). Aliases util::kDeadlineMsg: the exec layer emits the same
+/// string when a token trips with Reason::kDeadline, so the wire mapping
+/// needs exactly one comparison.
+inline constexpr const char* kErrDeadlineExceeded = util::kDeadlineMsg;
+/// The request was cancelled — wire Cancel verb, client disconnect, or the
+/// worker watchdog. Aliases util::kCancelledMsg (see above).
+inline constexpr const char* kErrCancelled = util::kCancelledMsg;
 /// Admission refused under overload pressure (today only injected via
 /// util::FaultInjector's "service.admit" point; a real admission limiter
 /// would reuse the same string).
@@ -102,6 +110,15 @@ class Service {
     /// so it requires use_cache; probe order is L1 -> L2 (promote on hit)
     /// and every fresh ok solve is written through.
     service::PersistCache::Config persist{};
+    /// Worker watchdog interval in ms; 0 = off. When on, a supervisor
+    /// thread watches each worker's in-solve cancel-token heartbeat: a
+    /// solve that makes no checkpoint progress for this long gets its
+    /// token tripped (Stats::watchdog_cancels) and unwinds with a
+    /// structured Cancelled/DeadlineExceeded result at its next poll.
+    /// Threads are never killed — a stuck solve that never polls (foreign
+    /// backend stuck in a syscall) is only *reported* via
+    /// Stats::stuck_workers / the Health verb.
+    std::uint32_t watchdog_ms = 0;
   };
 
   struct Stats {
@@ -152,6 +169,19 @@ class Service {
     std::uint64_t arena_acquires = 0;
     std::uint64_t arena_reuses = 0;
     std::uint64_t arena_fresh_allocs = 0;
+    /// Requests answered with a structured cancellation failure because
+    /// their cancel token tripped (explicit Cancel, client disconnect, or
+    /// watchdog) — at pickup or mid-solve. Deadline-at-pop refusals stay
+    /// in shed_expired; a mid-solve deadline trip counts here.
+    std::uint64_t cancelled = 0;
+    /// Tokens tripped by the worker watchdog (no checkpoint progress for
+    /// Options::watchdog_ms while on a worker).
+    std::uint64_t watchdog_cancels = 0;
+    /// Workers currently past the watchdog interval with no heartbeat —
+    /// solves that were cancelled but have not unwound (not polling). The
+    /// Health verb's strongest degradation signal: these workers are lost
+    /// capacity until their solve returns.
+    std::uint64_t stuck_workers = 0;
     service::CacheStats cache{};
     /// Persistent tier counters (zeros when no cache dir is configured).
     bool persist_enabled = false;
@@ -268,14 +298,21 @@ class Service {
     /// deadline_ms so queue time counts against the budget. A batch
     /// carries the tightest nonzero deadline among its slots.
     std::uint64_t deadline_at = 0;
+    /// This job's cancel token: the request's own (set by net::Server) or
+    /// one the Service created at admission because a deadline or the
+    /// watchdog needs one (see arm_job_cancel). A batch's token is its
+    /// frame token (slot 0's). nullptr = job is not cancellable.
+    std::shared_ptr<util::CancelToken> cancel;
   };
-  /// A request parked on an in-flight twin. Keeps its own Instance (moved,
-  /// cheap) so fulfillment can replay through that instance's canonical
-  /// permutation.
+  /// A request parked on an in-flight twin. Keeps its whole SolveRequest
+  /// (instance moved, cheap) so fulfillment can replay through that
+  /// instance's canonical permutation — and so a waiter whose leader got
+  /// *cancelled* can be re-queued as its own request instead of inheriting
+  /// a cancellation it never asked for.
   struct Waiter {
     ResultSink sink;
-    Instance instance;
-    std::string label;
+    SolveRequest req;
+    std::uint64_t deadline_at = 0;
   };
   struct InFlight {
     std::vector<Waiter> waiters;
@@ -288,13 +325,25 @@ class Service {
     }
   };
 
-  void worker_loop();
-  void process(Job job);
-  void process_batch(Job job);
-  /// Deadline shedding: answers every slot of an expired job with a
-  /// structured "deadline exceeded" failure without touching cache or
-  /// engine — the whole point is to not spend worker time on dead work.
-  void shed_expired_job(Job job);
+  void worker_loop(std::size_t worker);
+  void process(Job job, std::size_t worker);
+  void process_batch(Job job, std::size_t worker);
+  /// Deadline/cancellation shedding: answers every slot of a dead job with
+  /// the structured `reason` failure without touching cache or engine —
+  /// the whole point is to not spend worker time on dead work. `reason` is
+  /// kErrDeadlineExceeded or kErrCancelled.
+  void shed_job(Job job, const char* reason);
+  /// Populates Job::cancel (creating a token when a deadline or the
+  /// watchdog needs one) and arms the token's absolute deadline.
+  void arm_job_cancel(Job& job);
+  /// Supervisor: trips the token of any worker whose solve heartbeat is
+  /// older than Options::watchdog_ms.
+  void watchdog_loop();
+  /// Answers a parked waiter after its leader was cancelled: with the
+  /// waiter's own cancellation if ITS token tripped, otherwise by
+  /// re-queuing it as a fresh job (refused Overloaded if the queue is
+  /// full) — one client's cancel never poisons another's twin request.
+  void requeue_waiter(Waiter w);
   /// One structured refusal per slot, invoked inline on the submitting
   /// thread (mirrors the single-request refusal path). `reason` is one of
   /// the kErr* contract strings above.
@@ -339,8 +388,25 @@ class Service {
   std::atomic<std::uint64_t> arena_acquires_{0};
   std::atomic<std::uint64_t> arena_reuses_{0};
   std::atomic<std::uint64_t> arena_fresh_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> watchdog_cancels_{0};
   std::atomic<bool> draining_{false};
+  /// Watchdog state: one slot per worker, registered while that worker is
+  /// inside a solve (WatchGuard in service.cpp). Guarded by watch_mu_;
+  /// watch_cv_ wakes the supervisor for shutdown.
+  struct WatchSlot {
+    std::shared_ptr<util::CancelToken> token;
+    std::uint64_t started_ms = 0;
+  };
+  friend class WatchGuard;
+  mutable std::mutex watch_mu_;
+  std::vector<WatchSlot> watch_;
+  std::condition_variable watch_cv_;
+  bool watch_stop_ = false;  // guarded by watch_mu_
   std::once_flag join_once_;
+  /// Supervisor thread (running only when Options::watchdog_ms > 0);
+  /// ordered just before threads_ for the same built-*this reason.
+  std::thread watchdog_;
   std::vector<std::thread> threads_;  // last member: workers see a built *this
 };
 

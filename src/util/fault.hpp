@@ -29,6 +29,9 @@
 //   persist.checksum  PersistCache record checksum verification
 //   server.write      net::Server socket sends (peer-reset simulation)
 //   service.admit     Service queue admission (overload simulation)
+//   solve.stall       Service worker solve path (stuck-solve simulation:
+//                     the worker spins without heartbeating until its
+//                     cancel token trips — watchdog/deadline drills)
 #pragma once
 
 #include <atomic>
@@ -46,7 +49,7 @@ namespace copath::util {
 /// asserts structured degradation).
 inline constexpr std::string_view kFaultPoints[] = {
     "persist.pwrite", "persist.mmap", "persist.checksum",
-    "server.write",   "service.admit",
+    "server.write",   "service.admit", "solve.stall",
 };
 
 class FaultInjector {

@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -409,6 +410,76 @@ TEST(ResilienceOverload, WireOverloadedSurfacesAndRetryClientRecovers) {
   loop.join();
 }
 
+TEST(ResilienceOverload, BatchRetryMatchesTheSingleSolveConvenience) {
+  // solve_batch routes through the same roundtrip_with_retry as
+  // solve_text: a whole-frame Overloaded refusal (queue full, parking
+  // disabled) is retried under the policy and the eventual reply carries
+  // per-item results — parity with the single-solve conveniences, pinned
+  // so a refactor cannot quietly drop batch retries.
+  FaultGuard guard;
+  ensure_backends();
+  net::Server::Options sopts;
+  sopts.max_parked = 0;  // queue-full refuses Overloaded immediately
+  sopts.service.workers = 1;
+  sopts.service.queue_capacity = 1;
+  sopts.service.use_cache = false;
+  auto server = std::make_unique<net::Server>(std::move(sopts));
+  std::thread loop([&server] { server->run(); });
+  {
+    net::Client cli("127.0.0.1", server->port());
+    net::Client observer("127.0.0.1", server->port());
+    proto::WireOptions slow_opts;
+    slow_opts.flags = proto::kOptWantVerdicts | proto::kOptExplicitBackend;
+    slow_opts.backend = kSleepyBackend;
+
+    // Occupy the worker and fill the 1-slot queue with sleepy solves.
+    (void)cli.send_solve_text(testing::random_cotree(64, 4700).format(),
+                              slow_opts);
+    cli.flush();
+    const auto wait_for = [&observer](std::string_view key,
+                                      std::uint64_t value) {
+      for (int spin = 0; spin < 500; ++spin) {
+        if (counter(observer.stats(), key) == value) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      return false;
+    };
+    ASSERT_TRUE(wait_for("in_flight", 1));
+    (void)cli.send_solve_text(testing::random_cotree(65, 4701).format(),
+                              slow_opts);
+    cli.flush();
+    ASSERT_TRUE(wait_for("queue_depth", 1));
+
+    const proto::BatchItem items[] = {{false, "(+ a b)"}, {false, "(* c d)"}};
+
+    // A no-retry client surfaces the whole-frame refusal as a status —
+    // exactly what solve_text does in the same state.
+    net::Client plain("127.0.0.1", server->port());
+    const proto::Response refused = plain.solve_batch(items);
+    EXPECT_EQ(refused.status, Status::Overloaded);
+
+    // A retrying client rides through the refusals and lands the batch
+    // once the sleepy pipeline drains a queue slot.
+    net::Client::Config cfg;
+    cfg.retry.max_attempts = 10;
+    cfg.retry.base_delay_ms = 40;
+    cfg.retry.max_delay_ms = 80;
+    net::Client retrying("127.0.0.1", server->port(), cfg);
+    const proto::Response ok = retrying.solve_batch(items);
+    EXPECT_EQ(ok.status, Status::Ok) << ok.error;
+    ASSERT_EQ(ok.batch.size(), 2u);
+    for (const auto& item : ok.batch) {
+      EXPECT_EQ(item.status, Status::Ok) << item.error;
+    }
+
+    // Drain the sleepy pipeline so teardown is clean.
+    EXPECT_EQ(cli.recv().status, Status::Ok);
+    EXPECT_EQ(cli.recv().status, Status::Ok);
+  }
+  server->request_drain();
+  loop.join();
+}
+
 TEST(ResilienceOverload, ParkingDisabledRefusesOverloadedAtQueueFull) {
   ensure_backends();
   net::Server::Options sopts;
@@ -765,6 +836,269 @@ TEST(ResilienceStress, EveryRequestIsAnsweredExactlyOnceUnderChurn) {
   const Service::Stats s = svc.stats();
   EXPECT_EQ(s.submitted, std::uint64_t{kThreads} * kPerThread);
   EXPECT_EQ(s.completed, s.submitted);
+}
+
+// --------------------------------------------------------- ChaosWatchdog
+
+/// Polls the server's Stats counter `key` until it reaches `value`.
+bool wait_for_counter(net::Client& observer, std::string_view key,
+                      std::uint64_t value) {
+  for (int spin = 0; spin < 1500; ++spin) {
+    if (counter(observer.stats(), key) >= value) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+TEST(ChaosWatchdog, StalledSolveIsFreedWithinOneIntervalNotTheStallCap) {
+  // The headline watchdog drill over the wire: a solve that stops
+  // heartbeating (injected solve.stall) past --watchdog-ms gets its token
+  // tripped and answers Cancelled in watchdog time — far below the 5s
+  // stall cap, which is what the worker would burn if nobody tripped it.
+  FaultGuard guard;
+  net::Server::Options sopts;
+  sopts.service.workers = 1;
+  sopts.service.watchdog_ms = 50;
+  auto server = std::make_unique<net::Server>(std::move(sopts));
+  std::thread loop([&server] { server->run(); });
+  {
+    net::Client cli("127.0.0.1", server->port());
+    util::FaultInjector::instance().arm_nth("solve.stall", 0, 1);
+    const std::uint64_t t0 = util::steady_now_ms();
+    const proto::Response res =
+        cli.solve_text(testing::random_cotree(48, 4100).format());
+    const std::uint64_t waited = util::steady_now_ms() - t0;
+    EXPECT_EQ(res.status, Status::Cancelled) << res.error;
+    EXPECT_EQ(res.error, util::kCancelledMsg);
+    EXPECT_LT(waited, 3000u);  // watchdog time, not stall-cap time
+
+    EXPECT_GE(counter(cli.stats(), "watchdog_cancels"), 1u);
+    // The worker came back: the next solve is served normally.
+    EXPECT_EQ(
+        cli.solve_text(testing::random_cotree(12, 4101).format()).status,
+        Status::Ok);
+  }
+  server->request_drain();
+  loop.join();
+}
+
+TEST(ChaosWatchdog, StalledSolvePastItsDeadlineAnswersDeadlineExceeded) {
+  // Same stall, but the request carries a deadline that passes while the
+  // worker is wedged: the watchdog picks kDeadline over kCancelled, so
+  // the client learns the truthful reason — its budget is spent.
+  FaultGuard guard;
+  net::Server::Options sopts;
+  sopts.service.workers = 1;
+  sopts.service.watchdog_ms = 50;
+  auto server = std::make_unique<net::Server>(std::move(sopts));
+  std::thread loop([&server] { server->run(); });
+  {
+    net::Client cli("127.0.0.1", server->port());
+    util::FaultInjector::instance().arm_nth("solve.stall", 0, 1);
+    const proto::Response res = cli.solve_text(
+        testing::random_cotree(48, 4200).format(), {}, /*deadline_ms=*/30);
+    EXPECT_EQ(res.status, Status::DeadlineExceeded) << res.error;
+    EXPECT_EQ(res.error, util::kDeadlineMsg);
+  }
+  server->request_drain();
+  loop.join();
+}
+
+// ----------------------------------------------------------- ChaosCancel
+
+TEST(ChaosCancel, WireCancelCatchesAnInFlightSolve) {
+  // Cancel an in-flight request by seq: the ack comes back Ok under the
+  // Cancel frame's seq, and the target answers Cancelled under its own —
+  // in cancel time, not in stall-cap time.
+  FaultGuard guard;
+  net::Server::Options sopts;
+  sopts.service.workers = 1;
+  auto server = std::make_unique<net::Server>(std::move(sopts));
+  std::thread loop([&server] { server->run(); });
+  {
+    net::Client cli("127.0.0.1", server->port());
+    net::Client observer("127.0.0.1", server->port());
+    util::FaultInjector::instance().arm_nth("solve.stall", 0, 1);
+
+    const std::uint64_t t0 = util::steady_now_ms();
+    const std::uint64_t seq =
+        cli.send_solve_text(testing::random_cotree(40, 4300).format());
+    cli.flush();
+    ASSERT_TRUE(wait_for_counter(observer, "in_flight", 1));
+    const std::uint64_t cseq = cli.send_cancel(seq);
+    cli.flush();
+
+    proto::Response ack, victim;
+    for (int i = 0; i < 2; ++i) {
+      proto::Response r = cli.recv();
+      (r.seq == cseq ? ack : victim) = std::move(r);
+    }
+    const std::uint64_t waited = util::steady_now_ms() - t0;
+    EXPECT_EQ(ack.seq, cseq);
+    EXPECT_EQ(ack.status, Status::Ok);
+    EXPECT_EQ(victim.seq, seq);
+    EXPECT_EQ(victim.status, Status::Cancelled) << victim.error;
+    EXPECT_LT(waited, 3000u);
+
+    EXPECT_GE(counter(observer.stats(), "cancel_frames"), 1u);
+    EXPECT_EQ(cli.solve_text("(+ a b)").status, Status::Ok);
+  }
+  server->request_drain();
+  loop.join();
+}
+
+TEST(ChaosCancel, QueuedRequestIsCancelledBeforeItEverRuns) {
+  // Cancelling a request that is still QUEUED must refund the work
+  // entirely: the counting backend proves the solve never executed.
+  FaultGuard guard;
+  ensure_backends();
+  net::Server::Options sopts;
+  sopts.service.workers = 1;
+  sopts.service.use_cache = false;
+  auto server = std::make_unique<net::Server>(std::move(sopts));
+  std::thread loop([&server] { server->run(); });
+  {
+    net::Client cli("127.0.0.1", server->port());
+    net::Client observer("127.0.0.1", server->port());
+    proto::WireOptions slow;
+    slow.flags = proto::kOptWantVerdicts | proto::kOptExplicitBackend;
+    slow.backend = kSleepyBackend;
+    proto::WireOptions counted;
+    counted.flags = proto::kOptWantVerdicts | proto::kOptExplicitBackend;
+    counted.backend = kCountingBackend;
+
+    // Occupy the single worker, then queue a counted request behind it.
+    const std::uint64_t busy_seq = cli.send_solve_text(
+        testing::random_cotree(64, 4400).format(), slow);
+    cli.flush();
+    ASSERT_TRUE(wait_for_counter(observer, "in_flight", 1));
+    g_counting_solves.store(0, std::memory_order_relaxed);
+    const std::uint64_t queued_seq = cli.send_solve_text(
+        testing::random_cotree(32, 4401).format(), counted);
+    cli.flush();
+    ASSERT_TRUE(wait_for_counter(observer, "queue_depth", 1));
+
+    const std::uint64_t cseq = cli.send_cancel(queued_seq);
+    cli.flush();
+
+    bool saw_cancelled = false;
+    for (int i = 0; i < 3; ++i) {
+      const proto::Response r = cli.recv();
+      if (r.seq == queued_seq) {
+        EXPECT_EQ(r.status, Status::Cancelled) << r.error;
+        saw_cancelled = true;
+      } else if (r.seq == cseq) {
+        EXPECT_EQ(r.status, Status::Ok);
+      } else {
+        EXPECT_EQ(r.seq, busy_seq);
+        EXPECT_EQ(r.status, Status::Ok);
+      }
+    }
+    EXPECT_TRUE(saw_cancelled);
+    EXPECT_EQ(g_counting_solves.load(), 0) << "cancelled solve ran anyway";
+  }
+  server->request_drain();
+  loop.join();
+}
+
+// ----------------------------------------------------- ResilienceDisconnect
+
+TEST(ResilienceDisconnect, ClientGoneMidSolveFreesTheWorker) {
+  // A peer that vanishes mid-solve must not strand its worker: the server
+  // trips the connection's tokens on EOF, the stalled solve unwinds, and
+  // the worker serves the next client — within cancel time, not the 5s
+  // stall cap.
+  FaultGuard guard;
+  net::Server::Options sopts;
+  sopts.service.workers = 1;
+  auto server = std::make_unique<net::Server>(std::move(sopts));
+  std::thread loop([&server] { server->run(); });
+  {
+    net::Client observer("127.0.0.1", server->port());
+    util::FaultInjector::instance().arm_nth("solve.stall", 0, 1);
+    {
+      net::Client victim("127.0.0.1", server->port());
+      (void)victim.send_solve_text(
+          testing::random_cotree(40, 4500).format());
+      victim.flush();
+      ASSERT_TRUE(wait_for_counter(observer, "in_flight", 1));
+    }  // victim's socket closes here, solve still stalled in the worker
+
+    // The disconnect cancels the orphan (cancelled counter moves) and the
+    // worker drains back to idle.
+    ASSERT_TRUE(wait_for_counter(observer, "cancelled", 1));
+    ASSERT_TRUE(wait_for_counter(observer, "completed", 1));
+    const std::uint64_t t0 = util::steady_now_ms();
+    EXPECT_EQ(observer.solve_text("(+ a b)").status, Status::Ok);
+    EXPECT_LT(util::steady_now_ms() - t0, 3000u);
+  }
+  server->request_drain();
+  loop.join();
+}
+
+// ----------------------------------------------------- ChaosCancelStorm
+
+TEST(ChaosCancelStorm, EverySolveAnswersExactlyOnceUnderRacingCancels) {
+  // The storm: a pipelined burst of slow solves, then a Cancel for every
+  // one of them racing the completions. The exactly-once ledger must
+  // balance — each solve seq answers once (Ok if the cancel lost the
+  // race, Cancelled if it won), each cancel seq acks once, nothing is
+  // dropped, doubled, or left hanging.
+  FaultGuard guard;
+  ensure_backends();
+  net::Server::Options sopts;
+  sopts.service.workers = 2;
+  sopts.service.use_cache = false;  // identical-shape jobs must not coalesce
+  auto server = std::make_unique<net::Server>(std::move(sopts));
+  std::thread loop([&server] { server->run(); });
+  {
+    net::Client cli("127.0.0.1", server->port());
+    proto::WireOptions slow;
+    slow.flags = proto::kOptWantVerdicts | proto::kOptExplicitBackend;
+    slow.backend = kSleepyBackend;
+
+    constexpr unsigned kJobs = 10;
+    std::vector<std::uint64_t> solve_seqs, cancel_seqs;
+    for (unsigned i = 0; i < kJobs; ++i) {
+      solve_seqs.push_back(cli.send_solve_text(
+          testing::random_cotree(24 + i, 4600 + i).format(), slow));
+    }
+    cli.flush();
+    for (const std::uint64_t seq : solve_seqs) {
+      cancel_seqs.push_back(cli.send_cancel(seq));
+    }
+    cli.flush();
+
+    std::map<std::uint64_t, proto::Response> by_seq;
+    for (unsigned i = 0; i < 2 * kJobs; ++i) {
+      proto::Response r = cli.recv();
+      const auto [it, fresh] = by_seq.emplace(r.seq, std::move(r));
+      ASSERT_TRUE(fresh) << "seq " << it->first << " answered twice";
+    }
+
+    unsigned completed = 0, cancelled = 0;
+    for (const std::uint64_t seq : solve_seqs) {
+      const auto it = by_seq.find(seq);
+      ASSERT_NE(it, by_seq.end()) << "solve seq " << seq << " unanswered";
+      ASSERT_TRUE(it->second.status == Status::Ok ||
+                  it->second.status == Status::Cancelled)
+          << proto::to_string(it->second.status);
+      (it->second.status == Status::Ok ? completed : cancelled) += 1;
+    }
+    for (const std::uint64_t seq : cancel_seqs) {
+      const auto it = by_seq.find(seq);
+      ASSERT_NE(it, by_seq.end()) << "cancel seq " << seq << " unacked";
+      EXPECT_EQ(it->second.status, Status::Ok);
+    }
+    EXPECT_EQ(completed + cancelled, kJobs);  // the ledger balances
+
+    // The server's own ledger agrees, and it is still fully serviceable.
+    const proto::Response st = cli.stats();
+    EXPECT_EQ(counter(st, "completed"), counter(st, "submitted"));
+    EXPECT_EQ(cli.solve_text("(+ a b)").status, Status::Ok);
+  }
+  server->request_drain();
+  loop.join();
 }
 
 }  // namespace

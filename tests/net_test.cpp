@@ -119,6 +119,43 @@ TEST(NetProtocol, DeadlineRidesBehindFlagAndV1FramesStillParse) {
   EXPECT_FALSE(proto::parse_request(payload, &req));
 }
 
+TEST(NetProtocol, CancelRequestGoldenBytesAndRoundTrip) {
+  // v2 Cancel frame: verb u8 | seq u64 | target_seq u64, nothing else.
+  std::string out;
+  proto::append_cancel_request(out, /*seq=*/5, /*target_seq=*/3);
+  const std::string expected =
+      bytes("\x11\x00\x00\x00", 4) +                  // frame length 17
+      bytes("\x08", 1) +                              // verb Cancel
+      bytes("\x05\x00\x00\x00\x00\x00\x00\x00", 8) +  // seq 5
+      bytes("\x03\x00\x00\x00\x00\x00\x00\x00", 8);   // target seq 3
+  EXPECT_EQ(out, expected);
+
+  std::string payload;
+  ASSERT_EQ(proto::extract_frame(out, &payload), proto::Extract::Frame);
+  proto::Request req;
+  ASSERT_TRUE(proto::parse_request(payload, &req));
+  EXPECT_EQ(req.verb, Verb::Cancel);
+  EXPECT_EQ(req.seq, 5u);
+  EXPECT_EQ(req.target_seq, 3u);
+
+  // A short target and trailing garbage are both malformed, not lenient.
+  EXPECT_FALSE(proto::parse_request(payload.substr(0, payload.size() - 1),
+                                    &req));
+  EXPECT_FALSE(proto::parse_request(payload + "x", &req));
+
+  // The Cancelled status survives a response round trip.
+  const std::string frame = proto::encode_status_response_frame(
+      9, Verb::SolveText, Status::Cancelled, "cancelled");
+  std::string rpayload;
+  std::string stream = frame;
+  ASSERT_EQ(proto::extract_frame(stream, &rpayload),
+            proto::Extract::Frame);
+  proto::Response res;
+  ASSERT_TRUE(proto::parse_response(rpayload, &res));
+  EXPECT_EQ(res.status, Status::Cancelled);
+  EXPECT_EQ(res.error, "cancelled");
+}
+
 TEST(NetProtocol, FrameExtractionSurvivesBytewiseFragmentation) {
   // Three frames delivered one byte at a time must come out intact and in
   // order, with NeedMore at every incomplete boundary.
@@ -597,6 +634,68 @@ TEST(Daemon, OlderProtocolVersionIsStillAccepted) {
   EXPECT_EQ(res.seq, 3u);
   EXPECT_EQ(res.status, Status::Ok);
   EXPECT_EQ(res.result.vertex_count, 2u);
+}
+
+TEST(Daemon, HealthV1ReplyIsTheLegacyEmptyOkFrameByteForByte) {
+  // A v1 client's Health probe must get EXACTLY the bytes the previous
+  // release sent — the empty-body Ok status frame — because v1 parsers
+  // reject unexpected bodies. The golden literal (not the encoder) is the
+  // contract.
+  DaemonFixture daemon;
+  RawConn raw(daemon.server->port(), /*version=*/1);
+  ASSERT_EQ(raw.status, Status::Ok);
+
+  std::string out;
+  proto::append_admin_request(out, Verb::Health, 6);
+  raw.send(out);
+  std::string reply(4 + 10, '\0');
+  ASSERT_TRUE(net::read_exact(raw.fd.get(), reply.data(), reply.size()));
+  const std::string expected =
+      bytes("\x0a\x00\x00\x00", 4) +                  // frame length 10
+      bytes("\x04", 1) +                              // verb Health
+      bytes("\x06\x00\x00\x00\x00\x00\x00\x00", 8) +  // seq 6
+      bytes("\x00", 1);                               // status Ok, no body
+  EXPECT_EQ(reply, expected);
+}
+
+TEST(Daemon, HealthV2CarriesTheDegradedStateCounters) {
+  DaemonFixture daemon;
+  net::Client cli = daemon.connect();
+  const proto::Response res = cli.health();
+  ASSERT_EQ(res.status, Status::Ok) << res.error;
+  ASSERT_FALSE(res.stats.empty());
+  const auto has = [&res](std::string_view key) {
+    for (const auto& [k, v] : res.stats) {
+      if (k == key) return true;
+    }
+    return false;
+  };
+  for (const char* key :
+       {"draining", "queue_depth", "in_flight", "parked_now",
+        "parked_bytes", "parked_refused", "shed_expired", "cancelled",
+        "watchdog_cancels", "stuck_workers", "l2_enabled"}) {
+    EXPECT_TRUE(has(key)) << key;
+  }
+  // An idle just-started server is unambiguously healthy.
+  for (const auto& [k, v] : res.stats) {
+    if (k == "draining" || k == "in_flight" || k == "stuck_workers") {
+      EXPECT_EQ(v, 0u) << k;
+    }
+  }
+}
+
+TEST(Daemon, CancelOfAnUnknownSeqIsAnIdempotentOkAck) {
+  // Cancelling a finished (or never-sent) seq is a benign race by
+  // contract: an Ok ack, the connection stays healthy.
+  DaemonFixture daemon;
+  net::Client cli = daemon.connect();
+  const std::uint64_t cseq = cli.send_cancel(/*target_seq=*/424242);
+  cli.flush();
+  const proto::Response ack = cli.recv();
+  EXPECT_EQ(ack.seq, cseq);
+  EXPECT_EQ(ack.verb, Verb::Cancel);
+  EXPECT_EQ(ack.status, Status::Ok);
+  EXPECT_EQ(cli.solve_text("(+ a b)").status, Status::Ok);
 }
 
 }  // namespace

@@ -14,9 +14,11 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -276,6 +278,90 @@ TEST(PersistCache, CompactKeepsEveryLiveRecordReachable) {
   // generation directly.
   service::PersistCache fresh(small_cfg(dir.path));
   EXPECT_EQ(fresh.stats().records, 6u);
+}
+
+TEST(PersistCache, CompactionHonorsTheCapDroppingColdestFirst) {
+  // The LRU half of compaction: when the live records alone exceed
+  // max_log_bytes, the coldest (oldest last-access stamp) go first and
+  // recently-touched keys survive. Lookups re-stamp records in place, so
+  // "recently touched" is a property of reads, not writes.
+  TempDir dir;
+  const SolveOptions opts;
+  std::vector<Cotree> trees;
+  std::vector<SolveResult> canons;
+  std::uint64_t full_bytes = 0;
+  {
+    service::PersistCache cache(small_cfg(dir.path));  // default (huge) cap
+    for (unsigned i = 0; i < 8; ++i) {
+      trees.push_back(testing::random_cotree(24 + i, 6400 + i));
+      canons.push_back(canonical_result(trees.back(), opts));
+      cache.append(service::make_cache_key(canonical_form(trees[i]), opts),
+                   canons.back());
+    }
+    full_bytes = cache.stats().log_bytes;
+
+    // Cross a wall-clock second so the touches below get a NEWER stamp
+    // than the appends (the stamp is second-granular).
+    const auto start = std::time(nullptr);
+    while (std::time(nullptr) == start) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    for (unsigned i : {2u, 5u, 7u}) {
+      ASSERT_NE(cache.lookup(
+                    service::make_cache_key(canonical_form(trees[i]), opts)),
+                nullptr);
+    }
+  }
+
+  // Reopen with a cap that cannot hold all 8: compaction must evict, and
+  // must pick the untouched (colder) records.
+  service::PersistCache::Config tight = small_cfg(dir.path);
+  tight.max_log_bytes = full_bytes / 2;
+  service::PersistCache cache(tight);
+  const auto report = cache.compact();
+  EXPECT_GT(report.lru_dropped, 0u);
+  EXPECT_GE(report.dropped_records, report.lru_dropped);
+  EXPECT_LE(report.bytes_after, tight.max_log_bytes);
+  EXPECT_LT(report.bytes_after, report.bytes_before);
+
+  // Every touched key survived; the evicted ones degrade to clean misses.
+  for (unsigned i : {2u, 5u, 7u}) {
+    const auto hit = cache.lookup(
+        service::make_cache_key(canonical_form(trees[i]), opts));
+    ASSERT_NE(hit, nullptr) << "touched record " << i << " evicted";
+    expect_result_exact(*hit, canons[i], "LRU survivor");
+  }
+  std::size_t evicted = 0;
+  for (unsigned i : {0u, 1u, 3u, 4u, 6u}) {
+    if (cache.lookup(service::make_cache_key(canonical_form(trees[i]),
+                                             opts)) == nullptr) {
+      ++evicted;
+    }
+  }
+  EXPECT_EQ(evicted, report.lru_dropped);
+  EXPECT_GE(evicted, 1u);
+}
+
+TEST(PersistCache, LookupRestampsSurviveTheRecordChecksum) {
+  // The re-stamp is a 4-byte in-place write OUTSIDE the checksummed
+  // payload: a touched record must still verify and decode exactly.
+  TempDir dir;
+  service::PersistCache cache(small_cfg(dir.path));
+  const Cotree t = testing::random_cotree(30, 6500);
+  const auto form = canonical_form(t);
+  const SolveOptions opts;
+  const SolveResult canon = canonical_result(t, opts);
+  cache.append(service::make_cache_key(form, opts), canon);
+  for (int i = 0; i < 3; ++i) {
+    const auto hit = cache.lookup(service::make_cache_key(form, opts));
+    ASSERT_NE(hit, nullptr) << "restamp corrupted the record, pass " << i;
+    expect_result_exact(*hit, canon, "restamped record");
+  }
+  // And a fresh process (fresh open-time scan) still accepts the log.
+  service::PersistCache reopened(small_cfg(dir.path));
+  EXPECT_EQ(reopened.stats().records, 1u);
+  EXPECT_EQ(reopened.stats().corrupt_dropped, 0u);
+  EXPECT_NE(reopened.lookup(service::make_cache_key(form, opts)), nullptr);
 }
 
 // --------------------------------------------------------- Crash safety

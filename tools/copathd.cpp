@@ -3,7 +3,7 @@
 //   copathd [--host 127.0.0.1] [--port 7431] [--workers N]
 //           [--queue N] [--window N] [--max-batch N] [--no-cache]
 //           [--cache-dir DIR] [--max-parked N] [--max-parked-bytes N]
-//           [--idle-timeout MS] [--request-timeout MS]
+//           [--idle-timeout MS] [--request-timeout MS] [--watchdog-ms MS]
 //
 // One process, one event-loop thread, N solver workers. SIGTERM/SIGINT
 // drain gracefully: in-flight requests finish, new ones get structured
@@ -32,7 +32,8 @@ void on_signal(int) {
                "usage: %s [--host H] [--port P] [--workers N] [--queue N] "
                "[--window N] [--max-batch N] [--no-cache] "
                "[--cache-dir DIR] [--max-parked N] [--max-parked-bytes N] "
-               "[--idle-timeout MS] [--request-timeout MS]\n",
+               "[--idle-timeout MS] [--request-timeout MS] "
+               "[--watchdog-ms MS]\n",
                argv0);
   std::exit(2);
 }
@@ -85,6 +86,12 @@ int main(int argc, char** argv) {
       // Default deadline_ms for solve frames that carry none: still-queued
       // requests past it are shed with DeadlineExceeded (0 = none).
       opts.default_deadline_ms =
+          static_cast<std::uint32_t>(std::atol(value()));
+    } else if (arg == "--watchdog-ms") {
+      // Worker watchdog: a solve with no progress heartbeat for this long
+      // gets its cancel token tripped (cooperatively — threads are never
+      // killed) and answers Cancelled/DeadlineExceeded. 0 = off.
+      opts.service.watchdog_ms =
           static_cast<std::uint32_t>(std::atol(value()));
     } else {
       usage(argv[0]);
